@@ -1,0 +1,65 @@
+"""Ablation: spatial correlation length of the synthetic channel.
+
+DESIGN.md substitutes the paper's over-the-air channel with a
+spatially-correlated tapped-delay model whose correlation length is the knob
+that controls how quickly the channel decorrelates as the beamformees move.
+This ablation regenerates dataset D1 with a short and a long correlation
+length and re-evaluates the S3 split (train on positions 1-5, test on 6-9):
+a longer correlation length makes the unseen positions look more like the
+training ones, so the S3 accuracy must not decrease.
+"""
+
+from dataclasses import replace
+
+from repro.datasets.generator import generate_dataset_d1
+from repro.datasets.splits import D1_SPLITS, d1_split
+from repro.experiments.common import (
+    default_feature_config,
+    train_and_evaluate,
+)
+
+#: Correlation lengths compared by the ablation [m].
+SHORT_CORRELATION_M = 0.15
+LONG_CORRELATION_M = 0.45
+
+
+def test_ablation_correlation_length(benchmark, profile, record):
+    """S3 accuracy with the default (short) vs. a long correlation length."""
+
+    def run():
+        feature_config = default_feature_config(profile)
+        results = {}
+        for label, length in (
+            ("short", SHORT_CORRELATION_M),
+            ("long", LONG_CORRELATION_M),
+        ):
+            config = replace(profile.d1_config(), correlation_length_m=length)
+            dataset = generate_dataset_d1(config)
+            train, test = d1_split(dataset, D1_SPLITS["S3"], beamformee_id=1)
+            results[label] = train_and_evaluate(
+                train,
+                test,
+                profile,
+                feature_config=feature_config,
+                label=f"S3 / correlation {length:.2f} m",
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = "\n".join(
+        [
+            "Ablation - channel spatial correlation length (split S3, beamformee 1)",
+            f"  L = {SHORT_CORRELATION_M:.2f} m (default): "
+            f"{100.0 * results['short'].accuracy:6.2f}%",
+            f"  L = {LONG_CORRELATION_M:.2f} m:           "
+            f"{100.0 * results['long'].accuracy:6.2f}%",
+            "expected shape: a longer correlation length makes unseen positions "
+            "easier, so the S3 accuracy must not decrease",
+        ]
+    )
+    record("ablation_correlation_length", report)
+
+    assert results["long"].accuracy >= results["short"].accuracy - 0.05, (
+        "a longer channel correlation length must not make the unseen-position "
+        "split harder"
+    )

@@ -1,0 +1,103 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Two ablations beyond the paper's figures:
+
+* **Attention ablation** -- the spatial-attention block (Fig. 4) is removed
+  from the architecture and the S2 split (unseen beamformee positions) is
+  re-evaluated.  The paper motivates the block as helping the network focus
+  on the fingerprint-bearing regions.
+* **Quantisation-codebook ablation** -- the whole dataset is regenerated with
+  the coarser (b_psi = 5, b_phi = 7) codebook and the S2 split is
+  re-evaluated, quantifying how much the finer feedback codebook contributes
+  to the fingerprint quality (Section V of the paper studies the error, this
+  ablation closes the loop to accuracy).
+"""
+
+from dataclasses import replace
+
+from repro.datasets.generator import generate_dataset_d1
+from repro.datasets.splits import D1_SPLITS, d1_split
+from repro.experiments.common import (
+    cached_dataset_d1,
+    default_feature_config,
+    train_and_evaluate,
+)
+from repro.feedback.quantization import QuantizationConfig
+
+
+def test_ablation_spatial_attention(benchmark, profile, record):
+    """DeepCSI with vs. without the spatial-attention block on split S2."""
+
+    def run():
+        dataset = cached_dataset_d1(profile)
+        train, test = d1_split(dataset, D1_SPLITS["S2"], beamformee_id=1)
+        feature_config = default_feature_config(profile)
+        with_attention = train_and_evaluate(
+            train, test, profile, feature_config=feature_config, label="S2 / attention"
+        )
+        without_attention = train_and_evaluate(
+            train,
+            test,
+            profile,
+            feature_config=feature_config,
+            model_config=profile.model.without_attention(),
+            label="S2 / no attention",
+        )
+        return with_attention, without_attention
+
+    with_attention, without_attention = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = "\n".join(
+        [
+            "Ablation - spatial attention block (split S2, beamformee 1)",
+            f"  with attention:    {100.0 * with_attention.accuracy:6.2f}% "
+            f"({with_attention.num_parameters} params)",
+            f"  without attention: {100.0 * without_attention.accuracy:6.2f}% "
+            f"({without_attention.num_parameters} params)",
+        ]
+    )
+    record("ablation_attention", report)
+
+    # The attention block should not hurt, and both variants must solve the
+    # task well above chance.
+    assert with_attention.accuracy > 0.5
+    assert without_attention.accuracy > 0.5
+    assert with_attention.accuracy >= without_attention.accuracy - 0.08
+
+
+def test_ablation_quantization_codebook(benchmark, profile, record):
+    """Fine (9, 7) vs. coarse (7, 5) feedback codebook on split S2."""
+
+    def run():
+        fine_dataset = cached_dataset_d1(profile)
+        coarse_config = replace(
+            profile.d1_config(),
+            quantization=QuantizationConfig(b_phi=7, b_psi=5),
+        )
+        coarse_dataset = generate_dataset_d1(coarse_config)
+        feature_config = default_feature_config(profile)
+        results = {}
+        for label, dataset in (("fine", fine_dataset), ("coarse", coarse_dataset)):
+            train, test = d1_split(dataset, D1_SPLITS["S2"], beamformee_id=1)
+            results[label] = train_and_evaluate(
+                train,
+                test,
+                profile,
+                feature_config=feature_config,
+                label=f"S2 / {label} codebook",
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = "\n".join(
+        [
+            "Ablation - feedback quantisation codebook (split S2, beamformee 1)",
+            f"  b_phi=9, b_psi=7 (paper): {100.0 * results['fine'].accuracy:6.2f}%",
+            f"  b_phi=7, b_psi=5:         {100.0 * results['coarse'].accuracy:6.2f}%",
+        ]
+    )
+    record("ablation_quantization", report)
+
+    # Both codebooks carry the fingerprint for the S2 split, and the finer
+    # codebook should not be worse than the coarse one by a wide margin.
+    assert results["fine"].accuracy > 0.5
+    assert results["fine"].accuracy >= results["coarse"].accuracy - 0.1

@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the feedback substrate (true timing benchmarks).
+
+These benchmarks exercise the per-sounding processing path an online observer
+runs (Fig. 1: capture -> reconstruct -> infer) and the beamformee-side
+compression.  Unlike the figure benchmarks they use several rounds so
+pytest-benchmark produces meaningful latency statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.feedback.frames import VhtMimoControl, pack_feedback_frame, parse_feedback_frame
+from repro.feedback.givens import compress_v_matrix, reconstruct_v_matrix
+from repro.feedback.quantization import QuantizationConfig, quantize_angles
+from repro.phy.channel import MultipathChannel
+from repro.phy.devices import AccessPoint, make_beamformee, make_module_population
+from repro.phy.geometry import AP_POSITION_A, beamformee_positions
+from repro.phy.mimo import beamforming_matrix, compute_cfr
+from repro.phy.ofdm import sounding_layout
+
+
+@pytest.fixture(scope="module")
+def sounding_v_matrix():
+    """A realistic (K=234, M=3, N_SS=2) beamforming matrix."""
+    layout = sounding_layout(80)
+    module = make_module_population(num_modules=1, seed=3)[0]
+    access_point = AccessPoint(module=module, position=AP_POSITION_A)
+    bf_pos, _ = beamformee_positions(3)
+    beamformee = make_beamformee(1, bf_pos)
+    channel = MultipathChannel(environment_seed=3)
+    cfr = compute_cfr(access_point, beamformee, channel, layout, np.random.default_rng(0))
+    return beamforming_matrix(cfr, 2)
+
+
+def test_bench_beamformee_compression(benchmark, sounding_v_matrix):
+    """Beamformee side: V -> Givens angles (Algorithm 1) for one sounding."""
+    angles = benchmark(compress_v_matrix, sounding_v_matrix)
+    assert angles.num_subcarriers == 234
+
+
+def test_bench_observer_reconstruction(benchmark, sounding_v_matrix):
+    """Observer side: quantised angles -> V~ (Eq. 7) for one sounding."""
+    angles = compress_v_matrix(sounding_v_matrix)
+    reconstructed = benchmark(reconstruct_v_matrix, angles)
+    assert reconstructed.shape == sounding_v_matrix.shape
+
+
+def test_bench_frame_packing(benchmark, sounding_v_matrix):
+    """Packing the quantised angles into a VHT compressed-beamforming frame."""
+    quantized = quantize_angles(compress_v_matrix(sounding_v_matrix), QuantizationConfig())
+    control = VhtMimoControl(
+        num_columns=2, num_rows=3, bandwidth_mhz=80, codebook=1, num_subcarriers=234
+    )
+    payload = benchmark(pack_feedback_frame, quantized, control)
+    assert len(payload) > 1000
+
+
+def test_bench_frame_parsing(benchmark, sounding_v_matrix):
+    """Parsing a sniffed frame back into angle codewords."""
+    quantized = quantize_angles(compress_v_matrix(sounding_v_matrix), QuantizationConfig())
+    control = VhtMimoControl(
+        num_columns=2, num_rows=3, bandwidth_mhz=80, codebook=1, num_subcarriers=234
+    )
+    payload = pack_feedback_frame(quantized, control)
+    parsed_control, parsed = benchmark(parse_feedback_frame, payload)
+    assert parsed_control.num_subcarriers == 234
+    np.testing.assert_array_equal(parsed.q_phi, quantized.q_phi)
+
+
+def test_bench_full_sounding_simulation(benchmark):
+    """Channel + impairments + SVD for one NDP sounding (dataset generation cost)."""
+    layout = sounding_layout(80)
+    module = make_module_population(num_modules=1, seed=5)[0]
+    access_point = AccessPoint(module=module, position=AP_POSITION_A)
+    bf_pos, _ = beamformee_positions(5)
+    beamformee = make_beamformee(1, bf_pos)
+    channel = MultipathChannel(environment_seed=5)
+    rng = np.random.default_rng(0)
+
+    def sound_once():
+        cfr = compute_cfr(access_point, beamformee, channel, layout, rng)
+        return beamforming_matrix(cfr, 2)
+
+    v_matrix = benchmark(sound_once)
+    assert v_matrix.shape == (234, 3, 2)

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 7: hyper-parameter sweeps (layers / filters).
+
+Paper observations: accuracy is nearly flat in the number of convolutional
+layers and grows (with diminishing returns) with the number of filters, while
+the parameter count increases.
+"""
+
+from repro.experiments import fig07_hyperparams
+
+
+def test_fig07_hyperparameter_sweeps(benchmark, profile, record):
+    result = benchmark.pedantic(
+        lambda: fig07_hyperparams.run(profile), rounds=1, iterations=1
+    )
+    record("fig07_hyperparams", fig07_hyperparams.format_report(result))
+
+    # Fig. 7a shape: accuracy stays high regardless of the layer count.
+    layer_accuracies = [p.test_accuracy for p in result.layer_sweep]
+    assert min(layer_accuracies) > 0.85
+    assert max(layer_accuracies) - min(layer_accuracies) < 0.15
+
+    # Fig. 7b shape: more filters never costs much accuracy and the largest
+    # model is at least as good as the smallest one.
+    filter_points = list(result.filter_sweep)
+    assert filter_points[-1].test_accuracy >= filter_points[0].test_accuracy - 0.02
+    # Parameter counts grow with the filter count.
+    params = [p.num_parameters for p in filter_points]
+    assert params == sorted(params)

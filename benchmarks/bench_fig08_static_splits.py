@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 8: S1/S2/S3 confusion matrices (beamformee 1).
+
+Paper values: S1 = 98.02 %, S2 = 75.41 %, S3 = 42.97 %.  The reproduction
+asserts the *shape*: S1 is close to perfect and accuracy degrades
+monotonically from S1 to S3.
+"""
+
+from repro.experiments import fig08_static_splits
+
+
+def test_fig08_static_splits(benchmark, profile, record):
+    result = benchmark.pedantic(
+        lambda: fig08_static_splits.run(profile), rounds=1, iterations=1
+    )
+    record("fig08_static_splits", fig08_static_splits.format_report(result))
+
+    s1, s2, s3 = (result.accuracy(name) for name in ("S1", "S2", "S3"))
+    assert s1 > 0.9, "S1 (same positions) should be close to perfect"
+    assert s1 > s2 > s3, "accuracy must degrade from S1 to S3"
+    assert s3 < 0.8, "S3 (disjoint positions) must be clearly degraded"

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 9: S1/S2/S3 with both beamformees mixed.
+
+Paper values: S1 = 97.62 %, S2 = 77.38 %, S3 = 47.28 %.
+"""
+
+from repro.experiments import fig09_mixed_beamformees
+
+
+def test_fig09_mixed_beamformees(benchmark, profile, record):
+    result = benchmark.pedantic(
+        lambda: fig09_mixed_beamformees.run(profile), rounds=1, iterations=1
+    )
+    record("fig09_mixed_beamformees", fig09_mixed_beamformees.format_report(result))
+
+    s1, s2, s3 = (result.accuracy(name) for name in ("S1", "S2", "S3"))
+    assert s1 > 0.9
+    assert s1 > s2 > s3

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Fig. 13: PDFs of the V~ quantisation error.
+
+Paper observations: (i) the error of the second spatial stream exceeds the
+error of the first because Algorithm 1 is recursive, and (ii) the finer
+(b_psi = 7, b_phi = 9) codebook shrinks the error by roughly a factor of
+four with respect to (5, 7).
+"""
+
+import numpy as np
+
+from repro.experiments import fig13_quantization_error
+
+
+def test_fig13_quantization_error(benchmark, profile, record):
+    result = benchmark.pedantic(
+        lambda: fig13_quantization_error.run(profile), rounds=1, iterations=1
+    )
+    record(
+        "fig13_quantization_error",
+        fig13_quantization_error.format_report(result),
+    )
+
+    fine = result.mean_error(7, 9)
+    coarse = result.mean_error(5, 7)
+
+    # Coarser quantisation increases the error for every (antenna, stream).
+    assert np.all(coarse > fine)
+    # The coarse/fine ratio is of the order of the step ratio (4x).
+    assert 2.0 < float(np.mean(coarse / fine)) < 8.0
+    # Second-stream entries are reconstructed less accurately than
+    # first-stream entries (averaged over the non-reference antennas).
+    assert fine[:2, 1].mean() > fine[:2, 0].mean()
+    assert coarse[:2, 1].mean() > coarse[:2, 0].mean()

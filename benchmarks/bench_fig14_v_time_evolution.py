@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 14: time evolution of |V~| in static conditions.
+
+Paper observation: the second spatial stream is visibly noisier over time
+(quantisation error) while the matrix structure is stable across soundings.
+"""
+
+from repro.experiments import fig14_v_time_evolution
+
+
+def test_fig14_v_time_evolution(benchmark, profile, record):
+    result = benchmark.pedantic(
+        lambda: fig14_v_time_evolution.run(profile), rounds=1, iterations=1
+    )
+    record("fig14_v_time_evolution", fig14_v_time_evolution.format_report(result))
+
+    # One panel per (antenna, stream) pair, as in the paper's 3 x 2 grid.
+    assert set(result.magnitude_maps) == {(a, s) for a in range(3) for s in range(2)}
+
+    # Stream 2 fluctuates more over time than stream 1.
+    assert result.temporal_std[:, 1].mean() > result.temporal_std[:, 0].mean()
+
+    # The first-stream structure is positively correlated across consecutive
+    # soundings (static conditions).
+    assert result.temporal_correlation[:, 0].mean() > 0.0

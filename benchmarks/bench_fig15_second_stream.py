@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 15: classification from the second stream.
+
+Paper values: S1 = 97.03 %, S2 = 13.32 %, S3 = 5.63 %.  The reproduction
+asserts that S1 remains high while S2/S3 collapse with respect to the
+stream-0 results (the stream-1 input carries a larger quantisation error).
+"""
+
+from repro.experiments import fig15_second_stream
+
+
+def test_fig15_second_stream(benchmark, profile, record):
+    result = benchmark.pedantic(
+        lambda: fig15_second_stream.run(profile), rounds=1, iterations=1
+    )
+    record("fig15_second_stream", fig15_second_stream.format_report(result))
+
+    s1, s2, s3 = (result.accuracy(name) for name in ("S1", "S2", "S3"))
+    # The paper's stream-1 S2/S3 collapse is larger (13 % / 6 %) than the
+    # synthetic reproduction achieves; the shape asserted here is the
+    # degradation ordering (see EXPERIMENTS.md for the measured gap).
+    assert s1 > 0.85, "S1 can still be solved from the second stream"
+    assert s2 < s1 - 0.2, "S2 must degrade relative to S1 on the second stream"
+    assert s3 < s1 - 0.4, "S3 must collapse relative to S1 on the second stream"
+    assert s3 <= s2 + 0.05

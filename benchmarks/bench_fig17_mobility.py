@@ -1,0 +1,29 @@
+"""Benchmark regenerating Fig. 17: identification under beamformer mobility.
+
+Paper values: S4 full path = 82.56 %, S4 sub-paths = 41.15 %,
+S5 (static -> mobile) = 20.50 %, S6 (mobile -> static) = 88.12 %.
+"""
+
+from repro.experiments import fig17_mobility
+
+
+def test_fig17_mobility(benchmark, profile, record):
+    result = benchmark.pedantic(
+        lambda: fig17_mobility.run(profile), rounds=1, iterations=1
+    )
+    record("fig17_mobility", fig17_mobility.format_report(result))
+
+    full_path = result.accuracy("S4 full path")
+    sub_paths = result.accuracy("S4 sub-paths")
+    static_to_mobile = result.accuracy("S5 static->mobile")
+    mobile_to_static = result.accuracy("S6 mobile->static")
+
+    # Training and testing on the same mobility path works.
+    assert full_path > 0.7
+    # Different sub-paths degrade the accuracy.
+    assert sub_paths < full_path
+    # Training on static traces only does not generalise to mobility.
+    assert static_to_mobile < 0.6
+    assert static_to_mobile < mobile_to_static
+    # Training on mobility traces generalises back to static conditions.
+    assert mobile_to_static > 0.7

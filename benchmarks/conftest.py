@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+section through :mod:`repro.experiments` and
+
+* prints the same rows/series the paper reports (run with ``-s`` to see them
+  inline), and
+* appends the report to ``benchmarks/results/<name>.txt`` so the numbers can
+  be collected into ``EXPERIMENTS.md``.
+
+The profile is selected with the ``REPRO_PROFILE`` environment variable
+(``fast`` by default, ``full`` for paper-scale runs).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow "from benchmarks.common import ..." style imports when pytest is
+# invoked from the repository root.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.experiments.profiles import get_profile  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile used by every benchmark in this session."""
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Callable that prints a report and stores it under ``benchmarks/results``."""
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,121 @@
+"""Explore how the synthetic channel decorrelates with position.
+
+DESIGN.md substitutes the paper's over-the-air measurements with a
+spatially-correlated fading channel; the correlation length of that channel is
+what makes the S1/S2/S3 position splits behave as in the paper.  This example
+makes that substitution tangible:
+
+1. plot (in ASCII) the channel correlation versus beamformee displacement for
+   three correlation lengths,
+2. show the corresponding quantised ``V~`` magnitude across sub-carriers for
+   two beamformee positions 10 cm apart and two positions 80 cm apart, and
+3. report the training-free separability (Fisher ratio) of the resulting
+   fingerprint features at adjacent vs. distant positions.
+
+Run it with::
+
+    python examples/channel_correlation_explorer.py
+
+It needs no CNN training and completes in a few seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ascii_plots import heatmap, line_plot
+from repro.analysis.separability import centroid_separability
+from repro.datasets.generator import DatasetConfig, generate_position_trace
+from repro.phy.fading import SpatiallyCorrelatedChannel, spatial_correlation
+from repro.phy.geometry import BEAMFORMEE1_START
+
+#: Correlation lengths compared in step 1 [m].
+CORRELATION_LENGTHS = (0.10, 0.25, 0.50)
+#: Displacements probed in step 1 [m].
+DISPLACEMENTS = tuple(np.round(np.arange(0.0, 0.85, 0.05), 2))
+
+
+def explore_correlation_curves() -> None:
+    print("1. Channel correlation versus beamformee displacement")
+    print("   (one 10 cm step separates adjacent D1 positions)")
+    for length in CORRELATION_LENGTHS:
+        channel = SpatiallyCorrelatedChannel(
+            correlation_length_m=length, environment_seed=11
+        )
+        curve = spatial_correlation(
+            channel, BEAMFORMEE1_START, DISPLACEMENTS, 5.21e9
+        )
+        values = [value for _, value in curve]
+        print(f"   correlation length {length:.2f} m "
+              f"(x axis: 0 to {DISPLACEMENTS[-1]:.2f} m displacement)")
+        print("   " + line_plot(values, height=6, width=len(values)).replace("\n", "\n   "))
+        print()
+
+
+def explore_v_matrices() -> None:
+    print("2. |V~| across sub-carriers for the same module at different positions")
+    config = DatasetConfig(num_modules=2, soundings_per_trace=1)
+    module = config.modules()[0]
+    traces = {
+        position: generate_position_trace(module, position, config)
+        for position in (1, 2, 9)
+    }
+    maps = {}
+    for position, trace in traces.items():
+        sample = next(s for s in trace if s.beamformee_id == 1)
+        maps[position] = np.abs(sample.v_tilde[:64, :, 0]).T  # (M, 64 tones)
+    for position in (1, 2, 9):
+        print(f"   position {position} (rows = TX antennas, columns = sub-carriers)")
+        print("   " + heatmap(maps[position]).replace("\n", "\n   "))
+    difference_near = np.mean(np.abs(maps[1] - maps[2]))
+    difference_far = np.mean(np.abs(maps[1] - maps[9]))
+    print(
+        f"   mean |V~| difference: positions 1 vs 2 (10 cm apart) = "
+        f"{difference_near:.3f}, positions 1 vs 9 (80 cm apart) = {difference_far:.3f}"
+    )
+    print()
+
+
+def explore_separability() -> None:
+    print("3. Training-free separability of the fingerprint features")
+    config = DatasetConfig(num_modules=5, soundings_per_trace=6)
+    adjacent_samples = []
+    distant_samples = []
+    for module in config.modules():
+        for position in (1, 2):
+            adjacent_samples.extend(
+                s
+                for s in generate_position_trace(module, position, config)
+                if s.beamformee_id == 1
+            )
+        for position in (1, 9):
+            distant_samples.extend(
+                s
+                for s in generate_position_trace(module, position, config)
+                if s.beamformee_id == 1
+            )
+    adjacent = centroid_separability(adjacent_samples)
+    distant = centroid_separability(distant_samples)
+    print(
+        f"   adjacent positions (1, 2): Fisher ratio {adjacent.fisher_ratio:.2f}, "
+        f"nearest-centroid accuracy {100 * adjacent.nearest_centroid_accuracy:.1f}%"
+    )
+    print(
+        f"   distant positions (1, 9):  Fisher ratio {distant.fisher_ratio:.2f}, "
+        f"nearest-centroid accuracy {100 * distant.nearest_centroid_accuracy:.1f}%"
+    )
+    print(
+        "   The fingerprint classes stay separable when the channel is shared "
+        "or similar; mixing distant positions blurs them, which is exactly why "
+        "spatial diversity in the training set matters (Fig. 10)."
+    )
+
+
+def main() -> None:
+    explore_correlation_curves()
+    explore_v_matrices()
+    explore_separability()
+
+
+if __name__ == "__main__":
+    main()

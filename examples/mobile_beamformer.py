@@ -1,0 +1,92 @@
+"""Mobility scenario: fingerprinting an access point that moves (dataset D2).
+
+The paper's second dataset evaluates DeepCSI while the AP is carried along
+the A-B-C-D-B-A path of Fig. 6.  This example reproduces that scenario on a
+small scale and contrasts the two training regimes of Fig. 17:
+
+* training on *static* captures only and testing on mobility traces
+  (split S5 - the fingerprint does not survive the channel change), and
+* training on *mobility* captures and testing on static traces
+  (split S6 - the variability in the training set makes the fingerprint
+  robust).
+
+Run it with::
+
+    python examples/mobile_beamformer.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
+from repro.core.model import FAST_MODEL_CONFIG
+from repro.datasets.features import FeatureConfig, strided_subcarriers
+from repro.datasets.generator import DatasetConfig, generate_dataset_d2
+from repro.datasets.splits import D2_SPLITS, d2_split
+from repro.nn.training import TrainingConfig
+
+NUM_MODULES = 5
+
+
+def train_and_report(split_name, dataset, description):
+    """Train DeepCSI on one Table-II split and print the resulting report."""
+    train_samples, test_samples = d2_split(
+        dataset, D2_SPLITS[split_name], beamformee_id=1
+    )
+    classifier = DeepCsiClassifier(
+        ClassifierConfig(
+            num_classes=NUM_MODULES,
+            feature=FeatureConfig(
+                stream_indices=(0,),
+                subcarrier_positions=strided_subcarriers(234, 4),
+            ),
+            model=FAST_MODEL_CONFIG,
+            training=TrainingConfig(epochs=12, batch_size=32),
+            learning_rate=2e-3,
+        )
+    )
+    start = time.time()
+    classifier.fit(train_samples)
+    report = classifier.evaluate(test_samples, label=f"{split_name} ({description})")
+    print(
+        f"{split_name} - {description}: accuracy "
+        f"{100.0 * report.accuracy:.2f}% "
+        f"({len(train_samples)} train / {len(test_samples)} test samples, "
+        f"{time.time() - start:.1f} s)"
+    )
+    return report
+
+
+def main() -> None:
+    print("Generating a miniature dynamic dataset (D2 structure)...")
+    start = time.time()
+    dataset = generate_dataset_d2(
+        DatasetConfig(num_modules=NUM_MODULES, soundings_per_trace=16)
+    )
+    print(dataset.summary())
+    print(f"  generated in {time.time() - start:.1f} s\n")
+
+    print("Comparing the two training regimes of Fig. 17:\n")
+    static_to_mobile = train_and_report(
+        "S5", dataset, "train on static traces, test on mobility traces"
+    )
+    mobile_to_static = train_and_report(
+        "S6", dataset, "train on mobility traces, test on static traces"
+    )
+
+    print()
+    print("Confusion matrix for the mobility-trained model (S6):")
+    print(mobile_to_static)
+    print()
+    gap = mobile_to_static.accuracy - static_to_mobile.accuracy
+    print(
+        "Training-set variability drives robustness: the mobility-trained "
+        f"model outperforms the static-trained one by "
+        f"{100.0 * gap:.1f} accuracy points, matching the qualitative "
+        "finding of the paper (88.1% vs 20.5%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""Fast calibration of the synthetic-channel parameters.
+
+Trains a cheap linear (softmax-regression) probe instead of the full DeepCSI
+CNN so that many channel configurations can be screened in minutes.  The
+probe under-estimates the absolute accuracy the CNN reaches, but preserves
+the orderings (S1 vs S2 vs S3, static vs mobility, stream 0 vs stream 1)
+that the reproduction targets.
+
+Usage::
+
+    python scripts/calibrate_channel.py [--correlation-length 0.25]
+        [--rician-k 1.5] [--fingerprint-strength 1.0] [--snr-db 28]
+        [--soundings 10] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.datasets.features import FeatureConfig, FeatureExtractor, normalize_features, apply_normalization, strided_subcarriers
+from repro.datasets.generator import DatasetConfig, generate_dataset_d1, generate_dataset_d2
+from repro.datasets.splits import (
+    D1_SPLITS,
+    D2_SPLITS,
+    d1_cross_beamformee_split,
+    d1_split,
+    d2_split,
+    d2_subpath_split,
+)
+from repro.phy.ofdm import sounding_layout
+
+
+def linear_probe_accuracy(train, test, feature_config, epochs=250, lr=0.05, seed=0):
+    """Accuracy of a softmax-regression probe trained on flattened features."""
+    extractor = FeatureExtractor(feature_config)
+    x_train, y_train = extractor.transform_samples(train)
+    x_test, y_test = extractor.transform_samples(test)
+    x_train = x_train.reshape(len(x_train), -1)
+    x_test = x_test.reshape(len(x_test), -1)
+    mean = x_train.mean(axis=0, keepdims=True)
+    std = x_train.std(axis=0, keepdims=True) + 1e-8
+    x_train = (x_train - mean) / std
+    x_test = (x_test - mean) / std
+
+    classes = np.unique(y_train)
+    class_index = {c: i for i, c in enumerate(classes)}
+    t_train = np.array([class_index[c] for c in y_train])
+    num_classes = len(classes)
+    rng = np.random.default_rng(seed)
+    w = 0.01 * rng.standard_normal((x_train.shape[1], num_classes))
+    b = np.zeros(num_classes)
+    onehot = np.eye(num_classes)[t_train]
+    for _ in range(epochs):
+        logits = x_train @ w + b
+        logits -= logits.max(axis=1, keepdims=True)
+        p = np.exp(logits)
+        p /= p.sum(axis=1, keepdims=True)
+        grad = (p - onehot) / len(x_train)
+        gw = x_train.T @ grad + 1e-4 * w
+        gb = grad.sum(axis=0)
+        w -= lr * gw
+        b -= lr * gb
+    pred = np.argmax(x_test @ w + b, axis=1)
+    truth = np.array([class_index.get(c, -1) for c in y_test])
+    return float(np.mean(pred == truth))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--correlation-length", type=float, default=0.25)
+    parser.add_argument("--rician-k", type=float, default=1.5)
+    parser.add_argument("--fingerprint-strength", type=float, default=1.0)
+    parser.add_argument("--beamformee-strength", type=float, default=1.0)
+    parser.add_argument("--snr-db", type=float, default=28.0)
+    parser.add_argument("--fading-jitter", type=float, default=0.05)
+    parser.add_argument("--num-taps", type=int, default=8)
+    parser.add_argument("--soundings", type=int, default=10)
+    parser.add_argument("--stride", type=int, default=4)
+    parser.add_argument("--channel-model", default="correlated")
+    parser.add_argument("--quick", action="store_true", help="skip dataset D2")
+    args = parser.parse_args()
+
+    config = DatasetConfig(
+        num_modules=10,
+        soundings_per_trace=args.soundings,
+        snr_db=args.snr_db,
+        fingerprint_strength=args.fingerprint_strength,
+        beamformee_impairment_strength=args.beamformee_strength,
+        fading_jitter=args.fading_jitter,
+        channel_model=args.channel_model,
+        correlation_length_m=args.correlation_length,
+        rician_k=args.rician_k,
+        num_taps=args.num_taps,
+    )
+    layout = sounding_layout(80)
+    positions = strided_subcarriers(layout.num_subcarriers, args.stride)
+    stream0 = FeatureConfig(stream_indices=(0,), subcarrier_positions=positions)
+    stream1 = FeatureConfig(stream_indices=(1,), subcarrier_positions=positions)
+
+    t0 = time.time()
+    d1 = generate_dataset_d1(config)
+    print(f"D1 generated in {time.time() - t0:.1f}s "
+          f"(corr={args.correlation_length} K={args.rician_k} "
+          f"fp={args.fingerprint_strength} snr={args.snr_db})")
+
+    rows = []
+    for name in ("S1", "S2", "S3"):
+        train, test = d1_split(d1, D1_SPLITS[name], beamformee_id=1)
+        rows.append((f"D1 {name} bf1 stream0", linear_probe_accuracy(train, test, stream0)))
+    for name in ("S1", "S2", "S3"):
+        train, test = d1_split(d1, D1_SPLITS[name], beamformee_id=1)
+        rows.append((f"D1 {name} bf1 stream1", linear_probe_accuracy(train, test, stream1)))
+    train, test = d1_cross_beamformee_split(d1, D1_SPLITS["S1"], 1, 2)
+    rows.append(("D1 S1 cross bf1->bf2", linear_probe_accuracy(train, test, stream0)))
+
+    if not args.quick:
+        t0 = time.time()
+        d2 = generate_dataset_d2(config)
+        print(f"D2 generated in {time.time() - t0:.1f}s")
+        for name in ("S4", "S5", "S6"):
+            train, test = d2_split(d2, D2_SPLITS[name], beamformee_id=1)
+            rows.append((f"D2 {name} bf1 stream0", linear_probe_accuracy(train, test, stream0)))
+        train, test = d2_subpath_split(d2, beamformee_id=1)
+        rows.append(("D2 subpath bf1 stream0", linear_probe_accuracy(train, test, stream0)))
+
+    print()
+    print(f"{'configuration':<28s} {'probe acc':>10s}   paper (CNN)")
+    paper = {
+        "D1 S1 bf1 stream0": 98.0, "D1 S2 bf1 stream0": 75.4, "D1 S3 bf1 stream0": 43.0,
+        "D1 S1 bf1 stream1": 97.0, "D1 S2 bf1 stream1": 13.3, "D1 S3 bf1 stream1": 5.6,
+        "D1 S1 cross bf1->bf2": 25.9,
+        "D2 S4 bf1 stream0": 82.6, "D2 S5 bf1 stream0": 20.5, "D2 S6 bf1 stream0": 88.1,
+        "D2 subpath bf1 stream0": 41.2,
+    }
+    for label, acc in rows:
+        ref = paper.get(label)
+        ref_text = f"{ref:.1f}%" if ref is not None else ""
+        print(f"{label:<28s} {100 * acc:9.2f}%   {ref_text}")
+
+
+if __name__ == "__main__":
+    main()

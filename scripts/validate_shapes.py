@@ -1,0 +1,30 @@
+"""Ad-hoc validation of the reproduction result shapes (fast profile)."""
+import time
+
+from repro.experiments import (
+    fig08_static_splits,
+    fig11_cross_beamformee,
+    fig15_second_stream,
+    fig16_offset_correction,
+    fig17_mobility,
+)
+from repro.experiments.profiles import FAST_PROFILE
+
+
+def main():
+    for module in (
+        fig08_static_splits,
+        fig15_second_stream,
+        fig11_cross_beamformee,
+        fig16_offset_correction,
+        fig17_mobility,
+    ):
+        start = time.time()
+        result = module.run(FAST_PROFILE)
+        print(f"===== {module.__name__} ({time.time() - start:.0f}s) =====", flush=True)
+        print(module.format_report(result), flush=True)
+        print(flush=True)
+
+
+if __name__ == "__main__":
+    main()

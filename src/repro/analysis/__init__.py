@@ -1,0 +1,41 @@
+"""Analysis and reporting utilities.
+
+No plotting backend is available in the offline environment, so every figure
+of the paper is rendered as monospace text:
+
+* :mod:`repro.analysis.ascii_plots` -- bar charts, line plots, histograms and
+  heat maps rendered with unicode block characters (used by the examples and
+  the benchmark reports).
+* :mod:`repro.analysis.separability` -- cheap feature-space diagnostics (a
+  linear softmax probe and class-centroid statistics) used to study how much
+  of the fingerprint survives a given channel condition without paying for a
+  full CNN training.
+"""
+
+from repro.analysis.ascii_plots import (
+    accuracy_comparison,
+    bar_chart,
+    heatmap,
+    histogram,
+    line_plot,
+    sparkline,
+)
+from repro.analysis.separability import (
+    LinearProbe,
+    SeparabilityReport,
+    centroid_separability,
+    linear_probe_accuracy,
+)
+
+__all__ = [
+    "accuracy_comparison",
+    "bar_chart",
+    "heatmap",
+    "histogram",
+    "line_plot",
+    "sparkline",
+    "LinearProbe",
+    "SeparabilityReport",
+    "centroid_separability",
+    "linear_probe_accuracy",
+]

@@ -1,0 +1,187 @@
+"""Text-mode plotting helpers.
+
+The paper's figures are regenerated as numeric tables by the benchmarks; the
+helpers here additionally render them as monospace charts so the examples can
+show the *shape* of a result (accuracy bars, quantisation-error histograms,
+|V~| heat maps) directly in a terminal, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Characters used for vertical resolution inside a single text row.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+#: Characters used for heat-map intensities (light to dark).
+_SHADES = " .:-=+*#%@"
+
+
+class PlotError(ValueError):
+    """Raised for invalid plotting inputs."""
+
+
+def _check_values(values: Sequence[float]) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise PlotError("values must be a non-empty one-dimensional sequence")
+    if not np.all(np.isfinite(array)):
+        raise PlotError("values must be finite")
+    return array
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Single-line sparkline of a numeric series."""
+    array = _check_values(values)
+    low, high = float(array.min()), float(array.max())
+    span = high - low
+    if span == 0:
+        return _BLOCKS[4] * len(array)
+    indices = np.round((array - low) / span * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart, one row per (label, value) pair."""
+    array = _check_values(values)
+    if len(labels) != len(array):
+        raise PlotError("labels and values must have the same length")
+    if width < 1:
+        raise PlotError("width must be >= 1")
+    if np.any(array < 0):
+        raise PlotError("bar_chart expects non-negative values")
+    top = float(max_value) if max_value is not None else float(array.max())
+    top = top if top > 0 else 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, array):
+        filled = int(round(min(value / top, 1.0) * width))
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(f"{str(label):<{label_width}s} |{bar}| {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    values: Sequence[float],
+    height: int = 10,
+    width: Optional[int] = None,
+    y_label: str = "",
+) -> str:
+    """Character-grid line plot of a single series."""
+    array = _check_values(values)
+    if height < 2:
+        raise PlotError("height must be >= 2")
+    columns = int(width) if width is not None else len(array)
+    if columns < 2:
+        raise PlotError("width must be >= 2")
+    # Resample the series to the requested number of columns.
+    positions = np.linspace(0, len(array) - 1, columns)
+    resampled = np.interp(positions, np.arange(len(array)), array)
+    low, high = float(resampled.min()), float(resampled.max())
+    span = high - low if high > low else 1.0
+    rows = np.full((height, columns), " ", dtype="<U1")
+    scaled = (resampled - low) / span * (height - 1)
+    for column, value in enumerate(scaled):
+        row = height - 1 - int(round(value))
+        rows[row, column] = "*"
+    lines = ["".join(row) for row in rows]
+    header = f"{y_label} max={high:.3g}" if y_label else f"max={high:.3g}"
+    footer = f"{'':<{len(y_label)}} min={low:.3g}" if y_label else f"min={low:.3g}"
+    return "\n".join([header] + lines + [footer])
+
+
+def histogram(
+    values: Sequence[float],
+    num_bins: int = 12,
+    width: int = 40,
+    value_format: str = "{:.3g}",
+) -> str:
+    """Text histogram of a numeric sample."""
+    array = _check_values(values)
+    if num_bins < 1:
+        raise PlotError("num_bins must be >= 1")
+    counts, edges = np.histogram(array, bins=num_bins)
+    top = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for index in range(num_bins):
+        low = value_format.format(edges[index])
+        high = value_format.format(edges[index + 1])
+        filled = int(round(counts[index] / top * width))
+        lines.append(f"[{low:>9s}, {high:>9s}) |{'█' * filled:<{width}s}| {counts[index]}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    row_labels: Optional[Sequence[str]] = None,
+    col_labels: Optional[Sequence[str]] = None,
+    normalise: bool = True,
+) -> str:
+    """Shaded-character heat map of a 2-D matrix (larger value = darker)."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise PlotError("matrix must be a non-empty 2-D array")
+    if not np.all(np.isfinite(matrix)):
+        raise PlotError("matrix entries must be finite")
+    display = matrix.copy()
+    if normalise:
+        low, high = display.min(), display.max()
+        span = high - low if high > low else 1.0
+        display = (display - low) / span
+    else:
+        display = np.clip(display, 0.0, 1.0)
+    num_rows, num_cols = display.shape
+    rows = (
+        [str(label) for label in row_labels]
+        if row_labels is not None
+        else [str(i) for i in range(num_rows)]
+    )
+    if len(rows) != num_rows:
+        raise PlotError("row_labels must match the number of rows")
+    label_width = max(len(r) for r in rows)
+    lines = []
+    if col_labels is not None:
+        if len(col_labels) != num_cols:
+            raise PlotError("col_labels must match the number of columns")
+        header = " " * (label_width + 1) + "".join(
+            str(label)[:1] for label in col_labels
+        )
+        lines.append(header)
+    for row_index in range(num_rows):
+        cells = "".join(
+            _SHADES[int(round(display[row_index, col] * (len(_SHADES) - 1)))]
+            for col in range(num_cols)
+        )
+        lines.append(f"{rows[row_index]:>{label_width}s} {cells}")
+    return "\n".join(lines)
+
+
+def accuracy_comparison(
+    rows: Sequence[Tuple[str, float, Optional[float]]], width: int = 30
+) -> str:
+    """Bar chart comparing measured accuracies against paper values.
+
+    Each row is ``(label, measured_accuracy, paper_accuracy_or_None)`` with
+    accuracies in ``[0, 1]``.
+    """
+    if not rows:
+        raise PlotError("rows must be non-empty")
+    label_width = max(len(label) for label, _, _ in rows)
+    lines = []
+    for label, measured, paper in rows:
+        if not 0.0 <= measured <= 1.0:
+            raise PlotError("measured accuracy must be in [0, 1]")
+        filled = int(round(measured * width))
+        bar = "█" * filled + "·" * (width - filled)
+        paper_text = f"  paper {100.0 * paper:5.1f}%" if paper is not None else ""
+        lines.append(
+            f"{label:<{label_width}s} |{bar}| {100.0 * measured:5.1f}%{paper_text}"
+        )
+    return "\n".join(lines)

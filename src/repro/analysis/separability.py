@@ -1,0 +1,212 @@
+"""Feature-space separability diagnostics.
+
+Training the full DeepCSI CNN is the expensive part of every experiment; the
+tools here answer the cheaper question "how much fingerprint information is
+present in these features at all?":
+
+* :class:`LinearProbe` -- a multinomial softmax regression trained with
+  full-batch gradient descent on flattened, standardised features.  It is the
+  probe used to calibrate the synthetic channel (see DESIGN.md) and a useful
+  lower bound on what the CNN can achieve.
+* :func:`centroid_separability` -- a distance-based statistic (between-class
+  vs. within-class scatter) that requires no training at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.containers import FeedbackSample
+from repro.datasets.features import FeatureConfig, FeatureExtractor
+
+
+class SeparabilityError(ValueError):
+    """Raised for invalid separability-analysis inputs."""
+
+
+def _flatten_features(
+    samples: Sequence[FeedbackSample], feature_config: Optional[FeatureConfig]
+) -> Tuple[np.ndarray, np.ndarray]:
+    if not samples:
+        raise SeparabilityError("the sample list is empty")
+    extractor = FeatureExtractor(feature_config)
+    features, labels = extractor.transform_samples(samples)
+    return features.reshape(len(features), -1), labels
+
+
+@dataclass
+class LinearProbe:
+    """Multinomial softmax regression on flattened feedback features.
+
+    Attributes
+    ----------
+    epochs:
+        Number of full-batch gradient steps.
+    learning_rate:
+        Gradient-descent step size.
+    l2:
+        L2 regularisation weight.
+    seed:
+        Weight-initialisation seed.
+    feature_config:
+        Feature selection applied to the ``V~`` matrices before flattening.
+    """
+
+    epochs: int = 250
+    learning_rate: float = 0.05
+    l2: float = 1e-4
+    seed: int = 0
+    feature_config: Optional[FeatureConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise SeparabilityError("epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise SeparabilityError("learning_rate must be positive")
+        if self.l2 < 0:
+            raise SeparabilityError("l2 must be non-negative")
+        self._weights: Optional[np.ndarray] = None
+        self._bias: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self._classes: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Training and inference
+    # ------------------------------------------------------------------ #
+    def fit(self, samples: Sequence[FeedbackSample]) -> "LinearProbe":
+        """Fit the probe on labelled feedback samples."""
+        features, labels = _flatten_features(samples, self.feature_config)
+        self._mean = features.mean(axis=0, keepdims=True)
+        self._std = features.std(axis=0, keepdims=True) + 1e-8
+        standardized = (features - self._mean) / self._std
+
+        self._classes = np.unique(labels)
+        class_index = {cls: idx for idx, cls in enumerate(self._classes)}
+        targets = np.array([class_index[label] for label in labels])
+        num_classes = len(self._classes)
+        if num_classes < 2:
+            raise SeparabilityError("at least two classes are needed to fit the probe")
+
+        rng = np.random.default_rng(self.seed)
+        weights = 0.01 * rng.standard_normal((standardized.shape[1], num_classes))
+        bias = np.zeros(num_classes)
+        onehot = np.eye(num_classes)[targets]
+        for _ in range(self.epochs):
+            logits = standardized @ weights + bias
+            logits -= logits.max(axis=1, keepdims=True)
+            probabilities = np.exp(logits)
+            probabilities /= probabilities.sum(axis=1, keepdims=True)
+            gradient = (probabilities - onehot) / len(standardized)
+            weights -= self.learning_rate * (
+                standardized.T @ gradient + self.l2 * weights
+            )
+            bias -= self.learning_rate * gradient.sum(axis=0)
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._weights is None:
+            raise SeparabilityError("the probe has not been fitted yet")
+
+    def predict(self, samples: Sequence[FeedbackSample]) -> np.ndarray:
+        """Predicted module identifiers."""
+        self._require_fitted()
+        features, _ = _flatten_features(samples, self.feature_config)
+        standardized = (features - self._mean) / self._std
+        logits = standardized @ self._weights + self._bias
+        return self._classes[np.argmax(logits, axis=1)]
+
+    def score(self, samples: Sequence[FeedbackSample]) -> float:
+        """Accuracy on labelled samples."""
+        predictions = self.predict(samples)
+        truth = np.array([sample.module_id for sample in samples])
+        return float(np.mean(predictions == truth))
+
+
+def linear_probe_accuracy(
+    train_samples: Sequence[FeedbackSample],
+    test_samples: Sequence[FeedbackSample],
+    feature_config: Optional[FeatureConfig] = None,
+    epochs: int = 250,
+    seed: int = 0,
+) -> float:
+    """Train a :class:`LinearProbe` and return its test accuracy."""
+    probe = LinearProbe(epochs=epochs, seed=seed, feature_config=feature_config)
+    probe.fit(train_samples)
+    return probe.score(test_samples)
+
+
+@dataclass(frozen=True)
+class SeparabilityReport:
+    """Distance-based class-separability statistics.
+
+    Attributes
+    ----------
+    within_class_distance:
+        Mean distance of a sample to its own class centroid.
+    between_class_distance:
+        Mean pairwise distance between class centroids.
+    fisher_ratio:
+        ``between_class_distance / within_class_distance`` (higher is more
+        separable).
+    nearest_centroid_accuracy:
+        Accuracy of classifying each sample by its nearest class centroid
+        (leave-centroid-in; an optimistic but training-free statistic).
+    num_classes:
+        Number of classes present in the sample set.
+    """
+
+    within_class_distance: float
+    between_class_distance: float
+    fisher_ratio: float
+    nearest_centroid_accuracy: float
+    num_classes: int
+
+
+def centroid_separability(
+    samples: Sequence[FeedbackSample],
+    feature_config: Optional[FeatureConfig] = None,
+) -> SeparabilityReport:
+    """Compute distance-based separability statistics of a sample set."""
+    features, labels = _flatten_features(samples, feature_config)
+    mean = features.mean(axis=0, keepdims=True)
+    std = features.std(axis=0, keepdims=True) + 1e-8
+    standardized = (features - mean) / std
+
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        raise SeparabilityError("at least two classes are needed")
+    centroids: Dict[int, np.ndarray] = {}
+    within_distances = []
+    for cls in classes:
+        members = standardized[labels == cls]
+        centroid = members.mean(axis=0)
+        centroids[int(cls)] = centroid
+        within_distances.extend(np.linalg.norm(members - centroid, axis=1))
+    within = float(np.mean(within_distances))
+
+    centroid_matrix = np.stack([centroids[int(cls)] for cls in classes])
+    pairwise = []
+    for i in range(len(classes)):
+        for j in range(i + 1, len(classes)):
+            pairwise.append(np.linalg.norm(centroid_matrix[i] - centroid_matrix[j]))
+    between = float(np.mean(pairwise))
+
+    distances = np.linalg.norm(
+        standardized[:, np.newaxis, :] - centroid_matrix[np.newaxis, :, :], axis=2
+    )
+    predictions = classes[np.argmin(distances, axis=1)]
+    nearest_accuracy = float(np.mean(predictions == labels))
+
+    return SeparabilityReport(
+        within_class_distance=within,
+        between_class_distance=between,
+        fisher_ratio=between / within if within > 0 else float("inf"),
+        nearest_centroid_accuracy=nearest_accuracy,
+        num_classes=len(classes),
+    )

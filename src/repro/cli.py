@@ -1,0 +1,246 @@
+"""Command-line interface of the DeepCSI reproduction.
+
+Five sub-commands cover the everyday workflow without writing Python:
+
+* ``repro-csi generate`` -- synthesise dataset D1 or D2 and store it as a
+  compressed ``.npz`` archive.
+* ``repro-csi info`` -- summarise a stored dataset.
+* ``repro-csi train`` -- train a DeepCSI classifier on a Table-I/II split of
+  a stored dataset and persist the model.
+* ``repro-csi evaluate`` -- evaluate a stored model on a stored dataset split
+  and print the confusion matrix.
+* ``repro-csi probe`` -- run the cheap linear separability probe on a split
+  (useful to sanity-check a dataset before paying for CNN training).
+
+Every sub-command is a thin layer over the library API, so anything the CLI
+does can also be scripted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.separability import linear_probe_accuracy
+from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
+from repro.core.model import FAST_MODEL_CONFIG, PAPER_MODEL_CONFIG
+from repro.datasets.containers import FeedbackDataset, FeedbackSample
+from repro.datasets.features import FeatureConfig, strided_subcarriers
+from repro.datasets.generator import (
+    DatasetConfig,
+    generate_dataset_d1,
+    generate_dataset_d2,
+)
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.splits import (
+    D1_SPLITS,
+    D2_SPLITS,
+    d1_split,
+    d2_split,
+)
+from repro.nn.training import TrainingConfig
+
+#: Names accepted by the ``--split`` options.
+SPLIT_NAMES = tuple(D1_SPLITS) + tuple(D2_SPLITS)
+
+
+class CliError(ValueError):
+    """Raised for invalid command-line usage (converted to exit code 2)."""
+
+
+def _dataset_config(args: argparse.Namespace) -> DatasetConfig:
+    return DatasetConfig(
+        num_modules=args.modules,
+        soundings_per_trace=args.soundings,
+        snr_db=args.snr_db,
+        base_seed=args.seed,
+        correlation_length_m=args.correlation_length,
+        rician_k=args.rician_k,
+    )
+
+
+def _apply_split(
+    dataset: FeedbackDataset, split_name: str, beamformee_id: int
+) -> Tuple[List[FeedbackSample], List[FeedbackSample]]:
+    if split_name in D1_SPLITS:
+        return d1_split(dataset, D1_SPLITS[split_name], beamformee_id=beamformee_id)
+    if split_name in D2_SPLITS:
+        return d2_split(dataset, D2_SPLITS[split_name], beamformee_id=beamformee_id)
+    raise CliError(f"unknown split {split_name!r}; expected one of {SPLIT_NAMES}")
+
+
+def _feature_config(samples: Sequence[FeedbackSample], stride: int, stream: int) -> FeatureConfig:
+    num_subcarriers = samples[0].num_subcarriers
+    return FeatureConfig(
+        stream_indices=(stream,),
+        subcarrier_positions=strided_subcarriers(num_subcarriers, stride),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sub-command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = _dataset_config(args)
+    if args.dataset == "d1":
+        dataset = generate_dataset_d1(config)
+    else:
+        dataset = generate_dataset_d2(config)
+    path = save_dataset(dataset, args.output)
+    print(dataset.summary())
+    print(f"stored {dataset.num_samples} samples in {path}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset_path)
+    print(dataset.summary())
+    sample = dataset.traces[0].samples[0]
+    print(
+        f"  V~ shape:  K={sample.num_subcarriers}, M={sample.num_tx_antennas}, "
+        f"N_SS={sample.num_streams}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset_path)
+    train, test = _apply_split(dataset, args.split, args.beamformee)
+    feature = _feature_config(train, args.stride, args.stream)
+    num_classes = max(s.module_id for s in train + test) + 1
+    config = ClassifierConfig(
+        num_classes=num_classes,
+        feature=feature,
+        model=PAPER_MODEL_CONFIG if args.paper_model else FAST_MODEL_CONFIG,
+        training=TrainingConfig(epochs=args.epochs, batch_size=args.batch_size),
+        learning_rate=args.learning_rate,
+        seed=args.seed,
+    )
+    classifier = DeepCsiClassifier(config)
+    history = classifier.fit(train)
+    report = classifier.evaluate(test, label=f"{args.split} / beamformee {args.beamformee}")
+    classifier.save(args.model_dir)
+    summary = {
+        "split": args.split,
+        "train_samples": len(train),
+        "test_samples": len(test),
+        "epochs_run": history.num_epochs,
+        "test_accuracy": report.accuracy,
+    }
+    (Path(args.model_dir) / "training_summary.json").write_text(
+        json.dumps(summary, indent=2)
+    )
+    print(report)
+    print(f"model stored in {args.model_dir}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset_path)
+    _, test = _apply_split(dataset, args.split, args.beamformee)
+    feature = _feature_config(test, args.stride, args.stream)
+    num_classes = max(s.module_id for s in test) + 1
+    config = ClassifierConfig(
+        num_classes=max(num_classes, args.num_classes),
+        feature=feature,
+        model=PAPER_MODEL_CONFIG if args.paper_model else FAST_MODEL_CONFIG,
+        seed=args.seed,
+    )
+    classifier = DeepCsiClassifier(config).load(args.model_dir)
+    report = classifier.evaluate(test, label=f"{args.split} / beamformee {args.beamformee}")
+    print(report)
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset_path)
+    train, test = _apply_split(dataset, args.split, args.beamformee)
+    feature = _feature_config(train, args.stride, args.stream)
+    accuracy = linear_probe_accuracy(train, test, feature_config=feature)
+    print(
+        f"linear-probe accuracy on {args.split} (beamformee {args.beamformee}, "
+        f"stream {args.stream}): {100.0 * accuracy:.2f}%"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dataset_path", help="path of a dataset .npz archive")
+    parser.add_argument("--split", default="S1", choices=SPLIT_NAMES)
+    parser.add_argument("--beamformee", type=int, default=1, choices=(1, 2))
+    parser.add_argument("--stride", type=int, default=4, help="keep every N-th sub-carrier")
+    parser.add_argument("--stream", type=int, default=0, help="spatial stream used as input")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for the tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-csi",
+        description="DeepCSI reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="synthesise dataset D1 or D2")
+    generate.add_argument("dataset", choices=("d1", "d2"))
+    generate.add_argument("output", help="target .npz path")
+    generate.add_argument("--modules", type=int, default=10)
+    generate.add_argument("--soundings", type=int, default=20)
+    generate.add_argument("--snr-db", type=float, default=28.0)
+    generate.add_argument("--seed", type=int, default=2022)
+    generate.add_argument("--correlation-length", type=float, default=0.15)
+    generate.add_argument("--rician-k", type=float, default=0.5)
+    generate.set_defaults(handler=_cmd_generate)
+
+    info = subparsers.add_parser("info", help="summarise a stored dataset")
+    info.add_argument("dataset_path")
+    info.set_defaults(handler=_cmd_info)
+
+    train = subparsers.add_parser("train", help="train a DeepCSI classifier")
+    _add_dataset_arguments(train)
+    train.add_argument("model_dir", help="directory the trained model is stored in")
+    train.add_argument("--epochs", type=int, default=15)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--learning-rate", type=float, default=2e-3)
+    train.add_argument(
+        "--paper-model",
+        action="store_true",
+        help="use the full 5x128 paper architecture instead of the fast one",
+    )
+    train.set_defaults(handler=_cmd_train)
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a stored model")
+    _add_dataset_arguments(evaluate)
+    evaluate.add_argument("model_dir")
+    evaluate.add_argument("--num-classes", type=int, default=10)
+    evaluate.add_argument("--paper-model", action="store_true")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    probe = subparsers.add_parser(
+        "probe", help="linear separability probe on a dataset split"
+    )
+    _add_dataset_arguments(probe)
+    probe.set_defaults(handler=_cmd_probe)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (CliError, ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

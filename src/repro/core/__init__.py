@@ -1,0 +1,52 @@
+"""DeepCSI core: the paper's primary contribution.
+
+* :mod:`repro.core.model` -- the DeepCSI CNN architecture of Fig. 4
+  (convolution stack, spatial attention, dense head with alpha-dropout).
+* :mod:`repro.core.classifier` -- the high-level fingerprinting classifier:
+  feature extraction + normalisation + training + inference + persistence.
+* :mod:`repro.core.offset_correction` -- the phase-offset cleaning baseline
+  the paper compares against (Fig. 16).
+* :mod:`repro.core.evaluation` -- accuracy / confusion-matrix utilities and
+  textual report rendering.
+* :mod:`repro.core.pipeline` -- an end-to-end authentication pipeline built
+  on the monitor-mode capture path.
+"""
+
+from repro.core.model import DeepCsiModelConfig, build_deepcsi_model, PAPER_MODEL_CONFIG
+from repro.core.classifier import DeepCsiClassifier, ClassifierConfig
+from repro.core.offset_correction import correct_phase_offsets, correct_sample
+from repro.core.evaluation import (
+    confusion_matrix,
+    accuracy_score,
+    per_class_accuracy,
+    ClassificationReport,
+    evaluate_predictions,
+    format_confusion_matrix,
+)
+from repro.core.pipeline import AuthenticationPipeline, AuthenticationResult
+from repro.core.openset import OpenSetAuthenticator, OpenSetMetrics, evaluate_open_set
+from repro.core.continual import ContinualDeepCsi, ContinualConfig, ReplayBuffer
+
+__all__ = [
+    "DeepCsiModelConfig",
+    "build_deepcsi_model",
+    "PAPER_MODEL_CONFIG",
+    "DeepCsiClassifier",
+    "ClassifierConfig",
+    "correct_phase_offsets",
+    "correct_sample",
+    "confusion_matrix",
+    "accuracy_score",
+    "per_class_accuracy",
+    "ClassificationReport",
+    "evaluate_predictions",
+    "format_confusion_matrix",
+    "AuthenticationPipeline",
+    "AuthenticationResult",
+    "OpenSetAuthenticator",
+    "OpenSetMetrics",
+    "evaluate_open_set",
+    "ContinualDeepCsi",
+    "ContinualConfig",
+    "ReplayBuffer",
+]

@@ -1,0 +1,286 @@
+"""High-level DeepCSI classifier: samples in, module identities out.
+
+:class:`DeepCsiClassifier` glues the pieces together:
+
+1. feature extraction from the reconstructed ``V~`` matrices
+   (:class:`repro.datasets.features.FeatureExtractor`),
+2. per-channel standardisation (statistics estimated on the training set),
+3. the DeepCSI CNN (:func:`repro.core.model.build_deepcsi_model`),
+4. the training loop (:class:`repro.nn.training.Trainer`),
+5. persistence of weights and normalisation statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.evaluation import ClassificationReport, evaluate_predictions
+from repro.core.model import (
+    DeepCsiModelConfig,
+    PAPER_MODEL_CONFIG,
+    build_deepcsi_model,
+)
+from repro.datasets.containers import FeedbackSample
+from repro.datasets.features import (
+    FeatureConfig,
+    FeatureExtractor,
+    apply_normalization,
+    normalize_features,
+)
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.serialization import load_weights, save_weights
+from repro.nn.training import History, Trainer, TrainingConfig
+
+
+class ClassifierError(ValueError):
+    """Raised for invalid classifier usage."""
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Everything needed to rebuild a :class:`DeepCsiClassifier`.
+
+    Attributes
+    ----------
+    num_classes:
+        Number of Wi-Fi modules the classifier discriminates.
+    feature:
+        Selection of antennas / streams / sub-carriers used as input.
+    model:
+        Architecture hyper-parameters.
+    training:
+        Optimiser-independent training hyper-parameters.
+    learning_rate:
+        Adam learning rate.
+    seed:
+        Seed for weight initialisation, shuffling and dropout.
+    """
+
+    num_classes: int = 10
+    feature: FeatureConfig = field(default_factory=FeatureConfig)
+    model: DeepCsiModelConfig = field(default_factory=lambda: PAPER_MODEL_CONFIG)
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    learning_rate: float = 1e-3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ClassifierError("num_classes must be >= 2")
+        if self.learning_rate <= 0:
+            raise ClassifierError("learning_rate must be positive")
+
+
+class DeepCsiClassifier:
+    """Fingerprints a MU-MIMO beamformer from its beamforming feedback."""
+
+    def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
+        self.config = config if config is not None else ClassifierConfig()
+        self.extractor = FeatureExtractor(self.config.feature)
+        self.model: Optional[Sequential] = None
+        self._normalization: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._input_shape: Optional[Tuple[int, int, int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        train_samples: Sequence[FeedbackSample],
+        validation_samples: Optional[Sequence[FeedbackSample]] = None,
+    ) -> History:
+        """Train the classifier on labelled feedback samples."""
+        if not train_samples:
+            raise ClassifierError("cannot train on an empty sample list")
+        features, labels = self.extractor.transform_samples(train_samples)
+        self._check_labels(labels)
+        features, statistics = normalize_features(features)
+        self._normalization = statistics
+        self._input_shape = features.shape[1:]
+
+        rng = np.random.default_rng(self.config.seed)
+        self.model = build_deepcsi_model(
+            self._input_shape,
+            self.config.num_classes,
+            config=self.config.model,
+            rng=rng,
+        )
+        trainer = Trainer(
+            self.model,
+            optimizer=Adam(self.config.learning_rate),
+            loss=SoftmaxCrossEntropy(),
+            config=self.config.training,
+        )
+        validation_data = None
+        if validation_samples:
+            val_features, val_labels = self.extractor.transform_samples(
+                validation_samples
+            )
+            self._check_labels(val_labels)
+            val_features = apply_normalization(val_features, statistics)
+            validation_data = (val_features, val_labels)
+        return trainer.fit(features, labels, validation_data=validation_data)
+
+    def fine_tune(
+        self,
+        samples: Sequence[FeedbackSample],
+        epochs: Optional[int] = None,
+        learning_rate: Optional[float] = None,
+    ) -> History:
+        """Continue training the already-fitted model on new samples.
+
+        Unlike :meth:`fit`, the model weights and the input normalisation
+        statistics are kept, so the classifier accumulates knowledge (used by
+        :mod:`repro.core.continual` for the lifelong-learning extension the
+        paper lists as future work).
+
+        Parameters
+        ----------
+        samples:
+            New labelled feedback samples.
+        epochs:
+            Number of fine-tuning epochs (defaults to the configured epochs).
+        learning_rate:
+            Optimiser learning rate for the fine-tuning phase (defaults to a
+            tenth of the configured rate).
+        """
+        model = self._require_trained()
+        if not samples:
+            raise ClassifierError("cannot fine-tune on an empty sample list")
+        features, labels = self.extractor.transform_samples(samples)
+        self._check_labels(labels)
+        features = apply_normalization(features, self._normalization)
+        config = self.config.training
+        tuned_config = TrainingConfig(
+            epochs=epochs if epochs is not None else config.epochs,
+            batch_size=config.batch_size,
+            validation_split=config.validation_split,
+            shuffle=config.shuffle,
+            early_stopping_patience=config.early_stopping_patience,
+            verbose=config.verbose,
+            seed=config.seed,
+        )
+        rate = (
+            learning_rate
+            if learning_rate is not None
+            else 0.1 * self.config.learning_rate
+        )
+        trainer = Trainer(
+            model,
+            optimizer=Adam(rate),
+            loss=SoftmaxCrossEntropy(),
+            config=tuned_config,
+        )
+        return trainer.fit(features, labels)
+
+    def _check_labels(self, labels: np.ndarray) -> None:
+        if labels.min() < 0 or labels.max() >= self.config.num_classes:
+            raise ClassifierError(
+                f"module identifiers must be in 0..{self.config.num_classes - 1}"
+            )
+
+    def _require_trained(self) -> Sequential:
+        if self.model is None or self._normalization is None:
+            raise ClassifierError("the classifier has not been trained or loaded yet")
+        return self.model
+
+    def _features_of(self, samples: Sequence[FeedbackSample]) -> np.ndarray:
+        if not samples:
+            raise ClassifierError("the sample list is empty")
+        features, _ = self.extractor.transform_samples(samples)
+        return apply_normalization(features, self._normalization)
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def predict_logits(self, samples: Sequence[FeedbackSample]) -> np.ndarray:
+        """Raw classifier logits, shape ``(num_samples, num_classes)``."""
+        model = self._require_trained()
+        return model.predict(self._features_of(samples))
+
+    def predict_proba(self, samples: Sequence[FeedbackSample]) -> np.ndarray:
+        """Softmax probabilities, shape ``(num_samples, num_classes)``."""
+        return SoftmaxCrossEntropy.softmax(self.predict_logits(samples))
+
+    def predict(self, samples: Sequence[FeedbackSample]) -> np.ndarray:
+        """Predicted module identifier for every sample."""
+        return np.argmax(self.predict_logits(samples), axis=1)
+
+    def predict_matrix(self, v_tilde: np.ndarray) -> Tuple[int, float]:
+        """Classify a single reconstructed ``V~`` matrix.
+
+        Returns
+        -------
+        (module_id, confidence):
+            The predicted module and its softmax probability.
+        """
+        sample = FeedbackSample(v_tilde=v_tilde, module_id=0, beamformee_id=0)
+        probabilities = self.predict_proba([sample])[0]
+        winner = int(np.argmax(probabilities))
+        return winner, float(probabilities[winner])
+
+    def evaluate(
+        self, samples: Sequence[FeedbackSample], label: str = ""
+    ) -> ClassificationReport:
+        """Accuracy and confusion matrix on labelled samples."""
+        predictions = self.predict(samples)
+        true_labels = np.array([s.module_id for s in samples], dtype=int)
+        return evaluate_predictions(
+            true_labels, predictions, num_classes=self.config.num_classes, label=label
+        )
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Persist weights, normalisation statistics and metadata."""
+        model = self._require_trained()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_weights(model, directory / "weights.npz")
+        mean, std = self._normalization
+        np.savez(directory / "normalization.npz", mean=mean, std=std)
+        metadata = {
+            "num_classes": self.config.num_classes,
+            "input_shape": list(self._input_shape),
+            "seed": self.config.seed,
+            "learning_rate": self.config.learning_rate,
+        }
+        (directory / "metadata.json").write_text(json.dumps(metadata, indent=2))
+        return directory
+
+    def load(self, directory: Union[str, Path]) -> "DeepCsiClassifier":
+        """Restore a classifier previously stored with :meth:`save`.
+
+        The classifier must be constructed with the same
+        :class:`ClassifierConfig` that produced the stored weights.
+        """
+        directory = Path(directory)
+        metadata = json.loads((directory / "metadata.json").read_text())
+        if metadata["num_classes"] != self.config.num_classes:
+            raise ClassifierError(
+                "stored model was trained with a different number of classes"
+            )
+        self._input_shape = tuple(metadata["input_shape"])
+        rng = np.random.default_rng(self.config.seed)
+        self.model = build_deepcsi_model(
+            self._input_shape,
+            self.config.num_classes,
+            config=self.config.model,
+            rng=rng,
+        )
+        load_weights(self.model, directory / "weights.npz")
+        with np.load(directory / "normalization.npz") as archive:
+            self._normalization = (archive["mean"], archive["std"])
+        return self
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of trainable parameters of the underlying model."""
+        return self._require_trained().num_parameters

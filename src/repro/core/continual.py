@@ -1,0 +1,226 @@
+"""Lifelong (continual) fingerprint learning.
+
+The paper's concluding remarks propose accumulating knowledge as the
+beamformer moves through the environment instead of retraining from scratch.
+This module implements a simple but complete version of that extension:
+
+* :class:`ReplayBuffer` -- a bounded, class-balanced reservoir of past
+  feedback samples.
+* :class:`ContinualDeepCsi` -- wraps a :class:`~repro.core.classifier.DeepCsiClassifier`
+  and exposes ``observe()``: every batch of newly captured feedback is mixed
+  with replayed samples and used to fine-tune the existing model, which
+  counteracts catastrophic forgetting of earlier channel conditions.
+* :func:`evaluate_forgetting` -- measures how much accuracy on earlier
+  conditions is lost after adapting to new ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classifier import DeepCsiClassifier
+from repro.core.evaluation import ClassificationReport
+from repro.datasets.containers import FeedbackSample
+from repro.nn.training import History
+
+
+class ContinualLearningError(ValueError):
+    """Raised for invalid continual-learning usage."""
+
+
+class ReplayBuffer:
+    """Bounded, class-balanced reservoir of past feedback samples.
+
+    Reservoir sampling is applied per class so that rare modules are not
+    evicted by frequent ones; the buffer is what the fine-tuning batches are
+    mixed with to avoid catastrophic forgetting.
+    """
+
+    def __init__(self, capacity: int = 512, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ContinualLearningError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._per_class: Dict[int, List[FeedbackSample]] = {}
+        self._seen: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return sum(len(samples) for samples in self._per_class.values())
+
+    @property
+    def classes(self) -> List[int]:
+        """Module identifiers currently represented in the buffer."""
+        return sorted(self._per_class)
+
+    def _per_class_capacity(self, num_classes: int) -> int:
+        return max(1, self.capacity // max(num_classes, 1))
+
+    def add(self, samples: Sequence[FeedbackSample]) -> None:
+        """Insert samples, evicting uniformly at random when a class is full."""
+        for sample in samples:
+            bucket = self._per_class.setdefault(sample.module_id, [])
+            self._seen[sample.module_id] = self._seen.get(sample.module_id, 0) + 1
+            limit = self._per_class_capacity(len(self._per_class))
+            if len(bucket) < limit:
+                bucket.append(sample)
+            else:
+                # Reservoir sampling keeps each seen sample with equal probability.
+                index = int(self._rng.integers(0, self._seen[sample.module_id]))
+                if index < limit:
+                    bucket[index] = sample
+        self._rebalance()
+
+    def _rebalance(self) -> None:
+        limit = self._per_class_capacity(len(self._per_class))
+        for module_id, bucket in self._per_class.items():
+            if len(bucket) > limit:
+                keep = self._rng.choice(len(bucket), size=limit, replace=False)
+                self._per_class[module_id] = [bucket[i] for i in sorted(keep)]
+
+    def sample(self, count: int) -> List[FeedbackSample]:
+        """Draw up to ``count`` samples, spread as evenly as possible over classes."""
+        if count < 0:
+            raise ContinualLearningError("count must be non-negative")
+        if not self._per_class or count == 0:
+            return []
+        drawn: List[FeedbackSample] = []
+        classes = self.classes
+        per_class = max(1, count // len(classes))
+        for module_id in classes:
+            bucket = self._per_class[module_id]
+            take = min(per_class, len(bucket))
+            indices = self._rng.choice(len(bucket), size=take, replace=False)
+            drawn.extend(bucket[i] for i in indices)
+        self._rng.shuffle(drawn)
+        return drawn[:count] if len(drawn) > count else drawn
+
+    def all_samples(self) -> List[FeedbackSample]:
+        """Every sample currently stored in the buffer."""
+        result: List[FeedbackSample] = []
+        for bucket in self._per_class.values():
+            result.extend(bucket)
+        return result
+
+
+@dataclass
+class ContinualConfig:
+    """Hyper-parameters of the continual-learning loop.
+
+    Attributes
+    ----------
+    replay_capacity:
+        Size of the replay buffer.
+    replay_ratio:
+        Number of replayed samples per new sample in a fine-tuning batch.
+    fine_tune_epochs:
+        Epochs per ``observe()`` call.
+    learning_rate:
+        Fine-tuning learning rate (lower than the initial training rate).
+    seed:
+        Seed of the replay buffer.
+    """
+
+    replay_capacity: int = 512
+    replay_ratio: float = 1.0
+    fine_tune_epochs: int = 3
+    learning_rate: float = 2e-4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replay_capacity < 1:
+            raise ContinualLearningError("replay_capacity must be >= 1")
+        if self.replay_ratio < 0:
+            raise ContinualLearningError("replay_ratio must be non-negative")
+        if self.fine_tune_epochs < 1:
+            raise ContinualLearningError("fine_tune_epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise ContinualLearningError("learning_rate must be positive")
+
+
+class ContinualDeepCsi:
+    """Replay-based continual learning on top of a trained classifier."""
+
+    def __init__(
+        self,
+        classifier: DeepCsiClassifier,
+        config: Optional[ContinualConfig] = None,
+    ) -> None:
+        self.classifier = classifier
+        self.config = config if config is not None else ContinualConfig()
+        self.buffer = ReplayBuffer(
+            capacity=self.config.replay_capacity, seed=self.config.seed
+        )
+        self.num_updates = 0
+
+    def bootstrap(self, samples: Sequence[FeedbackSample]) -> History:
+        """Initial training phase; also seeds the replay buffer."""
+        if not samples:
+            raise ContinualLearningError("cannot bootstrap on an empty sample list")
+        history = self.classifier.fit(list(samples))
+        self.buffer.add(samples)
+        return history
+
+    def observe(self, samples: Sequence[FeedbackSample]) -> History:
+        """Adapt the model to newly captured feedback.
+
+        The new samples are mixed with ``replay_ratio`` times as many
+        replayed samples before fine-tuning, then added to the buffer.
+        """
+        if not samples:
+            raise ContinualLearningError("cannot observe an empty sample list")
+        replay_count = int(round(self.config.replay_ratio * len(samples)))
+        mixed = list(samples) + self.buffer.sample(replay_count)
+        history = self.classifier.fine_tune(
+            mixed,
+            epochs=self.config.fine_tune_epochs,
+            learning_rate=self.config.learning_rate,
+        )
+        self.buffer.add(samples)
+        self.num_updates += 1
+        return history
+
+    def evaluate(
+        self, samples: Sequence[FeedbackSample], label: str = ""
+    ) -> ClassificationReport:
+        """Accuracy of the current model on labelled samples."""
+        return self.classifier.evaluate(list(samples), label=label)
+
+
+@dataclass(frozen=True)
+class ForgettingReport:
+    """Accuracy on an earlier condition before and after adaptation.
+
+    Attributes
+    ----------
+    before:
+        Accuracy on the reference samples before adapting to the new data.
+    after:
+        Accuracy on the same reference samples after adaptation.
+    forgetting:
+        ``before - after`` (positive means knowledge was lost).
+    """
+
+    before: float
+    after: float
+
+    @property
+    def forgetting(self) -> float:
+        """Accuracy lost on the earlier condition."""
+        return self.before - self.after
+
+
+def evaluate_forgetting(
+    learner: ContinualDeepCsi,
+    reference_samples: Sequence[FeedbackSample],
+    new_samples: Sequence[FeedbackSample],
+) -> ForgettingReport:
+    """Measure catastrophic forgetting caused by one adaptation step."""
+    if not reference_samples or not new_samples:
+        raise ContinualLearningError("both sample lists must be non-empty")
+    before = learner.evaluate(reference_samples).accuracy
+    learner.observe(new_samples)
+    after = learner.evaluate(reference_samples).accuracy
+    return ForgettingReport(before=before, after=after)

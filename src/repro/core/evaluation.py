@@ -1,0 +1,122 @@
+"""Evaluation metrics: accuracy, confusion matrices and text reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class EvaluationError(ValueError):
+    """Raised for invalid evaluation inputs."""
+
+
+def confusion_matrix(
+    true_labels: Sequence[int],
+    predicted_labels: Sequence[int],
+    num_classes: Optional[int] = None,
+) -> np.ndarray:
+    """Row-normalisable confusion matrix ``C[true, predicted]`` (raw counts)."""
+    true_labels = np.asarray(true_labels, dtype=int)
+    predicted_labels = np.asarray(predicted_labels, dtype=int)
+    if true_labels.shape != predicted_labels.shape:
+        raise EvaluationError("label arrays must have the same shape")
+    if true_labels.size == 0:
+        raise EvaluationError("cannot build a confusion matrix from no labels")
+    if num_classes is None:
+        num_classes = int(max(true_labels.max(), predicted_labels.max())) + 1
+    if true_labels.min() < 0 or predicted_labels.min() < 0:
+        raise EvaluationError("labels must be non-negative")
+    if true_labels.max() >= num_classes or predicted_labels.max() >= num_classes:
+        raise EvaluationError("labels exceed num_classes")
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    np.add.at(matrix, (true_labels, predicted_labels), 1)
+    return matrix
+
+
+def normalize_confusion(matrix: np.ndarray) -> np.ndarray:
+    """Row-normalised confusion matrix (rows sum to one where defined)."""
+    matrix = np.asarray(matrix, dtype=float)
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        normalised = np.where(row_sums > 0, matrix / row_sums, 0.0)
+    return normalised
+
+
+def accuracy_score(true_labels: Sequence[int], predicted_labels: Sequence[int]) -> float:
+    """Overall classification accuracy in ``[0, 1]``."""
+    true_labels = np.asarray(true_labels)
+    predicted_labels = np.asarray(predicted_labels)
+    if true_labels.shape != predicted_labels.shape:
+        raise EvaluationError("label arrays must have the same shape")
+    if true_labels.size == 0:
+        raise EvaluationError("cannot compute the accuracy of no predictions")
+    return float(np.mean(true_labels == predicted_labels))
+
+
+def per_class_accuracy(matrix: np.ndarray) -> np.ndarray:
+    """Recall (diagonal of the row-normalised confusion matrix) per class."""
+    normalised = normalize_confusion(matrix)
+    return np.diag(normalised)
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Summary of a classification run.
+
+    Attributes
+    ----------
+    accuracy:
+        Overall accuracy in ``[0, 1]``.
+    confusion:
+        Raw-count confusion matrix ``C[true, predicted]``.
+    num_samples:
+        Number of evaluated samples.
+    label:
+        Free-form description (e.g. ``"S1 / beamformee 1 / stream 0"``).
+    """
+
+    accuracy: float
+    confusion: np.ndarray
+    num_samples: int
+    label: str = ""
+
+    @property
+    def per_class_accuracy(self) -> np.ndarray:
+        """Recall per class."""
+        return per_class_accuracy(self.confusion)
+
+    def __str__(self) -> str:
+        header = f"{self.label + ': ' if self.label else ''}accuracy " \
+                 f"{100.0 * self.accuracy:.2f}% over {self.num_samples} samples"
+        return header + "\n" + format_confusion_matrix(self.confusion)
+
+
+def evaluate_predictions(
+    true_labels: Sequence[int],
+    predicted_labels: Sequence[int],
+    num_classes: Optional[int] = None,
+    label: str = "",
+) -> ClassificationReport:
+    """Build a :class:`ClassificationReport` from label arrays."""
+    matrix = confusion_matrix(true_labels, predicted_labels, num_classes)
+    return ClassificationReport(
+        accuracy=accuracy_score(true_labels, predicted_labels),
+        confusion=matrix,
+        num_samples=int(np.asarray(true_labels).size),
+        label=label,
+    )
+
+
+def format_confusion_matrix(matrix: np.ndarray, normalise: bool = True) -> str:
+    """Render a confusion matrix as monospace text (rows = actual IDs)."""
+    matrix = np.asarray(matrix)
+    display = normalize_confusion(matrix) if normalise else matrix.astype(float)
+    num_classes = matrix.shape[0]
+    header = "actual\\pred |" + "".join(f" {c:>5d}" for c in range(num_classes))
+    rows = [header, "-" * len(header)]
+    for actual in range(num_classes):
+        cells = "".join(f" {display[actual, predicted]:5.2f}" for predicted in range(num_classes))
+        rows.append(f"{actual:11d} |" + cells)
+    return "\n".join(rows)

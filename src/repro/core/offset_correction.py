@@ -1,0 +1,93 @@
+"""Phase-offset correction baseline (Fig. 16 of the paper).
+
+The paper compares DeepCSI (which learns directly from the raw I/Q samples
+of ``V~``) against a variant that first applies the CSI phase-cleaning
+algorithm of Meneghello et al. (ref. [36]): the cleaning removes the phase
+contributions of Eq. (9) -- a constant phase term and a term linear in the
+sub-carrier index -- from every antenna/stream response.
+
+Because most of those offsets originate in the *transmitter* hardware, the
+cleaning also removes a large part of the device fingerprint and the
+classification accuracy drops; reproducing that drop is the purpose of this
+module.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.containers import FeedbackSample
+
+
+def _detrend_phase(phase: np.ndarray, subcarrier_indices: np.ndarray) -> np.ndarray:
+    """Remove the best-fit affine (constant + linear-in-k) phase component."""
+    design = np.stack([np.ones_like(subcarrier_indices), subcarrier_indices], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, phase, rcond=None)
+    return phase - design @ coeffs
+
+
+def correct_phase_offsets(
+    v_tilde: np.ndarray, subcarrier_indices: np.ndarray | None = None
+) -> np.ndarray:
+    """Apply the offset-cleaning algorithm to a ``V~`` matrix.
+
+    For every (antenna, stream) pair the phase across sub-carriers is
+    unwrapped and its affine component (constant offset plus linear slope,
+    i.e. the CFO/PLL and SFO/PDD terms of Eq. (9)) is removed, while the
+    magnitude is left untouched.
+
+    Parameters
+    ----------
+    v_tilde:
+        Complex beamforming feedback matrix of shape ``(K, M, N_SS)``.
+    subcarrier_indices:
+        Sub-carrier indices used as the abscissa of the linear fit; defaults
+        to ``0..K-1`` (only the fit quality, not the result shape, depends on
+        this choice).
+
+    Returns
+    -------
+    numpy.ndarray
+        The cleaned matrix, same shape as the input.
+    """
+    v_tilde = np.asarray(v_tilde)
+    if v_tilde.ndim != 3:
+        raise ValueError("v_tilde must have shape (K, M, N_SS)")
+    num_subcarriers = v_tilde.shape[0]
+    if subcarrier_indices is None:
+        subcarrier_indices = np.arange(num_subcarriers, dtype=float)
+    else:
+        subcarrier_indices = np.asarray(subcarrier_indices, dtype=float)
+        if subcarrier_indices.shape != (num_subcarriers,):
+            raise ValueError("subcarrier_indices must have one entry per sub-carrier")
+
+    magnitude = np.abs(v_tilde)
+    cleaned = np.empty_like(v_tilde, dtype=complex)
+    for antenna in range(v_tilde.shape[1]):
+        for stream in range(v_tilde.shape[2]):
+            phase = np.unwrap(np.angle(v_tilde[:, antenna, stream]))
+            detrended = _detrend_phase(phase, subcarrier_indices)
+            cleaned[:, antenna, stream] = magnitude[:, antenna, stream] * np.exp(
+                1j * detrended
+            )
+    return cleaned
+
+
+def correct_sample(sample: FeedbackSample) -> FeedbackSample:
+    """Return a copy of a feedback sample with cleaned ``V~``."""
+    return FeedbackSample(
+        v_tilde=correct_phase_offsets(sample.v_tilde),
+        module_id=sample.module_id,
+        beamformee_id=sample.beamformee_id,
+        position_id=sample.position_id,
+        group=sample.group,
+        timestamp_s=sample.timestamp_s,
+        path_progress=sample.path_progress,
+    )
+
+
+def correct_samples(samples: Sequence[FeedbackSample]) -> list:
+    """Apply :func:`correct_sample` to a list of samples."""
+    return [correct_sample(sample) for sample in samples]

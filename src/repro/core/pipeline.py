@@ -1,0 +1,159 @@
+"""End-to-end authentication pipeline on top of the monitor-mode capture.
+
+The pipeline reproduces the deployment scenario of Fig. 1/Fig. 3: an observer
+sniffs VHT compressed-beamforming frames, reconstructs ``V~`` and runs the
+trained DeepCSI classifier to authenticate the beamformer, without ever being
+associated to the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.classifier import DeepCsiClassifier
+from repro.datasets.containers import FeedbackSample
+from repro.feedback.capture import CapturedFeedback, MonitorCapture
+from repro.feedback.frames import FeedbackFrame, parse_feedback_frame
+from repro.feedback.givens import reconstruct_v_matrix
+from repro.feedback.quantization import dequantize_angles
+
+
+class PipelineError(ValueError):
+    """Raised for invalid pipeline usage."""
+
+
+@dataclass(frozen=True)
+class AuthenticationResult:
+    """Outcome of authenticating one captured feedback.
+
+    Attributes
+    ----------
+    predicted_module_id:
+        Module the classifier believes produced the transmission.
+    confidence:
+        Softmax probability of the predicted module.
+    accepted:
+        Whether the prediction matches the claimed identity (when one was
+        provided) and the confidence exceeds the acceptance threshold.
+    claimed_module_id:
+        The identity the transmitter claims (``None`` for open-set queries).
+    """
+
+    predicted_module_id: int
+    confidence: float
+    accepted: bool
+    claimed_module_id: Optional[int] = None
+
+
+class AuthenticationPipeline:
+    """Authenticates beamformers from sniffed beamforming feedback."""
+
+    def __init__(
+        self,
+        classifier: DeepCsiClassifier,
+        confidence_threshold: float = 0.5,
+    ) -> None:
+        if not 0.0 <= confidence_threshold <= 1.0:
+            raise PipelineError("confidence_threshold must be in [0, 1]")
+        self.classifier = classifier
+        self.confidence_threshold = confidence_threshold
+
+    # ------------------------------------------------------------------ #
+    # Enrollment
+    # ------------------------------------------------------------------ #
+    def enroll(
+        self,
+        samples: Sequence[FeedbackSample],
+        validation_samples: Optional[Sequence[FeedbackSample]] = None,
+    ):
+        """Train the classifier on labelled feedback samples."""
+        return self.classifier.fit(samples, validation_samples)
+
+    # ------------------------------------------------------------------ #
+    # Authentication
+    # ------------------------------------------------------------------ #
+    def _to_v_tilde(
+        self, observation: Union[FeedbackFrame, CapturedFeedback, FeedbackSample, np.ndarray]
+    ) -> np.ndarray:
+        if isinstance(observation, FeedbackFrame):
+            _, quantized = parse_feedback_frame(observation.payload)
+            return reconstruct_v_matrix(dequantize_angles(quantized))
+        if isinstance(observation, CapturedFeedback):
+            return observation.v_tilde
+        if isinstance(observation, FeedbackSample):
+            return observation.v_tilde
+        array = np.asarray(observation)
+        if array.ndim != 3:
+            raise PipelineError(
+                "expected a FeedbackFrame, CapturedFeedback, FeedbackSample or a "
+                "(K, M, N_SS) array"
+            )
+        return array
+
+    def authenticate(
+        self,
+        observation: Union[FeedbackFrame, CapturedFeedback, FeedbackSample, np.ndarray],
+        claimed_module_id: Optional[int] = None,
+    ) -> AuthenticationResult:
+        """Authenticate a single captured feedback.
+
+        When ``claimed_module_id`` is given the result is *accepted* only if
+        the classifier agrees with the claim with sufficient confidence;
+        otherwise acceptance only requires the confidence threshold.
+        """
+        v_tilde = self._to_v_tilde(observation)
+        predicted, confidence = self.classifier.predict_matrix(v_tilde)
+        confident = confidence >= self.confidence_threshold
+        if claimed_module_id is None:
+            accepted = confident
+        else:
+            accepted = confident and predicted == claimed_module_id
+        return AuthenticationResult(
+            predicted_module_id=predicted,
+            confidence=confidence,
+            accepted=accepted,
+            claimed_module_id=claimed_module_id,
+        )
+
+    def authenticate_capture(
+        self,
+        capture: MonitorCapture,
+        source_address: Optional[str] = None,
+        claimed_module_id: Optional[int] = None,
+    ) -> List[AuthenticationResult]:
+        """Authenticate every matching frame stored in a monitor capture."""
+        feedbacks = capture.reconstruct(source_address=source_address)
+        if not feedbacks:
+            raise PipelineError("the capture contains no matching feedback frames")
+        return [
+            self.authenticate(feedback, claimed_module_id=claimed_module_id)
+            for feedback in feedbacks
+        ]
+
+    def majority_vote(
+        self, results: Sequence[AuthenticationResult]
+    ) -> AuthenticationResult:
+        """Fuse several per-frame decisions into a single verdict.
+
+        The predicted module is the most frequent one; the confidence is the
+        mean confidence of the frames voting for it.
+        """
+        if not results:
+            raise PipelineError("cannot vote over an empty result list")
+        votes: dict = {}
+        for result in results:
+            votes.setdefault(result.predicted_module_id, []).append(result.confidence)
+        winner = max(votes, key=lambda module: (len(votes[module]), np.mean(votes[module])))
+        confidence = float(np.mean(votes[winner]))
+        claimed = results[0].claimed_module_id
+        confident = confidence >= self.confidence_threshold
+        accepted = confident and (claimed is None or winner == claimed)
+        return AuthenticationResult(
+            predicted_module_id=winner,
+            confidence=confidence,
+            accepted=accepted,
+            claimed_module_id=claimed,
+        )

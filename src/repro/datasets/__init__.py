@@ -1,0 +1,53 @@
+"""Dataset substrate: synthetic counterparts of the paper's D1 and D2.
+
+* :mod:`repro.datasets.containers` -- sample / trace / dataset containers and
+  label handling.
+* :mod:`repro.datasets.features` -- extraction of the CNN input tensor from
+  the reconstructed ``V~`` matrices (I/Q stacking, antenna / stream /
+  sub-band selection).
+* :mod:`repro.datasets.generator` -- generation of the static dataset D1
+  (nine beamformee position pairs) and the dynamic dataset D2 (fix1/fix2
+  static groups and mob1/mob2 mobility groups).
+* :mod:`repro.datasets.splits` -- the S1..S6 train/test splits of Tables I
+  and II.
+"""
+
+from repro.datasets.containers import FeedbackSample, Trace, FeedbackDataset
+from repro.datasets.features import FeatureConfig, FeatureExtractor
+from repro.datasets.generator import (
+    DatasetConfig,
+    generate_dataset_d1,
+    generate_dataset_d2,
+    generate_position_trace,
+    generate_mobility_trace,
+)
+from repro.datasets.io import save_dataset, load_dataset
+from repro.datasets.splits import (
+    D1Split,
+    D2Split,
+    d1_split,
+    d2_split,
+    D1_SPLITS,
+    D2_SPLITS,
+)
+
+__all__ = [
+    "FeedbackSample",
+    "Trace",
+    "FeedbackDataset",
+    "FeatureConfig",
+    "FeatureExtractor",
+    "DatasetConfig",
+    "generate_dataset_d1",
+    "generate_dataset_d2",
+    "generate_position_trace",
+    "generate_mobility_trace",
+    "save_dataset",
+    "load_dataset",
+    "D1Split",
+    "D2Split",
+    "d1_split",
+    "d2_split",
+    "D1_SPLITS",
+    "D2_SPLITS",
+]

@@ -1,0 +1,251 @@
+"""Containers for captured beamforming-feedback data.
+
+The paper organises its captures into *traces*: two minutes of feedback
+angles collected for one (module, network configuration) pair, containing
+the feedback of both beamformees (separable by source MAC address).  The
+containers here mirror that structure:
+
+* :class:`FeedbackSample` -- one reconstructed ``V~`` matrix with its labels.
+* :class:`Trace` -- an ordered list of samples sharing the same module and
+  acquisition conditions.
+* :class:`FeedbackDataset` -- a collection of traces with filtering and
+  array-export helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FeedbackSample:
+    """One captured compressed-beamforming feedback.
+
+    Attributes
+    ----------
+    v_tilde:
+        Reconstructed beamforming matrix ``V~`` of shape ``(K, M, N_SS)``.
+    module_id:
+        Identifier of the AP Wi-Fi module (the classification label).
+    beamformee_id:
+        Identifier of the station that produced the feedback.
+    position_id:
+        D1 beamformee position (1..9); ``0`` for D2 traces.
+    group:
+        D2 measurement group (``"fix1"``, ``"fix2"``, ``"mob1"``, ``"mob2"``)
+        or ``"static"`` for D1.
+    timestamp_s:
+        Capture time within the trace.
+    path_progress:
+        For mobility traces, the fraction (0..1) of the A-B-C-D-B-A path the
+        AP had covered when the feedback was captured; 0 for static traces.
+    """
+
+    v_tilde: np.ndarray
+    module_id: int
+    beamformee_id: int
+    position_id: int = 0
+    group: str = "static"
+    timestamp_s: float = 0.0
+    path_progress: float = 0.0
+
+    @property
+    def num_subcarriers(self) -> int:
+        """Number of sub-carriers ``K`` of the feedback."""
+        return self.v_tilde.shape[0]
+
+    @property
+    def num_tx_antennas(self) -> int:
+        """Number of rows ``M`` of the feedback matrix."""
+        return self.v_tilde.shape[1]
+
+    @property
+    def num_streams(self) -> int:
+        """Number of columns ``N_SS`` of the feedback matrix."""
+        return self.v_tilde.shape[2]
+
+
+@dataclass
+class Trace:
+    """An ordered list of feedback samples from one acquisition.
+
+    Attributes
+    ----------
+    samples:
+        The captured samples, time ordered.
+    module_id:
+        AP module used during the acquisition.
+    position_id:
+        D1 beamformee position; ``0`` for D2.
+    group:
+        D2 measurement group; ``"static"`` for D1.
+    trace_id:
+        Unique identifier within the dataset.
+    """
+
+    samples: List[FeedbackSample] = field(default_factory=list)
+    module_id: int = 0
+    position_id: int = 0
+    group: str = "static"
+    trace_id: int = 0
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[FeedbackSample]:
+        return iter(self.samples)
+
+    def __getitem__(self, index: int) -> FeedbackSample:
+        return self.samples[index]
+
+    def add(self, sample: FeedbackSample) -> None:
+        """Append a sample to the trace."""
+        self.samples.append(sample)
+
+    def filter_beamformee(self, beamformee_id: int) -> "Trace":
+        """Sub-trace containing only the feedback of one beamformee."""
+        kept = [s for s in self.samples if s.beamformee_id == beamformee_id]
+        return Trace(
+            samples=kept,
+            module_id=self.module_id,
+            position_id=self.position_id,
+            group=self.group,
+            trace_id=self.trace_id,
+        )
+
+    def time_split(self, train_fraction: float) -> Tuple["Trace", "Trace"]:
+        """Split the trace in time: the first part for training, the rest for test.
+
+        This mirrors the paper's S1 protocol where the first 80 % of every
+        trace trains the model and the last 20 % tests it.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        # Split each beamformee's sub-stream separately so both parts keep
+        # feedback from every station.
+        train_samples: List[FeedbackSample] = []
+        test_samples: List[FeedbackSample] = []
+        beamformees = sorted({s.beamformee_id for s in self.samples})
+        for beamformee in beamformees:
+            subset = [s for s in self.samples if s.beamformee_id == beamformee]
+            cut = int(round(len(subset) * train_fraction))
+            cut = min(max(cut, 1), len(subset) - 1) if len(subset) > 1 else len(subset)
+            train_samples.extend(subset[:cut])
+            test_samples.extend(subset[cut:])
+        make = lambda samples: Trace(  # noqa: E731 - small local helper
+            samples=samples,
+            module_id=self.module_id,
+            position_id=self.position_id,
+            group=self.group,
+            trace_id=self.trace_id,
+        )
+        return make(train_samples), make(test_samples)
+
+    def progress_split(self, threshold: float) -> Tuple["Trace", "Trace"]:
+        """Split a mobility trace by path progress (before/after ``threshold``)."""
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        before = [s for s in self.samples if s.path_progress <= threshold]
+        after = [s for s in self.samples if s.path_progress > threshold]
+        make = lambda samples: Trace(  # noqa: E731
+            samples=samples,
+            module_id=self.module_id,
+            position_id=self.position_id,
+            group=self.group,
+            trace_id=self.trace_id,
+        )
+        return make(before), make(after)
+
+
+@dataclass
+class FeedbackDataset:
+    """A collection of traces (either D1 or D2)."""
+
+    traces: List[Trace] = field(default_factory=list)
+    name: str = "dataset"
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces)
+
+    def add(self, trace: Trace) -> None:
+        """Append a trace to the dataset."""
+        self.traces.append(trace)
+
+    @property
+    def module_ids(self) -> List[int]:
+        """Sorted list of module identifiers present in the dataset."""
+        return sorted({t.module_id for t in self.traces})
+
+    @property
+    def position_ids(self) -> List[int]:
+        """Sorted list of D1 position identifiers present in the dataset."""
+        return sorted({t.position_id for t in self.traces})
+
+    @property
+    def groups(self) -> List[str]:
+        """Sorted list of measurement groups present in the dataset."""
+        return sorted({t.group for t in self.traces})
+
+    @property
+    def num_samples(self) -> int:
+        """Total number of samples across every trace."""
+        return sum(len(t) for t in self.traces)
+
+    def filter(
+        self,
+        module_ids: Optional[Sequence[int]] = None,
+        position_ids: Optional[Sequence[int]] = None,
+        groups: Optional[Sequence[str]] = None,
+        predicate: Optional[Callable[[Trace], bool]] = None,
+    ) -> "FeedbackDataset":
+        """Dataset containing only the traces matching the given criteria."""
+        kept = []
+        for trace in self.traces:
+            if module_ids is not None and trace.module_id not in module_ids:
+                continue
+            if position_ids is not None and trace.position_id not in position_ids:
+                continue
+            if groups is not None and trace.group not in groups:
+                continue
+            if predicate is not None and not predicate(trace):
+                continue
+            kept.append(trace)
+        return FeedbackDataset(traces=kept, name=self.name)
+
+    def samples(
+        self, beamformee_id: Optional[int] = None
+    ) -> List[FeedbackSample]:
+        """Flat list of samples, optionally restricted to one beamformee."""
+        result: List[FeedbackSample] = []
+        for trace in self.traces:
+            for sample in trace:
+                if beamformee_id is not None and sample.beamformee_id != beamformee_id:
+                    continue
+                result.append(sample)
+        return result
+
+    def summary(self) -> str:
+        """Human-readable content summary."""
+        lines = [
+            f"dataset {self.name!r}: {len(self.traces)} traces, "
+            f"{self.num_samples} samples",
+            f"  modules:   {self.module_ids}",
+            f"  positions: {self.position_ids}",
+            f"  groups:    {self.groups}",
+        ]
+        return "\n".join(lines)
+
+
+def merge_datasets(datasets: Iterable[FeedbackDataset], name: str = "merged") -> FeedbackDataset:
+    """Concatenate several datasets into one."""
+    merged = FeedbackDataset(name=name)
+    for dataset in datasets:
+        for trace in dataset:
+            merged.add(trace)
+    return merged

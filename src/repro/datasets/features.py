@@ -1,0 +1,201 @@
+"""Extraction of the CNN input tensor from reconstructed ``V~`` matrices.
+
+Section III-C of the paper: the I/Q components of the beamforming feedback
+are stacked into an ``Nrow x Ncol x Nch`` tensor where
+
+* ``Ncol <= K`` is the number of selected OFDM sub-carriers (Fig. 12a varies
+  this by extracting the nested 40/20 MHz channels),
+* ``Nrow <= N_SS`` is the number of selected spatial streams (the paper's
+  main results use stream 0 only; Fig. 15 uses stream 1),
+* ``Nch < 2M`` counts the I/Q channels of the selected transmit antennas;
+  the feedback row of the *last* antenna is real by construction, so it only
+  contributes an I channel (hence ``2M - 1`` for all antennas).
+
+This implementation uses the ``(channels, rows, columns)`` order expected by
+the ``NCHW`` convolution layers of :mod:`repro.nn`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.containers import FeedbackSample
+
+
+class FeatureError(ValueError):
+    """Raised for invalid feature-extraction configurations."""
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Selection of the portions of ``V~`` used as classifier input.
+
+    Attributes
+    ----------
+    antenna_indices:
+        Rows of ``V~`` (transmit antennas) to include; ``None`` means all.
+    stream_indices:
+        Columns of ``V~`` (spatial streams) to include; ``None`` means all.
+        The paper's headline results use ``(0,)``.
+    subcarrier_positions:
+        Positions (into the ``K`` axis) of the sub-carriers to include;
+        ``None`` means all.  Combine with
+        :func:`repro.phy.ofdm.subband_indices` to emulate narrower channels
+        or with a stride to reduce the input size.
+    last_antenna_index:
+        Index of the antenna whose feedback row is real by construction (the
+        last row of ``V~``); its Q component is dropped.  ``None`` disables
+        the optimisation and keeps I and Q for every antenna.
+    """
+
+    antenna_indices: Optional[Tuple[int, ...]] = None
+    stream_indices: Optional[Tuple[int, ...]] = (0,)
+    subcarrier_positions: Optional[Tuple[int, ...]] = None
+    last_antenna_index: Optional[int] = None
+
+    def resolve(
+        self, num_subcarriers: int, num_antennas: int, num_streams: int
+    ) -> "ResolvedFeatureConfig":
+        """Materialise the selection for a concrete ``V~`` shape."""
+        antennas = (
+            tuple(range(num_antennas))
+            if self.antenna_indices is None
+            else tuple(self.antenna_indices)
+        )
+        streams = (
+            tuple(range(num_streams))
+            if self.stream_indices is None
+            else tuple(self.stream_indices)
+        )
+        subcarriers = (
+            tuple(range(num_subcarriers))
+            if self.subcarrier_positions is None
+            else tuple(self.subcarrier_positions)
+        )
+        if not antennas or not streams or not subcarriers:
+            raise FeatureError("antenna, stream and sub-carrier selections cannot be empty")
+        if max(antennas) >= num_antennas or min(antennas) < 0:
+            raise FeatureError(f"antenna index out of range for M={num_antennas}")
+        if max(streams) >= num_streams or min(streams) < 0:
+            raise FeatureError(f"stream index out of range for N_SS={num_streams}")
+        if max(subcarriers) >= num_subcarriers or min(subcarriers) < 0:
+            raise FeatureError(f"sub-carrier position out of range for K={num_subcarriers}")
+        last = (
+            num_antennas - 1 if self.last_antenna_index is None else self.last_antenna_index
+        )
+        return ResolvedFeatureConfig(
+            antennas=antennas,
+            streams=streams,
+            subcarriers=subcarriers,
+            last_antenna=last,
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedFeatureConfig:
+    """A :class:`FeatureConfig` bound to a concrete ``V~`` shape."""
+
+    antennas: Tuple[int, ...]
+    streams: Tuple[int, ...]
+    subcarriers: Tuple[int, ...]
+    last_antenna: int
+
+    @property
+    def num_channels(self) -> int:
+        """Number of I/Q channels of the extracted tensor (``Nch``)."""
+        channels = 0
+        for antenna in self.antennas:
+            channels += 1 if antenna == self.last_antenna else 2
+        return channels
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Shape ``(Nch, Nrow, Ncol)`` of the extracted tensor."""
+        return (self.num_channels, len(self.streams), len(self.subcarriers))
+
+
+class FeatureExtractor:
+    """Turns feedback samples into CNN input tensors."""
+
+    def __init__(self, config: Optional[FeatureConfig] = None) -> None:
+        self.config = config if config is not None else FeatureConfig()
+
+    def transform_matrix(self, v_tilde: np.ndarray) -> np.ndarray:
+        """Extract the feature tensor from a single ``V~`` matrix.
+
+        Parameters
+        ----------
+        v_tilde:
+            Complex matrix of shape ``(K, M, N_SS)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Real tensor of shape ``(Nch, Nrow, Ncol)``.
+        """
+        v_tilde = np.asarray(v_tilde)
+        if v_tilde.ndim != 3:
+            raise FeatureError("v_tilde must have shape (K, M, N_SS)")
+        resolved = self.config.resolve(*v_tilde.shape)
+        subcarriers = np.asarray(resolved.subcarriers)
+        channels: List[np.ndarray] = []
+        for antenna in resolved.antennas:
+            block = v_tilde[subcarriers][:, antenna, :][:, list(resolved.streams)]
+            # block has shape (Ncol, Nrow); transpose to (Nrow, Ncol).
+            block = block.T
+            channels.append(np.real(block))
+            if antenna != resolved.last_antenna:
+                channels.append(np.imag(block))
+        return np.stack(channels, axis=0).astype(float)
+
+    def transform_samples(self, samples: Sequence[FeedbackSample]) -> Tuple[np.ndarray, np.ndarray]:
+        """Extract features and labels from a list of samples.
+
+        Returns
+        -------
+        (features, labels):
+            ``features`` has shape ``(num_samples, Nch, Nrow, Ncol)`` and
+            ``labels`` contains the module identifiers.
+        """
+        if not samples:
+            raise FeatureError("cannot extract features from an empty sample list")
+        features = np.stack(
+            [self.transform_matrix(sample.v_tilde) for sample in samples], axis=0
+        )
+        labels = np.array([sample.module_id for sample in samples], dtype=int)
+        return features, labels
+
+    def output_shape(self, v_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Feature tensor shape for a ``V~`` of shape ``(K, M, N_SS)``."""
+        return self.config.resolve(*v_shape).shape
+
+
+def strided_subcarriers(num_subcarriers: int, stride: int) -> Tuple[int, ...]:
+    """Every ``stride``-th sub-carrier position (a cheap input reduction)."""
+    if stride < 1:
+        raise FeatureError("stride must be >= 1")
+    return tuple(range(0, num_subcarriers, stride))
+
+
+def normalize_features(
+    features: np.ndarray, epsilon: float = 1e-8
+) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+    """Standardise features per channel (zero mean, unit variance).
+
+    Returns the normalised array and the ``(mean, std)`` statistics so the
+    same transformation can be applied to the test set.
+    """
+    mean = features.mean(axis=(0, 2, 3), keepdims=True)
+    std = features.std(axis=(0, 2, 3), keepdims=True) + epsilon
+    return (features - mean) / std, (mean, std)
+
+
+def apply_normalization(
+    features: np.ndarray, statistics: Tuple[np.ndarray, np.ndarray]
+) -> np.ndarray:
+    """Apply previously computed normalisation statistics."""
+    mean, std = statistics
+    return (features - mean) / std

@@ -1,0 +1,409 @@
+"""Synthetic generation of the paper's datasets D1 (static) and D2 (dynamic).
+
+The structure of both datasets follows Section IV-A of the paper:
+
+* **D1** -- for every one of the 10 modules, 9 traces are collected with the
+  AP fixed in position A and the two beamformees moved sideways in 10 cm
+  steps (positions 1..9 of Fig. 6).  Both beamformees use ``N = N_SS = 2``.
+* **D2** -- for every module, 11 traces are collected with the beamformees
+  fixed in position 3: four static traces (groups ``fix1``/``fix2``, two
+  each) and seven mobility traces (groups ``mob1`` with four and ``mob2``
+  with three) captured while the AP walks the A-B-C-D-B-A path.  Beamformee
+  1 uses ``N = N_SS = 1`` and beamformee 2 ``N = N_SS = 2``.
+
+Every sample goes through the complete feedback pipeline: CFR with device
+fingerprint, per-packet offsets and noise -> SVD -> Givens compression ->
+quantisation -> reconstruction of ``V~`` (i.e. what a monitor-mode observer
+obtains from the captured frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.containers import FeedbackDataset, FeedbackSample, Trace
+from repro.feedback.givens import compress_v_matrix, reconstruct_v_matrix
+from repro.feedback.quantization import QuantizationConfig, quantization_roundtrip
+from repro.phy.channel import ChannelRealization, MultipathChannel
+from repro.phy.fading import SpatiallyCorrelatedChannel
+from repro.phy.devices import (
+    AccessPoint,
+    Beamformee,
+    WiFiModule,
+    make_beamformee,
+    make_module_population,
+)
+from repro.phy.geometry import (
+    AP_POSITION_A,
+    Position,
+    beamformee_positions,
+    mobility_subpath,
+)
+from repro.phy.impairments import PacketOffsets, thermal_noise
+from repro.phy.mimo import beamforming_matrix, compute_cfr
+from repro.phy.mobility import waypoint_path
+from repro.phy.ofdm import SubcarrierLayout, sounding_layout
+
+#: Beamformee position used for every D2 acquisition (Fig. 6).
+D2_BEAMFORMEE_POSITION = 3
+#: Trace groups of dataset D2 and the number of traces in each.
+D2_GROUPS: Dict[str, int] = {"fix1": 2, "fix2": 2, "mob1": 4, "mob2": 3}
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Parameters controlling the synthetic data generation.
+
+    Attributes
+    ----------
+    bandwidth_mhz / carrier_frequency_hz:
+        Sounded channel (defaults: 80 MHz, channel 42).
+    num_modules:
+        Number of Wi-Fi modules (classes).
+    soundings_per_trace:
+        Number of sounding rounds per trace *per beamformee*.
+    snr_db:
+        Channel-estimation SNR at the beamformees.
+    quantization:
+        Angle quantisation configuration (default: the paper's bφ=9, bψ=7).
+    fingerprint_strength:
+        Relative magnitude of the beamformer hardware impairments.
+    beamformee_impairment_strength:
+        Relative magnitude of the beamformee receive-chain impairments.
+    fading_jitter:
+        Packet-to-packet small-scale fading of the multipath gains.
+    pa_flip_probability:
+        Probability of a per-packet ``pi`` phase ambiguity on each transmit
+        antenna.  The default is zero: the PLL phase ambiguity of the tested
+        modules is assumed stable over a two-minute trace, so the feedback
+        variability within a trace comes from fading, estimation noise and
+        quantisation only (see DESIGN.md).
+    mobility_yaw_std_rad:
+        Standard deviation of the random yaw of the AP antenna array while it
+        is carried along the D2 mobility path (the AP is moved by hand, so
+        its orientation wobbles); applied to the mobility traces only.
+    environment_seed:
+        Seed of the environment (scatterer placement for the geometric model,
+        tap delays/directions/gain fields for the correlated model).
+    base_seed:
+        Base seed of every per-trace random stream.
+    num_scatterers:
+        Number of point scatterers (geometric channel model only).
+    channel_model:
+        ``"correlated"`` (default) uses the spatially-correlated tapped-delay
+        model of :mod:`repro.phy.fading`, whose correlation length reproduces
+        the paper's position-generalisation behaviour; ``"geometric"`` uses
+        the image-method multipath model of :mod:`repro.phy.channel`.
+    correlation_length_m:
+        Spatial correlation length of the correlated channel [m].
+    rician_k:
+        Line-of-sight to diffuse power ratio of the correlated channel.
+    num_taps:
+        Number of diffuse taps of the correlated channel.
+    """
+
+    bandwidth_mhz: int = 80
+    carrier_frequency_hz: float = 5.21e9
+    num_modules: int = 10
+    soundings_per_trace: int = 50
+    snr_db: float = 28.0
+    quantization: QuantizationConfig = field(default_factory=QuantizationConfig)
+    fingerprint_strength: float = 1.0
+    beamformee_impairment_strength: float = 1.0
+    fading_jitter: float = 0.05
+    pa_flip_probability: float = 0.0
+    mobility_yaw_std_rad: float = 0.2
+    environment_seed: int = 11
+    base_seed: int = 2022
+    num_scatterers: int = 8
+    channel_model: str = "correlated"
+    correlation_length_m: float = 0.15
+    rician_k: float = 0.5
+    num_taps: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_modules < 2:
+            raise ValueError("at least two modules are needed for classification")
+        if self.soundings_per_trace < 1:
+            raise ValueError("soundings_per_trace must be >= 1")
+        if self.channel_model not in ("correlated", "geometric"):
+            raise ValueError(
+                "channel_model must be 'correlated' or 'geometric', "
+                f"got {self.channel_model!r}"
+            )
+
+    def layout(self) -> SubcarrierLayout:
+        """Sub-carrier layout implied by the configuration."""
+        return sounding_layout(self.bandwidth_mhz, self.carrier_frequency_hz)
+
+    def modules(self) -> List[WiFiModule]:
+        """The module population implied by the configuration."""
+        return make_module_population(
+            num_modules=self.num_modules,
+            fingerprint_strength=self.fingerprint_strength,
+            seed=self.base_seed,
+        )
+
+    def channel(self):
+        """The channel environment implied by the configuration.
+
+        Returns a :class:`~repro.phy.fading.SpatiallyCorrelatedChannel` or a
+        :class:`~repro.phy.channel.MultipathChannel` depending on
+        ``channel_model``; both expose the same ``realize()`` interface.
+        """
+        if self.channel_model == "geometric":
+            return MultipathChannel(
+                num_scatterers=self.num_scatterers,
+                environment_seed=self.environment_seed,
+            )
+        return SpatiallyCorrelatedChannel(
+            num_taps=self.num_taps,
+            rician_k=self.rician_k,
+            correlation_length_m=self.correlation_length_m,
+            environment_seed=self.environment_seed,
+        )
+
+
+def _observed_v_tilde(
+    access_point: AccessPoint,
+    beamformee: Beamformee,
+    channel: MultipathChannel,
+    layout: SubcarrierLayout,
+    rng: np.random.Generator,
+    config: DatasetConfig,
+    realization: Optional[ChannelRealization] = None,
+) -> np.ndarray:
+    """One full sounding: CFR -> V -> angles -> quantise -> reconstruct V~."""
+    cfr = compute_cfr(
+        access_point,
+        beamformee,
+        channel,
+        layout,
+        rng,
+        snr_db=config.snr_db,
+        fading_jitter=config.fading_jitter,
+        realization=realization,
+        pa_flip_probability=config.pa_flip_probability,
+    )
+    v_matrix = beamforming_matrix(cfr, beamformee.num_streams)
+    angles = compress_v_matrix(v_matrix)
+    quantised = quantization_roundtrip(angles, config.quantization)
+    return reconstruct_v_matrix(quantised)
+
+
+def _trace_rng(config: DatasetConfig, *stream: int) -> np.random.Generator:
+    """Deterministic random generator for a given trace identity."""
+    return np.random.default_rng((config.base_seed, *stream))
+
+
+def make_d1_beamformees(
+    position_id: int, config: DatasetConfig
+) -> Tuple[Beamformee, Beamformee]:
+    """The two D1 beamformees (N = N_SS = 2) at the given position pair."""
+    bf1_pos, bf2_pos = beamformee_positions(position_id)
+    bf1 = make_beamformee(
+        1, bf1_pos, num_antennas=2, num_streams=2,
+        impairment_strength=config.beamformee_impairment_strength,
+        seed=config.base_seed + 10_000,
+    )
+    bf2 = make_beamformee(
+        2, bf2_pos, num_antennas=2, num_streams=2,
+        impairment_strength=config.beamformee_impairment_strength,
+        seed=config.base_seed + 10_000,
+    )
+    return bf1, bf2
+
+
+def make_d2_beamformees(config: DatasetConfig) -> Tuple[Beamformee, Beamformee]:
+    """The two D2 beamformees: bf1 with one stream, bf2 with two."""
+    bf1_pos, bf2_pos = beamformee_positions(D2_BEAMFORMEE_POSITION)
+    bf1 = make_beamformee(
+        1, bf1_pos, num_antennas=1, num_streams=1,
+        impairment_strength=config.beamformee_impairment_strength,
+        seed=config.base_seed + 10_000,
+    )
+    bf2 = make_beamformee(
+        2, bf2_pos, num_antennas=2, num_streams=2,
+        impairment_strength=config.beamformee_impairment_strength,
+        seed=config.base_seed + 10_000,
+    )
+    return bf1, bf2
+
+
+def generate_position_trace(
+    module: WiFiModule,
+    position_id: int,
+    config: DatasetConfig,
+    trace_id: int = 0,
+) -> Trace:
+    """Generate one static D1 trace (one module, one beamformee position)."""
+    layout = config.layout()
+    channel = config.channel()
+    access_point = AccessPoint(module=module, position=AP_POSITION_A)
+    beamformees = make_d1_beamformees(position_id, config)
+    rng = _trace_rng(config, module.module_id, position_id)
+
+    trace = Trace(
+        module_id=module.module_id,
+        position_id=position_id,
+        group="static",
+        trace_id=trace_id,
+    )
+    # Static geometry: compute the multipath realisation once per beamformee
+    # and let the per-packet fading perturb it.
+    realizations = {
+        bf.station_id: channel.realize(
+            access_point.antenna_elements(),
+            bf.antenna_elements(),
+            layout.config.carrier_frequency_hz,
+        )
+        for bf in beamformees
+    }
+    interval_s = 0.5
+    for sounding in range(config.soundings_per_trace):
+        for beamformee in beamformees:
+            v_tilde = _observed_v_tilde(
+                access_point,
+                beamformee,
+                channel,
+                layout,
+                rng,
+                config,
+                realization=realizations[beamformee.station_id],
+            )
+            trace.add(
+                FeedbackSample(
+                    v_tilde=v_tilde.astype(np.complex64),
+                    module_id=module.module_id,
+                    beamformee_id=beamformee.station_id,
+                    position_id=position_id,
+                    group="static",
+                    timestamp_s=sounding * interval_s,
+                    path_progress=0.0,
+                )
+            )
+    return trace
+
+
+def generate_mobility_trace(
+    module: WiFiModule,
+    group: str,
+    config: DatasetConfig,
+    trace_id: int = 0,
+    trace_index: int = 0,
+) -> Trace:
+    """Generate one D2 trace (static for the 'fix' groups, mobile otherwise)."""
+    if group not in D2_GROUPS:
+        raise ValueError(f"unknown D2 group {group!r}; expected one of {sorted(D2_GROUPS)}")
+    layout = config.layout()
+    channel = config.channel()
+    beamformees = make_d2_beamformees(config)
+    rng = _trace_rng(config, module.module_id, 100 + trace_id, trace_index)
+
+    mobile = group.startswith("mob")
+    num_soundings = config.soundings_per_trace
+    if mobile:
+        waypoints = mobility_subpath("full")
+        path = waypoint_path(
+            waypoints, num_soundings, jitter_std_m=0.03, rng=rng
+        )
+        positions = list(path.positions)
+    else:
+        positions = [AP_POSITION_A] * num_soundings
+
+    trace = Trace(
+        module_id=module.module_id,
+        position_id=D2_BEAMFORMEE_POSITION,
+        group=group,
+        trace_id=trace_id,
+    )
+    interval_s = 0.5
+    base_ap = AccessPoint(module=module, position=AP_POSITION_A)
+    static_realizations: Dict[int, ChannelRealization] = {}
+    if not mobile:
+        static_realizations = {
+            bf.station_id: channel.realize(
+                base_ap.antenna_elements(),
+                bf.antenna_elements(),
+                layout.config.carrier_frequency_hz,
+            )
+            for bf in beamformees
+        }
+    for sounding in range(num_soundings):
+        access_point = base_ap.moved_to(positions[sounding])
+        if mobile and config.mobility_yaw_std_rad > 0.0:
+            # The AP is carried by hand along the path, so its array yaws
+            # randomly around the nominal orientation.
+            access_point = access_point.rotated(
+                float(rng.normal(0.0, config.mobility_yaw_std_rad))
+            )
+        progress = sounding / max(num_soundings - 1, 1) if mobile else 0.0
+        for beamformee in beamformees:
+            realization = static_realizations.get(beamformee.station_id)
+            v_tilde = _observed_v_tilde(
+                access_point,
+                beamformee,
+                channel,
+                layout,
+                rng,
+                config,
+                realization=realization,
+            )
+            trace.add(
+                FeedbackSample(
+                    v_tilde=v_tilde.astype(np.complex64),
+                    module_id=module.module_id,
+                    beamformee_id=beamformee.station_id,
+                    position_id=D2_BEAMFORMEE_POSITION,
+                    group=group,
+                    timestamp_s=sounding * interval_s,
+                    path_progress=progress,
+                )
+            )
+    return trace
+
+
+def generate_dataset_d1(
+    config: Optional[DatasetConfig] = None,
+    modules: Optional[Sequence[WiFiModule]] = None,
+    position_ids: Optional[Sequence[int]] = None,
+) -> FeedbackDataset:
+    """Generate the static dataset D1 (9 positions x ``num_modules`` traces)."""
+    config = config if config is not None else DatasetConfig()
+    modules = list(modules) if modules is not None else config.modules()
+    position_ids = list(position_ids) if position_ids is not None else list(range(1, 10))
+
+    dataset = FeedbackDataset(name="D1")
+    trace_id = 0
+    for module in modules:
+        for position_id in position_ids:
+            dataset.add(
+                generate_position_trace(module, position_id, config, trace_id=trace_id)
+            )
+            trace_id += 1
+    return dataset
+
+
+def generate_dataset_d2(
+    config: Optional[DatasetConfig] = None,
+    modules: Optional[Sequence[WiFiModule]] = None,
+) -> FeedbackDataset:
+    """Generate the dynamic dataset D2 (11 traces per module)."""
+    config = config if config is not None else DatasetConfig()
+    modules = list(modules) if modules is not None else config.modules()
+
+    dataset = FeedbackDataset(name="D2")
+    trace_id = 0
+    for module in modules:
+        for group, count in D2_GROUPS.items():
+            for index in range(count):
+                dataset.add(
+                    generate_mobility_trace(
+                        module, group, config, trace_id=trace_id, trace_index=index
+                    )
+                )
+                trace_id += 1
+    return dataset

@@ -1,0 +1,224 @@
+"""Train/test splits of Tables I and II (sets S1..S6).
+
+The paper's tables are shaded figures; the concrete position/group
+assignments used here follow the constraints given in the text and are
+documented in ``DESIGN.md``:
+
+* **S1** -- train and test on all nine beamformee positions; traces present
+  in both sets are split in time (first 80 % for training).
+* **S2** -- train on the interleaved positions {1, 3, 5, 7, 9}, test on
+  {2, 4, 6, 8} (the "balanced" configuration of the paper).
+* **S3** -- train on the contiguous block {1..5}, test on {6..9} (the
+  configuration with the largest train/test position difference).
+* **S4** -- train on the ``mob1`` mobility traces, test on ``mob2``.
+* **S5** -- train on the static groups ``fix1`` + ``fix2``, test on the
+  mobility groups.
+* **S6** -- train on the mobility groups, test on the static groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.containers import FeedbackDataset, FeedbackSample
+
+#: Fraction of a shared trace used for training when a position/group
+#: appears in both the training and the testing set (paper: 80 %).
+TRAIN_FRACTION = 0.8
+
+
+class SplitError(ValueError):
+    """Raised for invalid split configurations."""
+
+
+@dataclass(frozen=True)
+class D1Split:
+    """A train/test split of the static dataset D1 (Table I)."""
+
+    name: str
+    train_positions: Tuple[int, ...]
+    test_positions: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.train_positions or not self.test_positions:
+            raise SplitError("both position sets must be non-empty")
+
+
+@dataclass(frozen=True)
+class D2Split:
+    """A train/test split of the dynamic dataset D2 (Table II)."""
+
+    name: str
+    train_groups: Tuple[str, ...]
+    test_groups: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.train_groups or not self.test_groups:
+            raise SplitError("both group sets must be non-empty")
+
+
+#: The three D1 splits of Table I.
+D1_SPLITS: Dict[str, D1Split] = {
+    "S1": D1Split("S1", tuple(range(1, 10)), tuple(range(1, 10))),
+    "S2": D1Split("S2", (1, 3, 5, 7, 9), (2, 4, 6, 8)),
+    "S3": D1Split("S3", (1, 2, 3, 4, 5), (6, 7, 8, 9)),
+}
+
+#: The three D2 splits of Table II.
+D2_SPLITS: Dict[str, D2Split] = {
+    "S4": D2Split("S4", ("mob1",), ("mob2",)),
+    "S5": D2Split("S5", ("fix1", "fix2"), ("mob1", "mob2")),
+    "S6": D2Split("S6", ("mob1", "mob2"), ("fix1", "fix2")),
+}
+
+
+def _filter_beamformee(
+    samples: List[FeedbackSample], beamformee_id: Optional[int]
+) -> List[FeedbackSample]:
+    if beamformee_id is None:
+        return samples
+    return [s for s in samples if s.beamformee_id == beamformee_id]
+
+
+def d1_split(
+    dataset: FeedbackDataset,
+    split: D1Split,
+    beamformee_id: Optional[int] = None,
+    num_train_positions: Optional[int] = None,
+    train_fraction: float = TRAIN_FRACTION,
+) -> Tuple[List[FeedbackSample], List[FeedbackSample]]:
+    """Apply a Table-I split to dataset D1.
+
+    Parameters
+    ----------
+    dataset:
+        The D1 dataset.
+    split:
+        One of :data:`D1_SPLITS` (or a custom :class:`D1Split`).
+    beamformee_id:
+        Restrict both sets to the feedback of one beamformee (the paper's
+        default protocol trains one model per beamformee).
+    num_train_positions:
+        Use only the first ``num_train_positions`` of ``split.train_positions``
+        for training (the Fig. 10 sweep).
+    train_fraction:
+        Time fraction used for training when a position appears in both sets.
+
+    Returns
+    -------
+    (train_samples, test_samples)
+    """
+    train_positions = list(split.train_positions)
+    if num_train_positions is not None:
+        if not 1 <= num_train_positions <= len(train_positions):
+            raise SplitError(
+                f"num_train_positions must be in 1..{len(train_positions)}"
+            )
+        train_positions = train_positions[:num_train_positions]
+    test_positions = list(split.test_positions)
+
+    train_samples: List[FeedbackSample] = []
+    test_samples: List[FeedbackSample] = []
+    for trace in dataset:
+        in_train = trace.position_id in train_positions
+        in_test = trace.position_id in test_positions
+        if in_train and in_test:
+            train_part, test_part = trace.time_split(train_fraction)
+            train_samples.extend(train_part.samples)
+            test_samples.extend(test_part.samples)
+        elif in_train:
+            train_samples.extend(trace.samples)
+        elif in_test:
+            test_samples.extend(trace.samples)
+    train_samples = _filter_beamformee(train_samples, beamformee_id)
+    test_samples = _filter_beamformee(test_samples, beamformee_id)
+    if not train_samples or not test_samples:
+        raise SplitError(
+            f"split {split.name!r} produced an empty train or test set; "
+            "check the dataset contents"
+        )
+    return train_samples, test_samples
+
+
+def d1_cross_beamformee_split(
+    dataset: FeedbackDataset,
+    split: D1Split,
+    train_beamformee_id: int,
+    test_beamformee_id: int,
+    train_fraction: float = TRAIN_FRACTION,
+) -> Tuple[List[FeedbackSample], List[FeedbackSample]]:
+    """Train on the feedback of one beamformee, test on the other (Fig. 11)."""
+    if train_beamformee_id == test_beamformee_id:
+        raise SplitError("train and test beamformees must differ")
+    train_samples, _ = d1_split(
+        dataset, split, beamformee_id=train_beamformee_id, train_fraction=train_fraction
+    )
+    _, test_samples = d1_split(
+        dataset, split, beamformee_id=test_beamformee_id, train_fraction=train_fraction
+    )
+    return train_samples, test_samples
+
+
+def d2_split(
+    dataset: FeedbackDataset,
+    split: D2Split,
+    beamformee_id: Optional[int] = None,
+    train_fraction: float = TRAIN_FRACTION,
+) -> Tuple[List[FeedbackSample], List[FeedbackSample]]:
+    """Apply a Table-II split to dataset D2.
+
+    Groups appearing in both sets are split in time (first part for
+    training); otherwise whole groups go to one side.
+    """
+    train_groups = set(split.train_groups)
+    test_groups = set(split.test_groups)
+
+    train_samples: List[FeedbackSample] = []
+    test_samples: List[FeedbackSample] = []
+    for trace in dataset:
+        in_train = trace.group in train_groups
+        in_test = trace.group in test_groups
+        if in_train and in_test:
+            train_part, test_part = trace.time_split(train_fraction)
+            train_samples.extend(train_part.samples)
+            test_samples.extend(test_part.samples)
+        elif in_train:
+            train_samples.extend(trace.samples)
+        elif in_test:
+            test_samples.extend(trace.samples)
+    train_samples = _filter_beamformee(train_samples, beamformee_id)
+    test_samples = _filter_beamformee(test_samples, beamformee_id)
+    if not train_samples or not test_samples:
+        raise SplitError(
+            f"split {split.name!r} produced an empty train or test set; "
+            "check the dataset contents"
+        )
+    return train_samples, test_samples
+
+
+def d2_subpath_split(
+    dataset: FeedbackDataset,
+    beamformee_id: Optional[int] = None,
+    progress_threshold: float = 0.55,
+) -> Tuple[List[FeedbackSample], List[FeedbackSample]]:
+    """The Fig. 17b split: train and test on *different* mobility sub-paths.
+
+    Training uses the first part (A-B-C-B) of the ``mob1`` traces, testing
+    the second part (B-D-B) of the ``mob2`` traces.  ``progress_threshold``
+    is the path-progress value separating the two sub-paths.
+    """
+    train_samples: List[FeedbackSample] = []
+    test_samples: List[FeedbackSample] = []
+    for trace in dataset:
+        if trace.group == "mob1":
+            before, _ = trace.progress_split(progress_threshold)
+            train_samples.extend(before.samples)
+        elif trace.group == "mob2":
+            _, after = trace.progress_split(progress_threshold)
+            test_samples.extend(after.samples)
+    train_samples = _filter_beamformee(train_samples, beamformee_id)
+    test_samples = _filter_beamformee(test_samples, beamformee_id)
+    if not train_samples or not test_samples:
+        raise SplitError("sub-path split produced an empty train or test set")
+    return train_samples, test_samples

@@ -1,0 +1,50 @@
+"""Reproduction of every figure of the paper's evaluation section.
+
+Each ``figNN_*`` module exposes:
+
+* a ``run(profile)`` function returning a result dataclass, and
+* a ``format_report(result)`` function rendering the same rows/series the
+  paper reports as plain text.
+
+``profile`` selects between the CPU-friendly ``fast`` configuration (default)
+and the paper-scale ``full`` configuration; see
+:mod:`repro.experiments.profiles`.
+"""
+
+from repro.experiments.profiles import (
+    ExperimentProfile,
+    FAST_PROFILE,
+    FULL_PROFILE,
+    get_profile,
+)
+from repro.experiments import (
+    fig07_hyperparams,
+    fig08_static_splits,
+    fig09_mixed_beamformees,
+    fig10_training_positions,
+    fig11_cross_beamformee,
+    fig12_phy_parameters,
+    fig13_quantization_error,
+    fig14_v_time_evolution,
+    fig15_second_stream,
+    fig16_offset_correction,
+    fig17_mobility,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "FAST_PROFILE",
+    "FULL_PROFILE",
+    "get_profile",
+    "fig07_hyperparams",
+    "fig08_static_splits",
+    "fig09_mixed_beamformees",
+    "fig10_training_positions",
+    "fig11_cross_beamformee",
+    "fig12_phy_parameters",
+    "fig13_quantization_error",
+    "fig14_v_time_evolution",
+    "fig15_second_stream",
+    "fig16_offset_correction",
+    "fig17_mobility",
+]

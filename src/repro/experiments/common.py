@@ -1,0 +1,128 @@
+"""Shared helpers for the figure-reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
+from repro.core.evaluation import ClassificationReport
+from repro.core.model import DeepCsiModelConfig
+from repro.datasets.containers import FeedbackDataset, FeedbackSample
+from repro.datasets.features import FeatureConfig, strided_subcarriers
+from repro.datasets.generator import generate_dataset_d1, generate_dataset_d2
+from repro.experiments.profiles import ExperimentProfile
+from repro.nn.training import History
+from repro.phy.ofdm import sounding_layout
+
+#: Process-wide dataset cache so the benchmark suite generates D1/D2 once.
+_DATASET_CACHE: Dict[Tuple[str, str], FeedbackDataset] = {}
+
+
+def cached_dataset_d1(profile: ExperimentProfile) -> FeedbackDataset:
+    """Dataset D1 for the given profile (generated once per process)."""
+    key = ("D1", profile.name)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = generate_dataset_d1(profile.d1_config())
+    return _DATASET_CACHE[key]
+
+
+def cached_dataset_d2(profile: ExperimentProfile) -> FeedbackDataset:
+    """Dataset D2 for the given profile (generated once per process)."""
+    key = ("D2", profile.name)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = generate_dataset_d2(profile.d2_config())
+    return _DATASET_CACHE[key]
+
+
+def clear_dataset_cache() -> None:
+    """Drop every cached dataset (useful in tests)."""
+    _DATASET_CACHE.clear()
+
+
+def default_subcarrier_positions(profile: ExperimentProfile) -> Tuple[int, ...]:
+    """Sub-carrier positions retained by the profile's stride."""
+    layout = sounding_layout(80)
+    return strided_subcarriers(layout.num_subcarriers, profile.subcarrier_stride)
+
+
+def default_feature_config(
+    profile: ExperimentProfile,
+    stream_indices: Tuple[int, ...] = (0,),
+    antenna_indices: Optional[Tuple[int, ...]] = None,
+    subcarrier_positions: Optional[Tuple[int, ...]] = None,
+) -> FeatureConfig:
+    """Feature configuration used by the classification experiments."""
+    positions = (
+        subcarrier_positions
+        if subcarrier_positions is not None
+        else default_subcarrier_positions(profile)
+    )
+    return FeatureConfig(
+        antenna_indices=antenna_indices,
+        stream_indices=stream_indices,
+        subcarrier_positions=positions,
+    )
+
+
+@dataclass(frozen=True)
+class TrainedEvaluation:
+    """Outcome of one train-and-evaluate run."""
+
+    report: ClassificationReport
+    history: History
+    num_parameters: int
+
+    @property
+    def accuracy(self) -> float:
+        """Test accuracy in ``[0, 1]``."""
+        return self.report.accuracy
+
+
+def train_and_evaluate(
+    train_samples: Sequence[FeedbackSample],
+    test_samples: Sequence[FeedbackSample],
+    profile: ExperimentProfile,
+    feature_config: Optional[FeatureConfig] = None,
+    model_config: Optional[DeepCsiModelConfig] = None,
+    label: str = "",
+    seed: int = 0,
+) -> TrainedEvaluation:
+    """Train a DeepCSI classifier on ``train_samples`` and test it.
+
+    The classifier configuration (architecture, epochs, learning rate) comes
+    from the profile unless overridden explicitly.
+    """
+    classifier_config = ClassifierConfig(
+        num_classes=profile.num_modules,
+        feature=feature_config
+        if feature_config is not None
+        else default_feature_config(profile),
+        model=model_config if model_config is not None else profile.model,
+        training=profile.training_config(seed=seed),
+        learning_rate=profile.learning_rate,
+        seed=seed,
+    )
+    classifier = DeepCsiClassifier(classifier_config)
+    history = classifier.fit(list(train_samples))
+    report = classifier.evaluate(list(test_samples), label=label)
+    return TrainedEvaluation(
+        report=report,
+        history=history,
+        num_parameters=classifier.num_parameters,
+    )
+
+
+def format_accuracy_table(
+    rows: Sequence[Tuple[str, float]], title: str, paper_values: Optional[Dict[str, float]] = None
+) -> str:
+    """Render ``(label, accuracy)`` rows as a small text table."""
+    lines = [title, "-" * len(title)]
+    for label, accuracy in rows:
+        line = f"{label:<28s} {100.0 * accuracy:6.2f}%"
+        if paper_values and label in paper_values:
+            line += f"   (paper: {paper_values[label]:.2f}%)"
+        lines.append(line)
+    return "\n".join(lines)

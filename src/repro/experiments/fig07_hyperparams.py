@@ -1,0 +1,127 @@
+"""Fig. 7: DNN hyper-parameter selection (conv layers and filter count).
+
+The paper sweeps the number of convolutional layers (Fig. 7a, 2..7 layers at
+128 filters) and the number of filters per layer (Fig. 7b, 16..256 filters at
+5 layers), reporting the S1 validation accuracy against the number of
+trainable parameters.  The reproduction target is the observed behaviour:
+accuracy is nearly flat in the layer count and grows (with diminishing
+returns) with the filter count, while the parameter count grows steeply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.datasets.splits import D1_SPLITS, d1_split
+from repro.experiments.common import (
+    cached_dataset_d1,
+    default_feature_config,
+    train_and_evaluate,
+)
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+#: Sweep values used by the fast profile (subset of the paper's sweep).
+FAST_LAYER_SWEEP = (2, 3, 5)
+FAST_FILTER_SWEEP = (8, 24, 48)
+#: Sweep values used by the full profile (the paper's sweep).
+FULL_LAYER_SWEEP = (2, 3, 4, 5, 6, 7)
+FULL_FILTER_SWEEP = (16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class HyperparamPoint:
+    """One point of a hyper-parameter sweep."""
+
+    value: int
+    num_parameters: int
+    validation_accuracy: float
+    test_accuracy: float
+
+
+@dataclass(frozen=True)
+class HyperparamResult:
+    """Results of the Fig. 7 sweeps."""
+
+    layer_sweep: Tuple[HyperparamPoint, ...]
+    filter_sweep: Tuple[HyperparamPoint, ...]
+
+
+def _sweep_values(profile: ExperimentProfile) -> Tuple[Sequence[int], Sequence[int]]:
+    if profile.name == "full":
+        return FULL_LAYER_SWEEP, FULL_FILTER_SWEEP
+    return FAST_LAYER_SWEEP, FAST_FILTER_SWEEP
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> HyperparamResult:
+    """Run both hyper-parameter sweeps on the S1 split (beamformee 1)."""
+    profile = profile if profile is not None else get_profile()
+    dataset = cached_dataset_d1(profile)
+    train, test = d1_split(dataset, D1_SPLITS["S1"], beamformee_id=1)
+    feature_config = default_feature_config(profile)
+    layer_values, filter_values = _sweep_values(profile)
+
+    layer_points: List[HyperparamPoint] = []
+    for num_layers in layer_values:
+        model_config = profile.model.with_conv_layers(num_layers)
+        evaluation = train_and_evaluate(
+            train,
+            test,
+            profile,
+            feature_config=feature_config,
+            model_config=model_config,
+            label=f"S1 / {num_layers} conv layers",
+        )
+        layer_points.append(
+            HyperparamPoint(
+                value=num_layers,
+                num_parameters=evaluation.num_parameters,
+                validation_accuracy=evaluation.history.best_val_accuracy,
+                test_accuracy=evaluation.accuracy,
+            )
+        )
+
+    filter_points: List[HyperparamPoint] = []
+    for num_filters in filter_values:
+        model_config = profile.model.with_filters(num_filters)
+        evaluation = train_and_evaluate(
+            train,
+            test,
+            profile,
+            feature_config=feature_config,
+            model_config=model_config,
+            label=f"S1 / {num_filters} filters",
+        )
+        filter_points.append(
+            HyperparamPoint(
+                value=num_filters,
+                num_parameters=evaluation.num_parameters,
+                validation_accuracy=evaluation.history.best_val_accuracy,
+                test_accuracy=evaluation.accuracy,
+            )
+        )
+    return HyperparamResult(
+        layer_sweep=tuple(layer_points), filter_sweep=tuple(filter_points)
+    )
+
+
+def format_report(result: HyperparamResult) -> str:
+    """Text report mirroring Fig. 7a/7b."""
+    lines = ["Fig. 7a - accuracy vs. number of convolutional layers (S1 validation)"]
+    lines.append(f"{'layers':>8s} {'params':>10s} {'val acc':>9s} {'test acc':>9s}")
+    for point in result.layer_sweep:
+        lines.append(
+            f"{point.value:>8d} {point.num_parameters:>10d} "
+            f"{100.0 * point.validation_accuracy:>8.2f}% "
+            f"{100.0 * point.test_accuracy:>8.2f}%"
+        )
+    lines.append("")
+    lines.append("Fig. 7b - accuracy vs. number of filters per layer (S1 validation)")
+    lines.append(f"{'filters':>8s} {'params':>10s} {'val acc':>9s} {'test acc':>9s}")
+    for point in result.filter_sweep:
+        lines.append(
+            f"{point.value:>8d} {point.num_parameters:>10d} "
+            f"{100.0 * point.validation_accuracy:>8.2f}% "
+            f"{100.0 * point.test_accuracy:>8.2f}%"
+        )
+    return "\n".join(lines)

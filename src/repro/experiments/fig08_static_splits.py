@@ -1,0 +1,88 @@
+"""Fig. 8: confusion matrices for the S1/S2/S3 splits (beamformee 1, stream 0).
+
+Paper results: S1 = 98.02 %, S2 = 75.41 %, S3 = 42.97 %.  The reproduction
+target is the ordering S1 >> S2 >> S3: accuracy degrades as the beamformee
+positions seen at test time depart from those seen at training time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.evaluation import ClassificationReport
+from repro.datasets.splits import D1_SPLITS, d1_split
+from repro.experiments.common import (
+    TrainedEvaluation,
+    cached_dataset_d1,
+    default_feature_config,
+    format_accuracy_table,
+    train_and_evaluate,
+)
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+#: Accuracies reported by the paper [%].
+PAPER_ACCURACY = {"S1": 98.02, "S2": 75.41, "S3": 42.97}
+
+
+@dataclass(frozen=True)
+class StaticSplitResult:
+    """Per-split evaluation results."""
+
+    evaluations: Dict[str, TrainedEvaluation]
+    beamformee_id: int
+    stream_index: int
+
+    def accuracy(self, split_name: str) -> float:
+        """Test accuracy of one split in ``[0, 1]``."""
+        return self.evaluations[split_name].accuracy
+
+    def report(self, split_name: str) -> ClassificationReport:
+        """Full classification report (confusion matrix) of one split."""
+        return self.evaluations[split_name].report
+
+
+def run(
+    profile: Optional[ExperimentProfile] = None,
+    beamformee_id: int = 1,
+    stream_index: int = 0,
+) -> StaticSplitResult:
+    """Train and evaluate DeepCSI on the three Table-I splits."""
+    profile = profile if profile is not None else get_profile()
+    dataset = cached_dataset_d1(profile)
+    feature_config = default_feature_config(profile, stream_indices=(stream_index,))
+
+    evaluations: Dict[str, TrainedEvaluation] = {}
+    for split_name, split in D1_SPLITS.items():
+        train, test = d1_split(dataset, split, beamformee_id=beamformee_id)
+        evaluations[split_name] = train_and_evaluate(
+            train,
+            test,
+            profile,
+            feature_config=feature_config,
+            label=f"{split_name} / beamformee {beamformee_id} / stream {stream_index}",
+        )
+    return StaticSplitResult(
+        evaluations=evaluations,
+        beamformee_id=beamformee_id,
+        stream_index=stream_index,
+    )
+
+
+def format_report(result: StaticSplitResult) -> str:
+    """Text report mirroring Fig. 8 (accuracies plus confusion matrices)."""
+    rows = [(name, ev.accuracy) for name, ev in sorted(result.evaluations.items())]
+    lines = [
+        format_accuracy_table(
+            rows,
+            title=(
+                f"Fig. 8 - static splits, beamformee {result.beamformee_id}, "
+                f"spatial stream {result.stream_index}"
+            ),
+            paper_values=PAPER_ACCURACY,
+        )
+    ]
+    for name, evaluation in sorted(result.evaluations.items()):
+        lines.append("")
+        lines.append(str(evaluation.report))
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Fig. 9: S1/S2/S3 with the feedback of *both* beamformees mixed.
+
+Paper results: S1 = 97.62 %, S2 = 77.38 %, S3 = 47.28 %.  Mixing the two
+beamformees slightly improves the harder splits (S2/S3) with respect to
+Fig. 8 because the training set contains more spatial diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.datasets.splits import D1_SPLITS, d1_split
+from repro.experiments.common import (
+    TrainedEvaluation,
+    cached_dataset_d1,
+    default_feature_config,
+    format_accuracy_table,
+    train_and_evaluate,
+)
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+#: Accuracies reported by the paper [%].
+PAPER_ACCURACY = {"S1": 97.62, "S2": 77.38, "S3": 47.28}
+
+
+@dataclass(frozen=True)
+class MixedBeamformeeResult:
+    """Per-split evaluation results using both beamformees."""
+
+    evaluations: Dict[str, TrainedEvaluation]
+
+    def accuracy(self, split_name: str) -> float:
+        """Test accuracy of one split in ``[0, 1]``."""
+        return self.evaluations[split_name].accuracy
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> MixedBeamformeeResult:
+    """Train/evaluate on the three splits without filtering by beamformee."""
+    profile = profile if profile is not None else get_profile()
+    dataset = cached_dataset_d1(profile)
+    feature_config = default_feature_config(profile)
+
+    evaluations: Dict[str, TrainedEvaluation] = {}
+    for split_name, split in D1_SPLITS.items():
+        train, test = d1_split(dataset, split, beamformee_id=None)
+        evaluations[split_name] = train_and_evaluate(
+            train,
+            test,
+            profile,
+            feature_config=feature_config,
+            label=f"{split_name} / mixed beamformees / stream 0",
+        )
+    return MixedBeamformeeResult(evaluations=evaluations)
+
+
+def format_report(result: MixedBeamformeeResult) -> str:
+    """Text report mirroring Fig. 9."""
+    rows = [(name, ev.accuracy) for name, ev in sorted(result.evaluations.items())]
+    return format_accuracy_table(
+        rows,
+        title="Fig. 9 - mixed beamformees, 3 TX antennas, spatial stream 0",
+        paper_values=PAPER_ACCURACY,
+    )

@@ -1,0 +1,104 @@
+"""Fig. 10: accuracy as a function of the number of training positions.
+
+For every split the paper progressively reduces the number of beamformee
+positions available at training time (from 9 to 1 for S1, from 5 to 1 for
+S2/S3) and observes that accuracy grows monotonically (on average) with the
+number of training positions - the fingerprint benefits from spatial
+diversity in the training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.splits import D1_SPLITS, d1_split
+from repro.experiments.common import (
+    cached_dataset_d1,
+    default_feature_config,
+    train_and_evaluate,
+)
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+#: Number-of-position sweeps per split for the two profiles.
+FAST_SWEEPS: Dict[str, Tuple[int, ...]] = {
+    "S1": (1, 3, 6, 9),
+    "S2": (1, 3, 5),
+    "S3": (1, 3, 5),
+}
+FULL_SWEEPS: Dict[str, Tuple[int, ...]] = {
+    "S1": tuple(range(1, 10)),
+    "S2": tuple(range(1, 6)),
+    "S3": tuple(range(1, 6)),
+}
+
+
+@dataclass(frozen=True)
+class PositionSweepPoint:
+    """Accuracy obtained with a given number of training positions."""
+
+    num_positions: int
+    accuracy: float
+
+
+@dataclass(frozen=True)
+class TrainingPositionsResult:
+    """Per-split accuracy-vs-positions series."""
+
+    series: Dict[str, Tuple[PositionSweepPoint, ...]]
+
+    def accuracies(self, split_name: str) -> List[float]:
+        """Accuracy series of one split, ordered by number of positions."""
+        return [point.accuracy for point in self.series[split_name]]
+
+
+def run(
+    profile: Optional[ExperimentProfile] = None, beamformee_id: int = 1
+) -> TrainingPositionsResult:
+    """Sweep the number of training positions for every Table-I split."""
+    profile = profile if profile is not None else get_profile()
+    dataset = cached_dataset_d1(profile)
+    feature_config = default_feature_config(profile)
+    sweeps = FULL_SWEEPS if profile.name == "full" else FAST_SWEEPS
+
+    series: Dict[str, Tuple[PositionSweepPoint, ...]] = {}
+    for split_name, split in D1_SPLITS.items():
+        points: List[PositionSweepPoint] = []
+        for num_positions in sweeps[split_name]:
+            train, test = d1_split(
+                dataset,
+                split,
+                beamformee_id=beamformee_id,
+                num_train_positions=num_positions,
+            )
+            evaluation = train_and_evaluate(
+                train,
+                test,
+                profile,
+                feature_config=feature_config,
+                label=f"{split_name} / {num_positions} training positions",
+            )
+            points.append(
+                PositionSweepPoint(
+                    num_positions=num_positions, accuracy=evaluation.accuracy
+                )
+            )
+        series[split_name] = tuple(points)
+    return TrainingPositionsResult(series=series)
+
+
+def format_report(result: TrainingPositionsResult) -> str:
+    """Text report mirroring Fig. 10."""
+    lines = ["Fig. 10 - accuracy vs. number of training positions (beamformee 1)"]
+    for split_name in sorted(result.series):
+        lines.append(f"  {split_name}:")
+        for point in result.series[split_name]:
+            lines.append(
+                f"    {point.num_positions:2d} positions -> "
+                f"{100.0 * point.accuracy:6.2f}%"
+            )
+    lines.append(
+        "expected shape: accuracy increases with more training positions "
+        "in every split"
+    )
+    return "\n".join(lines)

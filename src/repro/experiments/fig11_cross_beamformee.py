@@ -1,0 +1,66 @@
+"""Fig. 11: training on one beamformee and testing on the other.
+
+The beamforming feedback carries the hardware imperfections of *both* ends of
+the link, so a fingerprint learned from the feedback of beamformee 1 does not
+transfer to the feedback of beamformee 2 (and vice versa).  Paper results:
+25.86 % and 25.02 % - close to chance level (10 %) and far below the 98 %
+same-beamformee accuracy of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.datasets.splits import D1_SPLITS, d1_cross_beamformee_split
+from repro.experiments.common import (
+    TrainedEvaluation,
+    cached_dataset_d1,
+    default_feature_config,
+    format_accuracy_table,
+    train_and_evaluate,
+)
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+#: Accuracies reported by the paper [%].
+PAPER_ACCURACY = {"train bf1 / test bf2": 25.86, "train bf2 / test bf1": 25.02}
+
+
+@dataclass(frozen=True)
+class CrossBeamformeeResult:
+    """Cross-beamformee evaluation results (both directions)."""
+
+    evaluations: Dict[str, TrainedEvaluation]
+
+    def accuracy(self, direction: str) -> float:
+        """Accuracy for ``"train bf1 / test bf2"`` or the reverse."""
+        return self.evaluations[direction].accuracy
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> CrossBeamformeeResult:
+    """Train on beamformee 1 / test on 2 and vice versa (S1 positions)."""
+    profile = profile if profile is not None else get_profile()
+    dataset = cached_dataset_d1(profile)
+    feature_config = default_feature_config(profile)
+    split = D1_SPLITS["S1"]
+
+    evaluations: Dict[str, TrainedEvaluation] = {}
+    for train_bf, test_bf in ((1, 2), (2, 1)):
+        train, test = d1_cross_beamformee_split(
+            dataset, split, train_beamformee_id=train_bf, test_beamformee_id=test_bf
+        )
+        label = f"train bf{train_bf} / test bf{test_bf}"
+        evaluations[label] = train_and_evaluate(
+            train, test, profile, feature_config=feature_config, label=label
+        )
+    return CrossBeamformeeResult(evaluations=evaluations)
+
+
+def format_report(result: CrossBeamformeeResult) -> str:
+    """Text report mirroring Fig. 11."""
+    rows = [(name, ev.accuracy) for name, ev in sorted(result.evaluations.items())]
+    return format_accuracy_table(
+        rows,
+        title="Fig. 11 - swapping the beamformee between training and testing (S1)",
+        paper_values=PAPER_ACCURACY,
+    )

@@ -1,0 +1,124 @@
+"""Fig. 12: impact of the channel bandwidth and the number of TX antennas.
+
+* Fig. 12a: restricting the classifier input to the sub-carriers of the
+  nested 40 MHz (110 tones) or 20 MHz (54 tones) channels reduces accuracy,
+  especially on the harder S2/S3 splits.
+* Fig. 12b: using fewer transmit-antenna rows of ``V~`` (1 or 2 instead of 3)
+  also reduces accuracy on S2/S3 while S1 stays roughly constant.
+
+The reproduction target is the monotone trend: more spectrum / more antennas
+=> equal or better accuracy, with the largest gains on S2/S3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.features import strided_subcarriers
+from repro.datasets.splits import D1_SPLITS, d1_split
+from repro.experiments.common import (
+    TrainedEvaluation,
+    cached_dataset_d1,
+    default_feature_config,
+    train_and_evaluate,
+)
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.phy.ofdm import sounding_layout, subband_indices
+
+#: Bandwidths evaluated in Fig. 12a [MHz].
+BANDWIDTHS = (80, 40, 20)
+#: Antenna selections evaluated in Fig. 12b (rows of the feedback matrix).
+ANTENNA_SELECTIONS = ((0, 1, 2), (0, 1), (0,))
+
+
+@dataclass(frozen=True)
+class PhyParameterResult:
+    """Accuracy per (split, bandwidth) and per (split, antenna count)."""
+
+    bandwidth_accuracy: Dict[Tuple[str, int], float]
+    antenna_accuracy: Dict[Tuple[str, int], float]
+
+
+def _bandwidth_positions(
+    profile: ExperimentProfile, bandwidth_mhz: int
+) -> Tuple[int, ...]:
+    """Sub-carrier positions of a nested channel, thinned by the profile stride."""
+    layout = sounding_layout(80)
+    nested = subband_indices(layout, bandwidth_mhz)
+    strided = nested[:: profile.subcarrier_stride]
+    return tuple(int(p) for p in strided)
+
+
+def run(
+    profile: Optional[ExperimentProfile] = None,
+    beamformee_id: int = 1,
+    split_names: Tuple[str, ...] = ("S1", "S2", "S3"),
+) -> PhyParameterResult:
+    """Evaluate every (split, bandwidth) and (split, antennas) combination."""
+    profile = profile if profile is not None else get_profile()
+    dataset = cached_dataset_d1(profile)
+
+    bandwidth_accuracy: Dict[Tuple[str, int], float] = {}
+    antenna_accuracy: Dict[Tuple[str, int], float] = {}
+    for split_name in split_names:
+        split = D1_SPLITS[split_name]
+        train, test = d1_split(dataset, split, beamformee_id=beamformee_id)
+
+        for bandwidth in BANDWIDTHS:
+            feature_config = default_feature_config(
+                profile,
+                subcarrier_positions=_bandwidth_positions(profile, bandwidth),
+            )
+            evaluation = train_and_evaluate(
+                train,
+                test,
+                profile,
+                feature_config=feature_config,
+                label=f"{split_name} / {bandwidth} MHz",
+            )
+            bandwidth_accuracy[(split_name, bandwidth)] = evaluation.accuracy
+
+        for antennas in ANTENNA_SELECTIONS:
+            feature_config = default_feature_config(
+                profile, antenna_indices=antennas
+            )
+            evaluation = train_and_evaluate(
+                train,
+                test,
+                profile,
+                feature_config=feature_config,
+                label=f"{split_name} / {len(antennas)} TX antennas",
+            )
+            antenna_accuracy[(split_name, len(antennas))] = evaluation.accuracy
+    return PhyParameterResult(
+        bandwidth_accuracy=bandwidth_accuracy, antenna_accuracy=antenna_accuracy
+    )
+
+
+def format_report(result: PhyParameterResult) -> str:
+    """Text report mirroring Fig. 12a and Fig. 12b."""
+    splits = sorted({key[0] for key in result.bandwidth_accuracy})
+    lines = ["Fig. 12a - accuracy vs. channel bandwidth"]
+    header = f"{'split':>6s}" + "".join(f" {bw:>8d}MHz" for bw in BANDWIDTHS)
+    lines.append(header)
+    for split_name in splits:
+        cells = "".join(
+            f" {100.0 * result.bandwidth_accuracy[(split_name, bw)]:>10.2f}%"
+            for bw in BANDWIDTHS
+        )
+        lines.append(f"{split_name:>6s}{cells}")
+    lines.append("")
+    lines.append("Fig. 12b - accuracy vs. number of TX antennas")
+    counts = sorted({key[1] for key in result.antenna_accuracy}, reverse=True)
+    header = f"{'split':>6s}" + "".join(f" {c:>8d} ant" for c in counts)
+    lines.append(header)
+    for split_name in splits:
+        cells = "".join(
+            f" {100.0 * result.antenna_accuracy[(split_name, c)]:>10.2f}%"
+            for c in counts
+        )
+        lines.append(f"{split_name:>6s}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Fig. 17: beamformer identification under mobility (dataset D2).
+
+Four evaluations, all with beamformee 1, 3 TX antennas, stream 0:
+
+* **S4 (full path)** -- train and test on different traces of the same
+  A-B-C-D-B-A mobility path (paper: 82.56 %).
+* **S4 (sub-paths)** -- train on the A-B-C-B half of ``mob1``, test on the
+  B-D-B half of ``mob2`` (paper: 41.15 %).
+* **S5** -- train on static traces only, test on mobility traces
+  (paper: 20.50 %).
+* **S6** -- train on mobility traces, test on static traces (paper: 88.12 %).
+
+Reproduction target: S4-full and S6 succeed, S4-sub-path degrades and S5
+collapses -- i.e. training-set variability drives robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.datasets.splits import D2_SPLITS, d2_split, d2_subpath_split
+from repro.experiments.common import (
+    TrainedEvaluation,
+    cached_dataset_d2,
+    default_feature_config,
+    format_accuracy_table,
+    train_and_evaluate,
+)
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+#: Accuracies reported by the paper [%].
+PAPER_ACCURACY = {
+    "S4 full path": 82.56,
+    "S4 sub-paths": 41.15,
+    "S5 static->mobile": 20.50,
+    "S6 mobile->static": 88.12,
+}
+
+
+@dataclass(frozen=True)
+class MobilityResult:
+    """Evaluation results of the four mobility scenarios."""
+
+    evaluations: Dict[str, TrainedEvaluation]
+    beamformee_id: int
+
+    def accuracy(self, scenario: str) -> float:
+        """Test accuracy of one scenario in ``[0, 1]``."""
+        return self.evaluations[scenario].accuracy
+
+
+def run(
+    profile: Optional[ExperimentProfile] = None, beamformee_id: int = 1
+) -> MobilityResult:
+    """Run the four Fig. 17 evaluations on dataset D2."""
+    profile = profile if profile is not None else get_profile()
+    dataset = cached_dataset_d2(profile)
+    feature_config = default_feature_config(profile)
+    evaluations: Dict[str, TrainedEvaluation] = {}
+
+    scenarios = {
+        "S4 full path": lambda: d2_split(
+            dataset, D2_SPLITS["S4"], beamformee_id=beamformee_id
+        ),
+        "S4 sub-paths": lambda: d2_subpath_split(
+            dataset, beamformee_id=beamformee_id
+        ),
+        "S5 static->mobile": lambda: d2_split(
+            dataset, D2_SPLITS["S5"], beamformee_id=beamformee_id
+        ),
+        "S6 mobile->static": lambda: d2_split(
+            dataset, D2_SPLITS["S6"], beamformee_id=beamformee_id
+        ),
+    }
+    for name, splitter in scenarios.items():
+        train, test = splitter()
+        evaluations[name] = train_and_evaluate(
+            train,
+            test,
+            profile,
+            feature_config=feature_config,
+            label=f"{name} / beamformee {beamformee_id}",
+        )
+    return MobilityResult(evaluations=evaluations, beamformee_id=beamformee_id)
+
+
+def format_report(result: MobilityResult) -> str:
+    """Text report mirroring Fig. 17a-17d."""
+    rows = [(name, ev.accuracy) for name, ev in result.evaluations.items()]
+    lines = [
+        format_accuracy_table(
+            rows,
+            title=f"Fig. 17 - mobility (dataset D2, beamformee {result.beamformee_id})",
+            paper_values=PAPER_ACCURACY,
+        ),
+        "expected shape: S4-full and S6 succeed, S4-sub-paths degrades, "
+        "S5 collapses",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Experiment profiles: fast (CPU-friendly) and full (paper-scale) settings.
+
+Training the DeepCSI CNN in pure numpy is the bottleneck of the benchmark
+suite, so every experiment can be scaled through a profile:
+
+* ``fast`` (default): 10 modules, fewer soundings per trace, every fourth
+  sub-carrier, a reduced convolution stack and few epochs.  The complete
+  benchmark suite runs on a laptop CPU while preserving the *shape* of every
+  paper result (orderings, crossovers, relative gaps).
+* ``full``: paper-scale inputs (all 234 sub-carriers, the 5x128 CNN) and more
+  soundings; expect hours of CPU time.
+
+Select the profile with the ``REPRO_PROFILE`` environment variable
+(``fast`` / ``full``) or pass a profile object explicitly to ``run()``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.model import DeepCsiModelConfig, FAST_MODEL_CONFIG, PAPER_MODEL_CONFIG
+from repro.datasets.generator import DatasetConfig
+from repro.nn.training import TrainingConfig
+
+#: Environment variable selecting the default profile.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scaling knobs shared by every experiment.
+
+    Attributes
+    ----------
+    name:
+        ``"fast"`` or ``"full"`` (free-form for custom profiles).
+    num_modules:
+        Number of Wi-Fi modules (classes).
+    d1_soundings_per_trace / d2_soundings_per_trace:
+        Soundings per trace per beamformee for datasets D1 and D2.
+    subcarrier_stride:
+        Keep every ``stride``-th sounded sub-carrier as CNN input (1 keeps
+        all 234).
+    model:
+        CNN architecture configuration.
+    epochs / batch_size / early_stopping_patience / learning_rate:
+        Training-loop parameters.
+    base_seed:
+        Seed shared by dataset generation and model initialisation.
+    """
+
+    name: str = "fast"
+    num_modules: int = 10
+    d1_soundings_per_trace: int = 16
+    d2_soundings_per_trace: int = 24
+    subcarrier_stride: int = 4
+    model: DeepCsiModelConfig = field(default_factory=lambda: FAST_MODEL_CONFIG)
+    epochs: int = 15
+    batch_size: int = 32
+    early_stopping_patience: Optional[int] = 5
+    learning_rate: float = 2e-3
+    base_seed: int = 2022
+
+    def dataset_config(self, soundings_per_trace: Optional[int] = None) -> DatasetConfig:
+        """Dataset-generation configuration implied by the profile."""
+        return DatasetConfig(
+            num_modules=self.num_modules,
+            soundings_per_trace=(
+                soundings_per_trace
+                if soundings_per_trace is not None
+                else self.d1_soundings_per_trace
+            ),
+            base_seed=self.base_seed,
+        )
+
+    def d1_config(self) -> DatasetConfig:
+        """Dataset configuration for D1."""
+        return self.dataset_config(self.d1_soundings_per_trace)
+
+    def d2_config(self) -> DatasetConfig:
+        """Dataset configuration for D2."""
+        return self.dataset_config(self.d2_soundings_per_trace)
+
+    def training_config(self, seed: int = 0, verbose: bool = False) -> TrainingConfig:
+        """Training-loop configuration implied by the profile."""
+        return TrainingConfig(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            validation_split=0.15,
+            shuffle=True,
+            early_stopping_patience=self.early_stopping_patience,
+            verbose=verbose,
+            seed=seed,
+        )
+
+    def scaled(self, **changes) -> "ExperimentProfile":
+        """Return a copy of the profile with some fields replaced."""
+        return replace(self, **changes)
+
+
+#: Default CPU-friendly profile.
+FAST_PROFILE = ExperimentProfile(name="fast")
+
+#: Paper-scale profile (expect long numpy training times).
+FULL_PROFILE = ExperimentProfile(
+    name="full",
+    num_modules=10,
+    d1_soundings_per_trace=50,
+    d2_soundings_per_trace=60,
+    subcarrier_stride=1,
+    model=PAPER_MODEL_CONFIG,
+    epochs=30,
+    batch_size=64,
+    early_stopping_patience=6,
+    learning_rate=1e-3,
+)
+
+_PROFILES = {"fast": FAST_PROFILE, "full": FULL_PROFILE}
+
+
+def get_profile(name: Optional[str] = None) -> ExperimentProfile:
+    """Resolve a profile by name or from the ``REPRO_PROFILE`` variable."""
+    if name is None:
+        name = os.environ.get(PROFILE_ENV_VAR, "fast")
+    try:
+        return _PROFILES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown profile {name!r}; expected one of {sorted(_PROFILES)}"
+        ) from exc

@@ -1,0 +1,261 @@
+"""VHT compressed beamforming frame packing and parsing.
+
+The beamformee packs the quantised feedback angles into a *VHT Compressed
+Beamforming* action frame.  The frame is transmitted unencrypted, so a
+monitor-mode observer (Wireshark in the paper) can read:
+
+* the **VHT MIMO control field**: number of columns (``N_SS``), number of
+  rows (``M``), channel bandwidth and the codebook (i.e. ``b_phi``/``b_psi``),
+* the **beamforming report**: the angle codewords, ``b_phi``/``b_psi`` bits
+  each, packed little-endian bit-first in the standard transmission order
+  (per sub-carrier: all angles of that sub-carrier).
+
+This module implements a faithful (if simplified) binary layout plus the
+parser DeepCSI's observer uses, so the whole pipeline exercises a realistic
+capture path: angles -> bytes on air -> parsed bytes -> reconstructed ``V~``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.feedback.givens import FeedbackAngles, angle_counts
+from repro.feedback.quantization import (
+    QuantizationConfig,
+    QuantizedAngles,
+    dequantize_angles,
+)
+
+#: Frame-format magic marker (not part of the standard; guards the parser).
+_FRAME_MAGIC = 0xBF
+#: Map bandwidth in MHz <-> 2-bit field value used in the control field.
+_BANDWIDTH_CODES = {20: 0, 40: 1, 80: 2, 160: 3}
+_BANDWIDTH_FROM_CODE = {code: mhz for mhz, code in _BANDWIDTH_CODES.items()}
+
+
+class FrameError(ValueError):
+    """Raised when a feedback frame cannot be packed or parsed."""
+
+
+@dataclass(frozen=True)
+class VhtMimoControl:
+    """Subset of the VHT MIMO control field relevant to DeepCSI.
+
+    Attributes
+    ----------
+    num_columns:
+        ``N_SS`` - number of columns of the beamforming matrix.
+    num_rows:
+        ``M`` - number of rows of the beamforming matrix.
+    bandwidth_mhz:
+        Channel bandwidth the feedback refers to.
+    codebook:
+        ``0`` for (b_psi, b_phi) = (5, 7), ``1`` for (7, 9); MU-MIMO feedback
+        uses codebook 1 in the paper's testbed.
+    num_subcarriers:
+        Number of sub-carriers carried in the report.
+    """
+
+    num_columns: int
+    num_rows: int
+    bandwidth_mhz: int
+    codebook: int
+    num_subcarriers: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_columns <= 8:
+            raise FrameError("num_columns must be in 1..8")
+        if not 2 <= self.num_rows <= 8:
+            raise FrameError("num_rows must be in 2..8")
+        if self.bandwidth_mhz not in _BANDWIDTH_CODES:
+            raise FrameError(f"unsupported bandwidth {self.bandwidth_mhz} MHz")
+        if self.codebook not in (0, 1):
+            raise FrameError("codebook must be 0 or 1")
+        if self.num_subcarriers < 1:
+            raise FrameError("num_subcarriers must be >= 1")
+
+    @property
+    def quantization(self) -> QuantizationConfig:
+        """Quantisation configuration implied by the codebook bit."""
+        if self.codebook == 0:
+            return QuantizationConfig(b_phi=7, b_psi=5)
+        return QuantizationConfig(b_phi=9, b_psi=7)
+
+
+@dataclass(frozen=True)
+class FeedbackFrame:
+    """A captured compressed-beamforming frame.
+
+    Attributes
+    ----------
+    source_address:
+        MAC address of the beamformee that sent the feedback.
+    destination_address:
+        MAC address of the beamformer (the AP under authentication).
+    timestamp_s:
+        Capture timestamp.
+    payload:
+        Raw frame bytes (control field + angle report).
+    """
+
+    source_address: str
+    destination_address: str
+    timestamp_s: float
+    payload: bytes
+
+
+class _BitWriter:
+    """Append integers as fixed-width little-endian bit fields."""
+
+    def __init__(self) -> None:
+        self._bits: list = []
+
+    def write(self, value: int, width: int) -> None:
+        if value < 0 or value >= (1 << width):
+            raise FrameError(f"value {value} does not fit in {width} bits")
+        for bit in range(width):
+            self._bits.append((value >> bit) & 1)
+
+    def to_bytes(self) -> bytes:
+        data = bytearray()
+        for start in range(0, len(self._bits), 8):
+            byte = 0
+            for offset, bit in enumerate(self._bits[start : start + 8]):
+                byte |= bit << offset
+            data.append(byte)
+        return bytes(data)
+
+
+class _BitReader:
+    """Read fixed-width little-endian bit fields from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._cursor = 0
+
+    def read(self, width: int) -> int:
+        value = 0
+        for bit in range(width):
+            index = self._cursor + bit
+            byte_index, bit_index = divmod(index, 8)
+            if byte_index >= len(self._data):
+                raise FrameError("frame truncated while reading angle report")
+            value |= ((self._data[byte_index] >> bit_index) & 1) << bit
+        self._cursor += width
+        return value
+
+
+def pack_feedback_frame(
+    quantized: QuantizedAngles, control: VhtMimoControl
+) -> bytes:
+    """Serialise a quantised feedback into frame bytes.
+
+    The layout is: one magic byte, the control field (5 bytes), then the
+    angle report: for every sub-carrier, the angles in standard transmission
+    order, ``b_phi``/``b_psi`` bits each.
+    """
+    if control.num_rows != quantized.num_tx:
+        raise FrameError("control.num_rows must match the quantised feedback")
+    if control.num_columns != quantized.num_streams:
+        raise FrameError("control.num_columns must match the quantised feedback")
+    if control.num_subcarriers != quantized.num_subcarriers:
+        raise FrameError("control.num_subcarriers must match the quantised feedback")
+    expected_cfg = control.quantization
+    if (expected_cfg.b_phi, expected_cfg.b_psi) != (
+        quantized.config.b_phi,
+        quantized.config.b_psi,
+    ):
+        raise FrameError("codebook bit inconsistent with the quantisation config")
+
+    writer = _BitWriter()
+    writer.write(_FRAME_MAGIC, 8)
+    writer.write(control.num_columns - 1, 3)
+    writer.write(control.num_rows - 1, 3)
+    writer.write(_BANDWIDTH_CODES[control.bandwidth_mhz], 2)
+    writer.write(control.codebook, 1)
+    writer.write(control.num_subcarriers, 12)
+    writer.write(0, 3)  # reserved padding to a byte boundary
+
+    n_phi, n_psi = angle_counts(control.num_rows, control.num_columns)
+    b_phi, b_psi = quantized.config.b_phi, quantized.config.b_psi
+    for k in range(quantized.num_subcarriers):
+        phi_cursor = 0
+        psi_cursor = 0
+        limit = min(control.num_columns, control.num_rows - 1)
+        for i in range(limit):
+            for _ in range(control.num_rows - 1 - i):
+                writer.write(int(quantized.q_phi[k, phi_cursor]), b_phi)
+                phi_cursor += 1
+            for _ in range(control.num_rows - 1 - i):
+                writer.write(int(quantized.q_psi[k, psi_cursor]), b_psi)
+                psi_cursor += 1
+        if phi_cursor != n_phi or psi_cursor != n_psi:  # pragma: no cover
+            raise FrameError("internal error: angle count mismatch while packing")
+    return writer.to_bytes()
+
+
+def parse_feedback_frame(payload: bytes) -> Tuple[VhtMimoControl, QuantizedAngles]:
+    """Parse frame bytes back into the control field and angle codewords."""
+    reader = _BitReader(payload)
+    magic = reader.read(8)
+    if magic != _FRAME_MAGIC:
+        raise FrameError("not a compressed beamforming frame (bad magic)")
+    num_columns = reader.read(3) + 1
+    num_rows = reader.read(3) + 1
+    bandwidth_mhz = _BANDWIDTH_FROM_CODE[reader.read(2)]
+    codebook = reader.read(1)
+    num_subcarriers = reader.read(12)
+    reader.read(3)  # reserved
+
+    control = VhtMimoControl(
+        num_columns=num_columns,
+        num_rows=num_rows,
+        bandwidth_mhz=bandwidth_mhz,
+        codebook=codebook,
+        num_subcarriers=num_subcarriers,
+    )
+    config = control.quantization
+    n_phi, n_psi = angle_counts(num_rows, num_columns)
+    q_phi = np.zeros((num_subcarriers, n_phi), dtype=int)
+    q_psi = np.zeros((num_subcarriers, n_psi), dtype=int)
+    for k in range(num_subcarriers):
+        phi_cursor = 0
+        psi_cursor = 0
+        limit = min(num_columns, num_rows - 1)
+        for i in range(limit):
+            for _ in range(num_rows - 1 - i):
+                q_phi[k, phi_cursor] = reader.read(config.b_phi)
+                phi_cursor += 1
+            for _ in range(num_rows - 1 - i):
+                q_psi[k, psi_cursor] = reader.read(config.b_psi)
+                psi_cursor += 1
+
+    quantized = QuantizedAngles(
+        q_phi=q_phi,
+        q_psi=q_psi,
+        config=config,
+        num_tx=num_rows,
+        num_streams=num_columns,
+    )
+    return control, quantized
+
+
+def frame_to_angles(payload: bytes) -> FeedbackAngles:
+    """Parse a frame and de-quantise its angles in one step."""
+    _, quantized = parse_feedback_frame(payload)
+    return dequantize_angles(quantized)
+
+
+def frame_size_bytes(control: VhtMimoControl) -> int:
+    """Size of a packed frame for the given control configuration [bytes]."""
+    n_phi, n_psi = angle_counts(control.num_rows, control.num_columns)
+    config = control.quantization
+    header_bits = 8 + 3 + 3 + 2 + 1 + 12 + 3
+    report_bits = control.num_subcarriers * (
+        n_phi * config.b_phi + n_psi * config.b_psi
+    )
+    total_bits = header_bits + report_bits
+    return (total_bits + 7) // 8

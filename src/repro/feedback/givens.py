@@ -1,0 +1,235 @@
+"""Givens-rotation compression of the beamforming matrix (Algorithm 1).
+
+IEEE 802.11ac/ax beamformees do not feed the complex-valued beamforming
+matrix ``V_k`` back to the beamformer.  Instead they decompose it into a set
+of ``phi`` (column phase) and ``psi`` (Givens rotation) angles, quantise
+those angles and transmit them.  The beamformer (and any observer such as
+DeepCSI) rebuilds ``V~_k`` from the angles through Eq. (7):
+
+    V~_k = prod_{i=1}^{min(N_SS, M-1)} ( D_{k,i} prod_{l=i+1}^{M} G_{k,l,i}^T ) I_{M x N_SS}
+
+with ``D`` and ``G`` as in Eq. (4)/(5).  The matrix ``V~_k`` equals ``V_k``
+up to a per-column phase on the last row (``V_k = V~_k D~_k``), which does
+not affect the beamforming performance and is therefore never transmitted.
+
+All functions operate on batched inputs: the leading axis indexes the ``K``
+OFDM sub-carriers, so one call compresses or reconstructs the full
+``(K, M, N_SS)`` beamforming tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+class GivensError(ValueError):
+    """Raised for invalid inputs to the Givens compression routines."""
+
+
+def angle_counts(num_tx: int, num_streams: int) -> Tuple[int, int]:
+    """Number of ``phi`` and ``psi`` angles for an ``M x N_SS`` feedback.
+
+    For every ``i`` in ``1..min(N_SS, M-1)`` the decomposition produces
+    ``M - i`` phi angles and ``M - i`` psi angles.
+    """
+    _validate_dims(num_tx, num_streams)
+    limit = min(num_streams, num_tx - 1)
+    count = sum(num_tx - i for i in range(1, limit + 1))
+    return count, count
+
+
+def angle_order(num_tx: int, num_streams: int) -> List[Tuple[str, int, int]]:
+    """Transmission order of the angles, as ``(kind, l, i)`` 1-based tuples.
+
+    The standard interleaves the angles per ``i``: first the column phases
+    ``phi_{l,i}`` for ``l = i .. M-1``, then the rotations ``psi_{l,i}`` for
+    ``l = i+1 .. M``.
+    """
+    _validate_dims(num_tx, num_streams)
+    order: List[Tuple[str, int, int]] = []
+    limit = min(num_streams, num_tx - 1)
+    for i in range(1, limit + 1):
+        for l in range(i, num_tx):
+            order.append(("phi", l, i))
+        for l in range(i + 1, num_tx + 1):
+            order.append(("psi", l, i))
+    return order
+
+
+def _validate_dims(num_tx: int, num_streams: int) -> None:
+    if num_tx < 2:
+        raise GivensError("the feedback requires at least two TX antennas")
+    if not 1 <= num_streams <= num_tx:
+        raise GivensError("num_streams must be in 1..num_tx")
+
+
+@dataclass(frozen=True)
+class FeedbackAngles:
+    """The ``phi`` / ``psi`` angles of a compressed beamforming feedback.
+
+    Attributes
+    ----------
+    phi:
+        Column-phase angles in radians, shape ``(K, n_phi)``, in the
+        transmission order given by :func:`angle_order`.
+    psi:
+        Givens-rotation angles in radians, shape ``(K, n_psi)``.
+    num_tx:
+        Number of rows ``M`` of the beamforming matrix.
+    num_streams:
+        Number of columns ``N_SS`` of the beamforming matrix.
+    """
+
+    phi: np.ndarray
+    psi: np.ndarray
+    num_tx: int
+    num_streams: int
+
+    def __post_init__(self) -> None:
+        n_phi, n_psi = angle_counts(self.num_tx, self.num_streams)
+        if self.phi.ndim != 2 or self.phi.shape[1] != n_phi:
+            raise GivensError(
+                f"phi must have shape (K, {n_phi}), got {self.phi.shape}"
+            )
+        if self.psi.ndim != 2 or self.psi.shape[1] != n_psi:
+            raise GivensError(
+                f"psi must have shape (K, {n_psi}), got {self.psi.shape}"
+            )
+        if self.phi.shape[0] != self.psi.shape[0]:
+            raise GivensError("phi and psi must cover the same sub-carriers")
+
+    @property
+    def num_subcarriers(self) -> int:
+        """Number of sub-carriers ``K`` covered by the feedback."""
+        return self.phi.shape[0]
+
+
+def compress_v_matrix(v_matrix: np.ndarray) -> FeedbackAngles:
+    """Decompose ``V`` into feedback angles (Algorithm 1 of the paper).
+
+    Parameters
+    ----------
+    v_matrix:
+        Beamforming matrix of shape ``(K, M, N_SS)`` with (approximately)
+        orthonormal columns, e.g. the output of
+        :func:`repro.phy.mimo.beamforming_matrix`.
+
+    Returns
+    -------
+    FeedbackAngles
+        The ``phi`` angles wrapped to ``[0, 2*pi)`` and the ``psi`` angles in
+        ``[0, pi/2]``.
+    """
+    v_matrix = np.asarray(v_matrix, dtype=complex)
+    if v_matrix.ndim != 3:
+        raise GivensError("v_matrix must have shape (K, M, N_SS)")
+    num_sub, num_tx, num_streams = v_matrix.shape
+    _validate_dims(num_tx, num_streams)
+
+    # Step 1: rotate every column so that the last row becomes real and
+    # non-negative (the D~ matrix, never transmitted).
+    last_row_phase = np.angle(v_matrix[:, num_tx - 1, :])  # (K, N_SS)
+    omega = v_matrix * np.exp(-1j * last_row_phase)[:, np.newaxis, :]
+
+    phi_columns: List[np.ndarray] = []
+    psi_columns: List[np.ndarray] = []
+    limit = min(num_streams, num_tx - 1)
+    for i in range(limit):  # 0-based; paper index is i+1
+        # Column phases of rows i .. M-2 of column i.
+        phis = np.angle(omega[:, i : num_tx - 1, i])  # (K, M-1-i)
+        phi_columns.extend(np.mod(phis[:, j], 2.0 * np.pi) for j in range(phis.shape[1]))
+        # Apply D_i^H: de-rotate rows i .. M-2.
+        omega[:, i : num_tx - 1, :] = (
+            omega[:, i : num_tx - 1, :] * np.exp(-1j * phis)[:, :, np.newaxis]
+        )
+        # Givens rotations zeroing rows i+1 .. M-1 of column i.
+        for l in range(i + 1, num_tx):
+            x = np.real(omega[:, i, i])
+            y = np.real(omega[:, l, i])
+            psi = np.arctan2(y, x)
+            psi = np.clip(psi, 0.0, np.pi / 2.0)
+            psi_columns.append(psi)
+            cos_psi = np.cos(psi)[:, np.newaxis]
+            sin_psi = np.sin(psi)[:, np.newaxis]
+            row_i = omega[:, i, :].copy()
+            row_l = omega[:, l, :].copy()
+            omega[:, i, :] = cos_psi * row_i + sin_psi * row_l
+            omega[:, l, :] = -sin_psi * row_i + cos_psi * row_l
+
+    phi = np.stack(phi_columns, axis=1) if phi_columns else np.zeros((num_sub, 0))
+    psi = np.stack(psi_columns, axis=1) if psi_columns else np.zeros((num_sub, 0))
+    return FeedbackAngles(
+        phi=phi, psi=psi, num_tx=num_tx, num_streams=num_streams
+    )
+
+
+def reconstruct_v_matrix(angles: FeedbackAngles) -> np.ndarray:
+    """Rebuild ``V~`` from the feedback angles (Eq. 7).
+
+    Parameters
+    ----------
+    angles:
+        The (possibly quantised) feedback angles.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``V~`` of shape ``(K, M, N_SS)``.  Its columns are orthonormal and
+        its last row consists of non-negative real numbers.
+    """
+    num_sub = angles.num_subcarriers
+    num_tx = angles.num_tx
+    num_streams = angles.num_streams
+
+    accumulator = np.broadcast_to(
+        np.eye(num_tx, dtype=complex), (num_sub, num_tx, num_tx)
+    ).copy()
+
+    phi_cursor = 0
+    psi_cursor = 0
+    limit = min(num_streams, num_tx - 1)
+    for i in range(limit):
+        # Multiply on the right by D_i (a diagonal matrix): scales columns
+        # i .. M-2 of the accumulator.
+        num_phi = num_tx - 1 - i
+        phis = angles.phi[:, phi_cursor : phi_cursor + num_phi]  # (K, num_phi)
+        phi_cursor += num_phi
+        accumulator[:, :, i : num_tx - 1] = (
+            accumulator[:, :, i : num_tx - 1] * np.exp(1j * phis)[:, np.newaxis, :]
+        )
+        # Multiply on the right by G_{l,i}^T for l = i+1 .. M-1 (0-based):
+        # mixes columns i and l of the accumulator.
+        for l in range(i + 1, num_tx):
+            psi = angles.psi[:, psi_cursor]
+            psi_cursor += 1
+            cos_psi = np.cos(psi)[:, np.newaxis]
+            sin_psi = np.sin(psi)[:, np.newaxis]
+            col_i = accumulator[:, :, i].copy()
+            col_l = accumulator[:, :, l].copy()
+            accumulator[:, :, i] = cos_psi * col_i + sin_psi * col_l
+            accumulator[:, :, l] = -sin_psi * col_i + cos_psi * col_l
+
+    return accumulator[:, :, :num_streams]
+
+
+def compression_error(v_matrix: np.ndarray, reconstructed: np.ndarray) -> np.ndarray:
+    """Per-entry reconstruction error between ``V~`` and the original ``V``.
+
+    The comparison removes the (untransmitted) per-column phase of the last
+    row of ``V`` before differencing, since ``V = V~ D~`` by construction.
+
+    Returns
+    -------
+    numpy.ndarray
+        Absolute error per entry, shape ``(K, M, N_SS)``.
+    """
+    v_matrix = np.asarray(v_matrix, dtype=complex)
+    if v_matrix.shape != reconstructed.shape:
+        raise GivensError("v_matrix and reconstructed must have the same shape")
+    num_tx = v_matrix.shape[1]
+    last_row_phase = np.angle(v_matrix[:, num_tx - 1, :])
+    normalised = v_matrix * np.exp(-1j * last_row_phase)[:, np.newaxis, :]
+    return np.abs(normalised - reconstructed)

@@ -1,0 +1,182 @@
+"""IEEE 802.11ax (HE) compressed beamforming feedback variant.
+
+The paper collects 802.11ac (VHT) feedback but notes that the same mechanism
+exists in 802.11ax, where the beamformee may additionally *group* sub-carriers
+(parameter ``Ng``: report one set of angles every 4 or 16 tones) to reduce the
+feedback airtime.  This module models that variant so the effect of sub-carrier
+grouping on the fingerprint can be studied:
+
+* :class:`HeFeedbackConfig` -- the HE quantisation/grouping parameters
+  (``Ng`` in {4, 16}, SU vs MU codebooks).
+* :func:`group_subcarriers` / :func:`expand_groups` -- the grouping applied by
+  the beamformee and the interpolation the beamformer (or an observer) uses to
+  recover a full-resolution ``V~``.
+* :func:`he_feedback_roundtrip` -- the complete beamformee-side path: group,
+  compress, quantise, and reconstruct what the observer sees.
+* :func:`feedback_overhead_bits` -- feedback size in bits, used to quantify
+  the airtime/fingerprint-quality trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.feedback.givens import angle_counts, compress_v_matrix, reconstruct_v_matrix
+from repro.feedback.quantization import QuantizationConfig, quantization_roundtrip
+
+#: Sub-carrier grouping factors allowed by 802.11ax.
+ALLOWED_GROUPINGS = (1, 4, 16)
+#: Codebook (b_psi, b_phi) pairs defined by 802.11ax for SU and MU feedback.
+SU_CODEBOOKS = {0: (2, 4), 1: (4, 6)}
+MU_CODEBOOKS = {0: (5, 7), 1: (7, 9)}
+
+
+class HeFeedbackError(ValueError):
+    """Raised for invalid HE feedback configurations."""
+
+
+@dataclass(frozen=True)
+class HeFeedbackConfig:
+    """HE compressed-beamforming feedback parameters.
+
+    Attributes
+    ----------
+    grouping:
+        Sub-carrier grouping ``Ng``: angles are reported for every
+        ``grouping``-th tone (1 reports every tone).
+    codebook:
+        Codebook index (0 or 1) selecting the angle bit-widths.
+    mu:
+        ``True`` for MU-MIMO feedback (the finer codebooks), ``False`` for
+        SU-MIMO feedback.
+    """
+
+    grouping: int = 4
+    codebook: int = 1
+    mu: bool = True
+
+    def __post_init__(self) -> None:
+        if self.grouping not in ALLOWED_GROUPINGS:
+            raise HeFeedbackError(
+                f"grouping must be one of {ALLOWED_GROUPINGS}, got {self.grouping}"
+            )
+        if self.codebook not in (0, 1):
+            raise HeFeedbackError("codebook must be 0 or 1")
+
+    @property
+    def quantization(self) -> QuantizationConfig:
+        """The angle quantisation implied by the codebook selection.
+
+        The MU codebooks coincide with the VHT ones; the coarser SU codebooks
+        are outside the VHT set, so strict codebook checking is disabled for
+        them.
+        """
+        table = MU_CODEBOOKS if self.mu else SU_CODEBOOKS
+        b_psi, b_phi = table[self.codebook]
+        return QuantizationConfig(b_phi=b_phi, b_psi=b_psi, strict=self.mu)
+
+
+def group_subcarriers(v_matrix: np.ndarray, grouping: int) -> np.ndarray:
+    """Keep every ``grouping``-th sub-carrier of a ``(K, M, N_SS)`` matrix.
+
+    The first tone of each group represents the group, as in the standard's
+    ``scidx`` enumeration.
+    """
+    v_matrix = np.asarray(v_matrix)
+    if v_matrix.ndim != 3:
+        raise HeFeedbackError("v_matrix must have shape (K, M, N_SS)")
+    if grouping not in ALLOWED_GROUPINGS:
+        raise HeFeedbackError(f"grouping must be one of {ALLOWED_GROUPINGS}")
+    return v_matrix[::grouping]
+
+
+def expand_groups(
+    grouped: np.ndarray, num_subcarriers: int, grouping: int
+) -> np.ndarray:
+    """Linearly interpolate grouped feedback back to ``num_subcarriers`` tones.
+
+    The beamformer interpolates between reported tones to steer the tones in
+    between; an observer reconstructing ``V~`` for fingerprinting does the
+    same, so the interpolation error becomes part of the effective
+    quantisation noise.
+    """
+    grouped = np.asarray(grouped)
+    if grouped.ndim != 3:
+        raise HeFeedbackError("grouped must have shape (K_g, M, N_SS)")
+    if grouping not in ALLOWED_GROUPINGS:
+        raise HeFeedbackError(f"grouping must be one of {ALLOWED_GROUPINGS}")
+    expected = int(np.ceil(num_subcarriers / grouping))
+    if grouped.shape[0] != expected:
+        raise HeFeedbackError(
+            f"grouped feedback has {grouped.shape[0]} tones, expected {expected}"
+        )
+    if grouping == 1:
+        return np.array(grouped[:num_subcarriers])
+    source_positions = np.arange(grouped.shape[0]) * grouping
+    target_positions = np.arange(num_subcarriers)
+    flat = grouped.reshape(grouped.shape[0], -1)
+    real = np.stack(
+        [np.interp(target_positions, source_positions, flat[:, i].real) for i in range(flat.shape[1])],
+        axis=1,
+    )
+    imaginary = np.stack(
+        [np.interp(target_positions, source_positions, flat[:, i].imag) for i in range(flat.shape[1])],
+        axis=1,
+    )
+    expanded = (real + 1j * imaginary).reshape(num_subcarriers, *grouped.shape[1:])
+    return expanded
+
+
+def he_feedback_roundtrip(
+    v_matrix: np.ndarray, config: HeFeedbackConfig
+) -> np.ndarray:
+    """Full HE feedback path: group, compress, quantise, reconstruct, expand.
+
+    Returns the ``V~`` matrix an observer reconstructs from the HE feedback,
+    at the full sub-carrier resolution of the input.
+    """
+    v_matrix = np.asarray(v_matrix)
+    if v_matrix.ndim != 3:
+        raise HeFeedbackError("v_matrix must have shape (K, M, N_SS)")
+    grouped = group_subcarriers(v_matrix, config.grouping)
+    angles = compress_v_matrix(grouped)
+    quantised = quantization_roundtrip(angles, config.quantization)
+    reconstructed = reconstruct_v_matrix(quantised)
+    return expand_groups(reconstructed, v_matrix.shape[0], config.grouping)
+
+
+def feedback_overhead_bits(
+    num_subcarriers: int,
+    num_tx: int,
+    num_streams: int,
+    config: HeFeedbackConfig,
+) -> int:
+    """Size of the angle payload in bits for the given dimensions.
+
+    ``n_phi`` and ``n_psi`` angles are reported per retained tone, using the
+    codebook bit-widths; the (small) MIMO-control header is not counted.
+    """
+    if num_subcarriers < 1:
+        raise HeFeedbackError("num_subcarriers must be >= 1")
+    n_phi, n_psi = angle_counts(num_tx, num_streams)
+    quantization = config.quantization
+    reported_tones = int(np.ceil(num_subcarriers / config.grouping))
+    per_tone = n_phi * quantization.b_phi + n_psi * quantization.b_psi
+    return reported_tones * per_tone
+
+
+def overhead_reduction(
+    num_subcarriers: int, num_tx: int, num_streams: int, config: HeFeedbackConfig
+) -> float:
+    """Feedback-size ratio of the grouped configuration vs. ``Ng = 1``."""
+    grouped = feedback_overhead_bits(num_subcarriers, num_tx, num_streams, config)
+    full = feedback_overhead_bits(
+        num_subcarriers,
+        num_tx,
+        num_streams,
+        HeFeedbackConfig(grouping=1, codebook=config.codebook, mu=config.mu),
+    )
+    return grouped / full

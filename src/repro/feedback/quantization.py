@@ -1,0 +1,176 @@
+"""Quantisation of the beamforming feedback angles (Eq. 8).
+
+The beamformee quantises every ``phi`` angle with ``b_phi`` bits and every
+``psi`` angle with ``b_psi = b_phi - 2`` bits before packing them into the
+compressed beamforming frame.  The beamformer recovers the angles via
+Eq. (8)::
+
+    phi = pi * (1 / 2**b_phi     + q_phi / 2**(b_phi - 1))
+    psi = pi * (1 / 2**(b_psi+2) + q_psi / 2**(b_psi + 1))
+
+so ``phi`` covers ``[0, 2*pi)`` and ``psi`` covers ``[0, pi/2)``.  The
+quantisation error is the only information loss of the feedback path and is
+studied in Figs. 13-15 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.feedback.givens import FeedbackAngles
+
+#: Codebook 0 of the VHT MU-MIMO feedback: (b_psi, b_phi) = (5, 7).
+CODEBOOK_LOW = (5, 7)
+#: Codebook 1 of the VHT MU-MIMO feedback: (b_psi, b_phi) = (7, 9) - the
+#: configuration used by the paper's AP.
+CODEBOOK_HIGH = (7, 9)
+
+
+class QuantizationError(ValueError):
+    """Raised for invalid quantisation configurations or inputs."""
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Bit widths used to quantise the feedback angles.
+
+    Attributes
+    ----------
+    b_phi:
+        Number of bits for every ``phi`` angle.
+    b_psi:
+        Number of bits for every ``psi`` angle.  The standard mandates
+        ``b_psi = b_phi - 2``; this is enforced unless ``strict=False``.
+    strict:
+        Whether to enforce the standard codebooks.
+    """
+
+    b_phi: int = 9
+    b_psi: int = 7
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.b_phi < 1 or self.b_psi < 1:
+            raise QuantizationError("bit widths must be >= 1")
+        if self.strict:
+            if (self.b_psi, self.b_phi) not in (CODEBOOK_LOW, CODEBOOK_HIGH):
+                raise QuantizationError(
+                    "standard-compliant codebooks are (b_psi, b_phi) in "
+                    f"{{{CODEBOOK_LOW}, {CODEBOOK_HIGH}}}; got "
+                    f"({self.b_psi}, {self.b_phi}). Pass strict=False to "
+                    "experiment with non-standard widths."
+                )
+
+    @property
+    def phi_levels(self) -> int:
+        """Number of quantisation levels for ``phi``."""
+        return 2 ** self.b_phi
+
+    @property
+    def psi_levels(self) -> int:
+        """Number of quantisation levels for ``psi``."""
+        return 2 ** self.b_psi
+
+    @property
+    def phi_step(self) -> float:
+        """Quantisation step of ``phi`` [rad]."""
+        return np.pi / (2 ** (self.b_phi - 1))
+
+    @property
+    def psi_step(self) -> float:
+        """Quantisation step of ``psi`` [rad]."""
+        return np.pi / (2 ** (self.b_psi + 1))
+
+    def bits_per_subcarrier(self, n_phi: int, n_psi: int) -> int:
+        """Total feedback bits per sub-carrier for a given angle count."""
+        return n_phi * self.b_phi + n_psi * self.b_psi
+
+
+@dataclass(frozen=True)
+class QuantizedAngles:
+    """Integer codewords of a quantised feedback.
+
+    Attributes
+    ----------
+    q_phi / q_psi:
+        Integer codewords with the same shapes as the original angle arrays.
+    config:
+        The quantisation configuration used.
+    num_tx / num_streams:
+        Dimensions of the associated beamforming matrix.
+    """
+
+    q_phi: np.ndarray
+    q_psi: np.ndarray
+    config: QuantizationConfig
+    num_tx: int
+    num_streams: int
+
+    @property
+    def num_subcarriers(self) -> int:
+        """Number of sub-carriers covered by the quantised feedback."""
+        return self.q_phi.shape[0]
+
+
+def quantize_phi(phi: np.ndarray, config: QuantizationConfig) -> np.ndarray:
+    """Quantise ``phi`` angles (radians) into integer codewords."""
+    phi = np.mod(np.asarray(phi, dtype=float), 2.0 * np.pi)
+    levels = config.phi_levels
+    q = np.round(phi / config.phi_step - 0.5).astype(int)
+    return np.clip(np.mod(q, levels), 0, levels - 1)
+
+
+def quantize_psi(psi: np.ndarray, config: QuantizationConfig) -> np.ndarray:
+    """Quantise ``psi`` angles (radians) into integer codewords."""
+    psi = np.clip(np.asarray(psi, dtype=float), 0.0, np.pi / 2.0)
+    levels = config.psi_levels
+    q = np.round(psi / config.psi_step - 0.5).astype(int)
+    return np.clip(q, 0, levels - 1)
+
+
+def dequantize_phi(q_phi: np.ndarray, config: QuantizationConfig) -> np.ndarray:
+    """Recover ``phi`` angles from their codewords (Eq. 8)."""
+    q = np.asarray(q_phi, dtype=float)
+    return np.pi * (1.0 / config.phi_levels + q / (2 ** (config.b_phi - 1)))
+
+
+def dequantize_psi(q_psi: np.ndarray, config: QuantizationConfig) -> np.ndarray:
+    """Recover ``psi`` angles from their codewords (Eq. 8)."""
+    q = np.asarray(q_psi, dtype=float)
+    return np.pi * (1.0 / (2 ** (config.b_psi + 2)) + q / (2 ** (config.b_psi + 1)))
+
+
+def quantize_angles(
+    angles: FeedbackAngles, config: QuantizationConfig
+) -> QuantizedAngles:
+    """Quantise a full feedback (all sub-carriers, all angles)."""
+    return QuantizedAngles(
+        q_phi=quantize_phi(angles.phi, config),
+        q_psi=quantize_psi(angles.psi, config),
+        config=config,
+        num_tx=angles.num_tx,
+        num_streams=angles.num_streams,
+    )
+
+
+def dequantize_angles(quantized: QuantizedAngles) -> FeedbackAngles:
+    """Recover (quantised) feedback angles from their codewords."""
+    return FeedbackAngles(
+        phi=dequantize_phi(quantized.q_phi, quantized.config),
+        psi=dequantize_psi(quantized.q_psi, quantized.config),
+        num_tx=quantized.num_tx,
+        num_streams=quantized.num_streams,
+    )
+
+
+def quantization_roundtrip(
+    angles: FeedbackAngles, config: QuantizationConfig
+) -> FeedbackAngles:
+    """Quantise and immediately de-quantise a feedback.
+
+    This is exactly what an observer of the sounding exchange sees: the
+    angles after the lossy trip through the compressed beamforming frame.
+    """
+    return dequantize_angles(quantize_angles(angles, config))

@@ -1,0 +1,94 @@
+"""Numerical gradient checking utilities (used by the test suite)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+def numerical_gradient(
+    func: Callable[[np.ndarray], float], x: np.ndarray, epsilon: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    x = np.asarray(x, dtype=float)
+    grad = np.zeros_like(x)
+    iterator = np.nditer(x, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = x[index]
+        x[index] = original + epsilon
+        plus = func(x)
+        x[index] = original - epsilon
+        minus = func(x)
+        x[index] = original
+        grad[index] = (plus - minus) / (2.0 * epsilon)
+        iterator.iternext()
+    return grad
+
+
+def check_layer_input_gradient(
+    layer: Layer,
+    input_array: np.ndarray,
+    epsilon: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compare the analytic input gradient of a layer with finite differences.
+
+    The scalar objective is ``sum(forward(x) * R)`` where ``R`` is a fixed
+    random projection; its analytic gradient is ``backward(R)``.
+
+    Returns
+    -------
+    (analytic, numerical):
+        The two gradients; an ``AssertionError`` is raised when they differ.
+    """
+    rng = np.random.default_rng(0)
+    output = layer.forward(np.array(input_array, copy=True), training=False)
+    projection = rng.standard_normal(output.shape)
+
+    analytic = layer.backward(projection)
+
+    def objective(x: np.ndarray) -> float:
+        return float(np.sum(layer.forward(x, training=False) * projection))
+
+    numerical = numerical_gradient(objective, np.array(input_array, copy=True), epsilon)
+    np.testing.assert_allclose(analytic, numerical, rtol=rtol, atol=atol)
+    return analytic, numerical
+
+
+def check_layer_parameter_gradients(
+    layer: Layer,
+    input_array: np.ndarray,
+    epsilon: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> Dict[str, np.ndarray]:
+    """Compare analytic parameter gradients with finite differences."""
+    rng = np.random.default_rng(1)
+    output = layer.forward(np.array(input_array, copy=True), training=False)
+    projection = rng.standard_normal(output.shape)
+
+    layer.forward(np.array(input_array, copy=True), training=False)
+    layer.backward(projection)
+    analytic = {k: np.array(v, copy=True) for k, v in layer.gradients().items()}
+
+    for name, param in layer.parameters().items():
+        def objective(values: np.ndarray, _name=name, _param=param) -> float:
+            original = np.array(_param, copy=True)
+            _param[...] = values
+            result = float(
+                np.sum(layer.forward(np.array(input_array, copy=True), training=False) * projection)
+            )
+            _param[...] = original
+            return result
+
+        numerical = numerical_gradient(objective, np.array(param, copy=True), epsilon)
+        np.testing.assert_allclose(
+            analytic[name], numerical, rtol=rtol, atol=atol,
+            err_msg=f"parameter gradient mismatch for {name!r}",
+        )
+    return analytic

@@ -1,0 +1,73 @@
+"""Weight initialisation schemes.
+
+The DeepCSI architecture uses SELU activations, whose self-normalising
+property requires LeCun-normal initialisation; the other schemes are provided
+for completeness and for the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Fan-in / fan-out of a weight tensor.
+
+    Dense weights have shape ``(in, out)``; convolution kernels have shape
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def lecun_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """LeCun normal initialisation: ``N(0, 1/fan_in)`` (for SELU networks)."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(1.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialisation: ``N(0, 2/fan_in)`` (for ReLU networks)."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def glorot_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot (Xavier) uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=tuple(shape))
+
+
+def zeros(shape: Sequence[int], rng: np.random.Generator = None) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    return np.zeros(tuple(shape))
+
+
+INITIALIZERS = {
+    "lecun_normal": lecun_normal,
+    "he_normal": he_normal,
+    "glorot_uniform": glorot_uniform,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initialiser by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown initializer {name!r}; expected one of {sorted(INITIALIZERS)}"
+        ) from exc

@@ -1,0 +1,108 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class LossError(ValueError):
+    """Raised for invalid loss inputs."""
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + categorical cross-entropy on integer class labels.
+
+    Operating on logits (rather than on explicit softmax outputs) keeps the
+    gradient numerically stable: ``d loss / d logits = softmax - onehot``.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise LossError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+        self._probabilities: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    @staticmethod
+    def softmax(logits: np.ndarray) -> np.ndarray:
+        """Numerically stable softmax over the last axis."""
+        shifted = logits - np.max(logits, axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / np.sum(exp, axis=-1, keepdims=True)
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy of a batch.
+
+        Parameters
+        ----------
+        logits:
+            Array of shape ``(batch, num_classes)``.
+        labels:
+            Integer class labels of shape ``(batch,)``.
+        """
+        logits = np.asarray(logits, dtype=float)
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise LossError("logits must have shape (batch, num_classes)")
+        if labels.shape != (logits.shape[0],):
+            raise LossError("labels must have shape (batch,)")
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise LossError("labels out of range for the given logits")
+
+        num_classes = logits.shape[1]
+        probabilities = self.softmax(logits)
+        targets = np.zeros_like(probabilities)
+        targets[np.arange(len(labels)), labels] = 1.0
+        if self.label_smoothing > 0.0:
+            targets = (
+                targets * (1.0 - self.label_smoothing)
+                + self.label_smoothing / num_classes
+            )
+        self._probabilities = probabilities
+        self._targets = targets
+        log_probs = np.log(np.clip(probabilities, 1e-12, None))
+        return float(-np.mean(np.sum(targets * log_probs, axis=1)))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._probabilities is None or self._targets is None:
+            raise LossError("backward called before forward")
+        batch = self._probabilities.shape[0]
+        return (self._probabilities - self._targets) / batch
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MeanSquaredError:
+    """Mean squared error, used by regression-style unit tests."""
+
+    def __init__(self) -> None:
+        self._difference: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise LossError("predictions and targets must have the same shape")
+        self._difference = predictions - targets
+        return float(np.mean(self._difference ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._difference is None:
+            raise LossError("backward called before forward")
+        return 2.0 * self._difference / self._difference.size
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+def accuracy(logits_or_probs: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    predictions = np.argmax(np.asarray(logits_or_probs), axis=-1)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise LossError("predictions and labels must have the same shape")
+    return float(np.mean(predictions == labels))

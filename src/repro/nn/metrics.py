@@ -1,0 +1,189 @@
+"""Classification metrics beyond plain accuracy.
+
+These helpers complement :mod:`repro.core.evaluation` (which focuses on the
+confusion matrices the paper reports) with the metrics a practitioner would
+want when deploying DeepCSI as an authentication system: top-k accuracy,
+per-class precision/recall/F1, macro averages, negative log-likelihood and
+expected calibration error of the softmax confidences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+class MetricError(ValueError):
+    """Raised for invalid metric inputs."""
+
+
+def _as_labels(values: Sequence[int]) -> np.ndarray:
+    labels = np.asarray(values, dtype=int)
+    if labels.ndim != 1 or labels.size == 0:
+        raise MetricError("labels must be a non-empty one-dimensional array")
+    return labels
+
+
+def _as_probabilities(values: np.ndarray) -> np.ndarray:
+    probabilities = np.asarray(values, dtype=float)
+    if probabilities.ndim != 2 or probabilities.size == 0:
+        raise MetricError("probabilities must have shape (num_samples, num_classes)")
+    if np.any(probabilities < -1e-9):
+        raise MetricError("probabilities must be non-negative")
+    return probabilities
+
+
+def top_k_accuracy(
+    true_labels: Sequence[int], probabilities: np.ndarray, k: int = 1
+) -> float:
+    """Fraction of samples whose true class is among the ``k`` most likely."""
+    labels = _as_labels(true_labels)
+    probabilities = _as_probabilities(probabilities)
+    if labels.shape[0] != probabilities.shape[0]:
+        raise MetricError("labels and probabilities must have the same length")
+    if not 1 <= k <= probabilities.shape[1]:
+        raise MetricError(f"k must be in 1..{probabilities.shape[1]}")
+    top_k = np.argsort(probabilities, axis=1)[:, -k:]
+    hits = np.any(top_k == labels[:, np.newaxis], axis=1)
+    return float(np.mean(hits))
+
+
+def negative_log_likelihood(
+    true_labels: Sequence[int], probabilities: np.ndarray, epsilon: float = 1e-12
+) -> float:
+    """Mean negative log-likelihood of the true class."""
+    labels = _as_labels(true_labels)
+    probabilities = _as_probabilities(probabilities)
+    if labels.shape[0] != probabilities.shape[0]:
+        raise MetricError("labels and probabilities must have the same length")
+    if labels.max() >= probabilities.shape[1] or labels.min() < 0:
+        raise MetricError("labels exceed the number of classes")
+    picked = probabilities[np.arange(len(labels)), labels]
+    return float(-np.mean(np.log(np.clip(picked, epsilon, None))))
+
+
+def expected_calibration_error(
+    true_labels: Sequence[int], probabilities: np.ndarray, num_bins: int = 10
+) -> float:
+    """Expected calibration error of the winning-class confidence.
+
+    Samples are binned by confidence; the ECE is the confidence-weighted mean
+    absolute gap between per-bin accuracy and per-bin mean confidence.
+    """
+    labels = _as_labels(true_labels)
+    probabilities = _as_probabilities(probabilities)
+    if labels.shape[0] != probabilities.shape[0]:
+        raise MetricError("labels and probabilities must have the same length")
+    if num_bins < 1:
+        raise MetricError("num_bins must be >= 1")
+    confidences = probabilities.max(axis=1)
+    predictions = probabilities.argmax(axis=1)
+    correct = (predictions == labels).astype(float)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    total = len(labels)
+    error = 0.0
+    for low, high in zip(edges[:-1], edges[1:]):
+        in_bin = (confidences > low) & (confidences <= high)
+        if low == 0.0:
+            in_bin |= confidences == 0.0
+        count = int(np.sum(in_bin))
+        if count == 0:
+            continue
+        bin_accuracy = float(np.mean(correct[in_bin]))
+        bin_confidence = float(np.mean(confidences[in_bin]))
+        error += (count / total) * abs(bin_accuracy - bin_confidence)
+    return float(error)
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """Precision / recall / F1 of one class."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+def per_class_metrics(
+    true_labels: Sequence[int],
+    predicted_labels: Sequence[int],
+    num_classes: Optional[int] = None,
+) -> Dict[int, ClassMetrics]:
+    """Precision, recall and F1 score for every class."""
+    truth = _as_labels(true_labels)
+    predictions = _as_labels(predicted_labels)
+    if truth.shape != predictions.shape:
+        raise MetricError("label arrays must have the same shape")
+    if num_classes is None:
+        num_classes = int(max(truth.max(), predictions.max())) + 1
+    metrics: Dict[int, ClassMetrics] = {}
+    for cls in range(num_classes):
+        true_positive = int(np.sum((truth == cls) & (predictions == cls)))
+        false_positive = int(np.sum((truth != cls) & (predictions == cls)))
+        false_negative = int(np.sum((truth == cls) & (predictions != cls)))
+        support = int(np.sum(truth == cls))
+        precision = (
+            true_positive / (true_positive + false_positive)
+            if true_positive + false_positive > 0
+            else 0.0
+        )
+        recall = (
+            true_positive / (true_positive + false_negative)
+            if true_positive + false_negative > 0
+            else 0.0
+        )
+        f1 = (
+            2.0 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        metrics[cls] = ClassMetrics(
+            precision=precision, recall=recall, f1=f1, support=support
+        )
+    return metrics
+
+
+def macro_f1(
+    true_labels: Sequence[int],
+    predicted_labels: Sequence[int],
+    num_classes: Optional[int] = None,
+) -> float:
+    """Unweighted mean of the per-class F1 scores."""
+    metrics = per_class_metrics(true_labels, predicted_labels, num_classes)
+    return float(np.mean([m.f1 for m in metrics.values()]))
+
+
+def balanced_accuracy(
+    true_labels: Sequence[int],
+    predicted_labels: Sequence[int],
+    num_classes: Optional[int] = None,
+) -> float:
+    """Mean per-class recall (robust to class imbalance)."""
+    metrics = per_class_metrics(true_labels, predicted_labels, num_classes)
+    supported = [m.recall for m in metrics.values() if m.support > 0]
+    if not supported:
+        raise MetricError("no class has any support")
+    return float(np.mean(supported))
+
+
+def format_metric_report(
+    true_labels: Sequence[int],
+    predicted_labels: Sequence[int],
+    num_classes: Optional[int] = None,
+) -> str:
+    """Text table with per-class precision / recall / F1 and macro averages."""
+    metrics = per_class_metrics(true_labels, predicted_labels, num_classes)
+    lines = [f"{'class':>5s} {'precision':>10s} {'recall':>8s} {'f1':>7s} {'support':>8s}"]
+    for cls, m in sorted(metrics.items()):
+        lines.append(
+            f"{cls:>5d} {m.precision:>10.3f} {m.recall:>8.3f} {m.f1:>7.3f} {m.support:>8d}"
+        )
+    lines.append(
+        f"macro F1 {macro_f1(true_labels, predicted_labels, num_classes):.3f}, "
+        f"balanced accuracy "
+        f"{balanced_accuracy(true_labels, predicted_labels, num_classes):.3f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Sequential model container."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.optimizers import ParameterTriple
+
+
+class ModelError(ValueError):
+    """Raised for invalid model operations."""
+
+
+class Sequential:
+    """A plain feed-forward stack of layers.
+
+    The model simply chains the layers' ``forward``/``backward`` methods and
+    exposes the trainable parameters with qualified names such as
+    ``"03_conv/weight"`` so the optimiser can keep per-parameter state.
+    """
+
+    def __init__(self, layers: Optional[Sequence[Layer]] = None) -> None:
+        self.layers: List[Layer] = list(layers) if layers is not None else []
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer and return ``self`` (for chaining)."""
+        self.layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full forward pass."""
+        if not self.layers:
+            raise ModelError("the model has no layers")
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Run the full backward pass and return the input gradient."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Forward pass in inference mode, processed in mini-batches."""
+        if batch_size < 1:
+            raise ModelError("batch_size must be >= 1")
+        outputs = []
+        for start in range(0, len(x), batch_size):
+            outputs.append(self.forward(x[start : start + batch_size], training=False))
+        return np.concatenate(outputs, axis=0)
+
+    def parameters(self) -> List[ParameterTriple]:
+        """All trainable parameters as ``(name, param, grad)`` triples."""
+        triples: List[ParameterTriple] = []
+        for index, layer in enumerate(self.layers):
+            params = layer.parameters()
+            grads = layer.gradients()
+            for key, value in params.items():
+                triples.append((f"{index:02d}_{layer.name}/{key}", value, grads[key]))
+        return triples
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars in the model."""
+        return int(sum(p.size for _, p, _ in self.parameters()))
+
+    def get_weights(self) -> List[np.ndarray]:
+        """Copies of every parameter array, in a deterministic order."""
+        return [np.array(param, copy=True) for _, param, _ in self.parameters()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Load parameter values previously produced by :meth:`get_weights`."""
+        triples = self.parameters()
+        if len(weights) != len(triples):
+            raise ModelError(
+                f"expected {len(triples)} weight arrays, got {len(weights)}"
+            )
+        for (_, param, _), value in zip(triples, weights):
+            value = np.asarray(value)
+            if value.shape != param.shape:
+                raise ModelError(
+                    f"weight shape mismatch: expected {param.shape}, got {value.shape}"
+                )
+            param[...] = value
+
+    def summary(self) -> str:
+        """Human-readable description of the model."""
+        lines = ["Sequential model"]
+        for index, layer in enumerate(self.layers):
+            lines.append(f"  [{index:02d}] {layer!r}  params={layer.num_parameters}")
+        lines.append(f"Total trainable parameters: {self.num_parameters}")
+        return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""First-order optimisers updating parameters in place."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+#: A parameter triple: (qualified name, parameter array, gradient array).
+ParameterTriple = Tuple[str, np.ndarray, np.ndarray]
+
+
+class OptimizerError(ValueError):
+    """Raised for invalid optimiser configurations."""
+
+
+class Optimizer:
+    """Base optimiser: keeps per-parameter state keyed by qualified name."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise OptimizerError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self._state: Dict[str, Dict[str, np.ndarray]] = {}
+
+    def step(self, parameters: Iterable[ParameterTriple]) -> None:
+        """Update every parameter in place using its gradient."""
+        for name, param, grad in parameters:
+            state = self._state.setdefault(name, {})
+            self._update(param, grad, state)
+
+    def _update(
+        self, param: np.ndarray, grad: np.ndarray, state: Dict[str, np.ndarray]
+    ) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all accumulated state (momentum, moments, ...)."""
+        self._state.clear()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise OptimizerError("momentum must be in [0, 1)")
+        if weight_decay < 0.0:
+            raise OptimizerError("weight_decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+
+    def _update(
+        self, param: np.ndarray, grad: np.ndarray, state: Dict[str, np.ndarray]
+    ) -> None:
+        effective = grad
+        if self.weight_decay > 0.0:
+            effective = effective + self.weight_decay * param
+        if self.momentum > 0.0:
+            velocity = state.setdefault("velocity", np.zeros_like(param))
+            velocity *= self.momentum
+            velocity -= self.learning_rate * effective
+            param += velocity
+        else:
+            param -= self.learning_rate * effective
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise OptimizerError("beta coefficients must be in [0, 1)")
+        if epsilon <= 0.0:
+            raise OptimizerError("epsilon must be positive")
+        if weight_decay < 0.0:
+            raise OptimizerError("weight_decay must be non-negative")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+
+    def _update(
+        self, param: np.ndarray, grad: np.ndarray, state: Dict[str, np.ndarray]
+    ) -> None:
+        effective = grad
+        if self.weight_decay > 0.0:
+            effective = effective + self.weight_decay * param
+        m = state.setdefault("m", np.zeros_like(param))
+        v = state.setdefault("v", np.zeros_like(param))
+        t = state.setdefault("t", np.zeros(1))
+        t += 1.0
+        m *= self.beta1
+        m += (1.0 - self.beta1) * effective
+        v *= self.beta2
+        v += (1.0 - self.beta2) * effective ** 2
+        m_hat = m / (1.0 - self.beta1 ** t[0])
+        v_hat = v / (1.0 - self.beta2 ** t[0])
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

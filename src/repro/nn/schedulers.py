@@ -1,0 +1,178 @@
+"""Learning-rate schedules for the numpy training substrate.
+
+A scheduler maps an epoch index to a learning rate and can be attached to any
+:class:`~repro.nn.optimizers.Optimizer` by calling :meth:`Scheduler.apply`
+before each epoch (the :class:`~repro.nn.training.Trainer` accepts one via
+its ``fit`` keyword or the schedule can be driven manually).
+
+All schedules are stateless dataclasses: the learning rate for epoch ``e`` is
+a pure function of ``e`` and the configuration, which keeps training runs
+reproducible and the schedules trivially serialisable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.nn.optimizers import Optimizer
+
+
+class SchedulerError(ValueError):
+    """Raised for invalid scheduler configurations."""
+
+
+class Scheduler:
+    """Base class: maps an epoch index to a learning rate."""
+
+    def learning_rate(self, epoch: int) -> float:
+        """Learning rate to use for the given (zero-based) epoch."""
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, epoch: int) -> float:
+        """Set the optimiser's learning rate for ``epoch`` and return it."""
+        rate = self.learning_rate(epoch)
+        optimizer.learning_rate = rate
+        return rate
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(Scheduler):
+    """A constant learning rate (the default behaviour of the trainer)."""
+
+    base_rate: float
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise SchedulerError("base_rate must be positive")
+
+    def learning_rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise SchedulerError("epoch must be non-negative")
+        return self.base_rate
+
+
+@dataclass(frozen=True)
+class StepDecay(Scheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    base_rate: float
+    step_size: int
+    gamma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise SchedulerError("base_rate must be positive")
+        if self.step_size < 1:
+            raise SchedulerError("step_size must be >= 1")
+        if not 0.0 < self.gamma <= 1.0:
+            raise SchedulerError("gamma must be in (0, 1]")
+
+    def learning_rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise SchedulerError("epoch must be non-negative")
+        return self.base_rate * self.gamma ** (epoch // self.step_size)
+
+
+@dataclass(frozen=True)
+class ExponentialDecay(Scheduler):
+    """Continuous exponential decay ``base_rate * decay**epoch``."""
+
+    base_rate: float
+    decay: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise SchedulerError("base_rate must be positive")
+        if not 0.0 < self.decay <= 1.0:
+            raise SchedulerError("decay must be in (0, 1]")
+
+    def learning_rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise SchedulerError("epoch must be non-negative")
+        return self.base_rate * self.decay ** epoch
+
+
+@dataclass(frozen=True)
+class CosineAnnealing(Scheduler):
+    """Cosine annealing from ``base_rate`` down to ``min_rate``.
+
+    The rate reaches ``min_rate`` at ``total_epochs - 1`` and stays there for
+    any later epoch (useful when early stopping ends training sooner or the
+    run is extended a little).
+    """
+
+    base_rate: float
+    total_epochs: int
+    min_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise SchedulerError("base_rate must be positive")
+        if self.total_epochs < 1:
+            raise SchedulerError("total_epochs must be >= 1")
+        if self.min_rate < 0 or self.min_rate > self.base_rate:
+            raise SchedulerError("min_rate must be in [0, base_rate]")
+
+    def learning_rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise SchedulerError("epoch must be non-negative")
+        if self.total_epochs == 1 or epoch >= self.total_epochs - 1:
+            return self.min_rate
+        progress = epoch / (self.total_epochs - 1)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_rate + (self.base_rate - self.min_rate) * cosine
+
+
+@dataclass(frozen=True)
+class WarmupSchedule(Scheduler):
+    """Linear warm-up for a few epochs, then delegate to another schedule."""
+
+    warmup_epochs: int
+    after: Scheduler
+
+    def __post_init__(self) -> None:
+        if self.warmup_epochs < 1:
+            raise SchedulerError("warmup_epochs must be >= 1")
+
+    def learning_rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise SchedulerError("epoch must be non-negative")
+        target = self.after.learning_rate(0)
+        if epoch < self.warmup_epochs:
+            return target * (epoch + 1) / self.warmup_epochs
+        return self.after.learning_rate(epoch - self.warmup_epochs)
+
+
+@dataclass(frozen=True)
+class PiecewiseSchedule(Scheduler):
+    """Explicit per-milestone learning rates.
+
+    ``milestones`` are epoch indices at which the rate changes to the
+    corresponding entry of ``rates``; before the first milestone the
+    ``base_rate`` applies.
+    """
+
+    base_rate: float
+    milestones: Sequence[int]
+    rates: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise SchedulerError("base_rate must be positive")
+        if len(self.milestones) != len(self.rates):
+            raise SchedulerError("milestones and rates must have the same length")
+        if list(self.milestones) != sorted(self.milestones):
+            raise SchedulerError("milestones must be sorted")
+        if any(rate <= 0 for rate in self.rates):
+            raise SchedulerError("all rates must be positive")
+
+    def learning_rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise SchedulerError("epoch must be non-negative")
+        rate = self.base_rate
+        for milestone, milestone_rate in zip(self.milestones, self.rates):
+            if epoch >= milestone:
+                rate = milestone_rate
+        return rate

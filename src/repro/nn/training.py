@@ -1,0 +1,246 @@
+"""Mini-batch training loop with validation and early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.losses import SoftmaxCrossEntropy, accuracy
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam, Optimizer
+
+
+class TrainingError(ValueError):
+    """Raised for invalid training configurations or inputs."""
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a training run.
+
+    Attributes
+    ----------
+    epochs:
+        Maximum number of passes over the training data.
+    batch_size:
+        Mini-batch size.
+    validation_split:
+        Fraction of the *last* part of the training data held out for
+        validation when no explicit validation set is supplied (the paper
+        holds out the last 20 % of the training traces).
+    shuffle:
+        Whether to reshuffle the training data every epoch.
+    early_stopping_patience:
+        Stop when the validation loss has not improved for this many epochs;
+        ``None`` disables early stopping.
+    verbose:
+        Print a one-line summary after every epoch.
+    seed:
+        Seed of the shuffling / dropout random generator.
+    """
+
+    epochs: int = 20
+    batch_size: int = 64
+    validation_split: float = 0.2
+    shuffle: bool = True
+    early_stopping_patience: Optional[int] = 5
+    verbose: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise TrainingError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise TrainingError("batch_size must be >= 1")
+        if not 0.0 <= self.validation_split < 1.0:
+            raise TrainingError("validation_split must be in [0, 1)")
+        if (
+            self.early_stopping_patience is not None
+            and self.early_stopping_patience < 1
+        ):
+            raise TrainingError("early_stopping_patience must be >= 1 or None")
+
+
+@dataclass
+class History:
+    """Per-epoch metrics collected during training."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        """Best validation accuracy seen during training (NaN if no val set)."""
+        return max(self.val_accuracy) if self.val_accuracy else float("nan")
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Plain-dict view of the history (useful for serialisation)."""
+        return {
+            "train_loss": list(self.train_loss),
+            "train_accuracy": list(self.train_accuracy),
+            "val_loss": list(self.val_loss),
+            "val_accuracy": list(self.val_accuracy),
+        }
+
+
+class Trainer:
+    """Trains a :class:`~repro.nn.model.Sequential` classifier."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        optimizer: Optional[Optimizer] = None,
+        loss: Optional[SoftmaxCrossEntropy] = None,
+        config: Optional[TrainingConfig] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer if optimizer is not None else Adam()
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+        self.config = config if config is not None else TrainingConfig()
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> History:
+        """Train the model and return the training history.
+
+        Parameters
+        ----------
+        features:
+            Training inputs; first axis is the sample axis.
+        labels:
+            Integer class labels.
+        validation_data:
+            Optional ``(features, labels)`` pair; when omitted the last
+            ``validation_split`` fraction of the training data is held out.
+        """
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        if len(features) != len(labels):
+            raise TrainingError("features and labels must have the same length")
+        if len(features) == 0:
+            raise TrainingError("cannot train on an empty dataset")
+
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        if validation_data is None and cfg.validation_split > 0.0:
+            # Shuffle before holding out the validation fraction so the split
+            # is stratified-in-expectation even when the caller passes the
+            # samples grouped by class (as the dataset containers do).
+            permutation = rng.permutation(len(features))
+            features, labels = features[permutation], labels[permutation]
+            split = int(round(len(features) * (1.0 - cfg.validation_split)))
+            split = max(1, min(split, len(features) - 1)) if len(features) > 1 else 1
+            val_features, val_labels = features[split:], labels[split:]
+            features, labels = features[:split], labels[:split]
+            if len(val_features) == 0:
+                val_features, val_labels = None, None
+        elif validation_data is not None:
+            val_features, val_labels = validation_data
+            val_features = np.asarray(val_features, dtype=float)
+            val_labels = np.asarray(val_labels)
+        else:
+            val_features, val_labels = None, None
+
+        history = History()
+        best_val_loss = np.inf
+        best_weights = None
+        patience_left = cfg.early_stopping_patience
+
+        for epoch in range(cfg.epochs):
+            order = np.arange(len(features))
+            if cfg.shuffle:
+                rng.shuffle(order)
+            epoch_losses = []
+            epoch_accuracies = []
+            for start in range(0, len(order), cfg.batch_size):
+                batch_idx = order[start : start + cfg.batch_size]
+                batch_x = features[batch_idx]
+                batch_y = labels[batch_idx]
+                logits = self.model.forward(batch_x, training=True)
+                loss_value = self.loss.forward(logits, batch_y)
+                grad = self.loss.backward()
+                self.model.backward(grad)
+                self.optimizer.step(self.model.parameters())
+                epoch_losses.append(loss_value)
+                epoch_accuracies.append(accuracy(logits, batch_y))
+
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            history.train_accuracy.append(float(np.mean(epoch_accuracies)))
+
+            if val_features is not None and len(val_features) > 0:
+                val_loss, val_acc = self.evaluate(val_features, val_labels)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                if cfg.verbose:
+                    print(
+                        f"epoch {epoch + 1:3d}/{cfg.epochs}: "
+                        f"loss={history.train_loss[-1]:.4f} "
+                        f"acc={history.train_accuracy[-1]:.3f} "
+                        f"val_loss={val_loss:.4f} val_acc={val_acc:.3f}"
+                    )
+                if cfg.early_stopping_patience is not None:
+                    if val_loss < best_val_loss - 1e-6:
+                        best_val_loss = val_loss
+                        best_weights = self.model.get_weights()
+                        patience_left = cfg.early_stopping_patience
+                    else:
+                        patience_left -= 1
+                        if patience_left <= 0:
+                            if best_weights is not None:
+                                self.model.set_weights(best_weights)
+                            break
+            elif cfg.verbose:
+                print(
+                    f"epoch {epoch + 1:3d}/{cfg.epochs}: "
+                    f"loss={history.train_loss[-1]:.4f} "
+                    f"acc={history.train_accuracy[-1]:.3f}"
+                )
+
+        if (
+            cfg.early_stopping_patience is not None
+            and best_weights is not None
+            and val_features is not None
+            and history.val_loss
+            and history.val_loss[-1] > best_val_loss
+        ):
+            self.model.set_weights(best_weights)
+        return history
+
+    def evaluate(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, float]:
+        """Return ``(loss, accuracy)`` of the model on the given data."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        if len(features) != len(labels):
+            raise TrainingError("features and labels must have the same length")
+        if len(features) == 0:
+            raise TrainingError("cannot evaluate on an empty dataset")
+        losses = []
+        correct = 0
+        for start in range(0, len(features), self.config.batch_size):
+            batch_x = features[start : start + self.config.batch_size]
+            batch_y = labels[start : start + self.config.batch_size]
+            logits = self.model.forward(batch_x, training=False)
+            losses.append(self.loss.forward(logits, batch_y) * len(batch_x))
+            correct += int(np.sum(np.argmax(logits, axis=1) == batch_y))
+        return float(np.sum(losses) / len(features)), correct / len(features)
+
+    def predict_labels(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class label for every input sample."""
+        logits = self.model.predict(np.asarray(features, dtype=float),
+                                    batch_size=self.config.batch_size)
+        return np.argmax(logits, axis=1)

@@ -1,0 +1,89 @@
+"""Wi-Fi PHY substrate for the DeepCSI reproduction.
+
+This package simulates every physical-layer component the paper's testbed
+relied on:
+
+* :mod:`repro.phy.ofdm` -- IEEE 802.11ac OFDM sub-carrier layouts for the
+  80 / 40 / 20 MHz channels used in the evaluation.
+* :mod:`repro.phy.geometry` -- the indoor geometry of Fig. 6 (room, the nine
+  beamformee positions, the A-B-C-D-B-A mobility path of the AP).
+* :mod:`repro.phy.channel` -- a geometric multipath channel model producing
+  the channel frequency response (CFR) of Eq. (2).
+* :mod:`repro.phy.fading` -- a spatially-correlated tapped-delay channel
+  whose position dependence has a tunable correlation length (used for
+  dataset generation).
+* :mod:`repro.phy.impairments` -- per-device RF-chain imperfection models
+  (the radio "fingerprint") and per-packet phase offsets (Eq. (9)).
+* :mod:`repro.phy.devices` -- Wi-Fi module / access-point / beamformee
+  abstractions and population factories.
+* :mod:`repro.phy.mimo` -- MIMO CFR assembly, SVD-based beamforming-matrix
+  computation (Eq. (3)) and MU-MIMO precoding with ISI/IUI metrics.
+* :mod:`repro.phy.mobility` -- waypoint mobility traces for dataset D2.
+"""
+
+from repro.phy.ofdm import (
+    OfdmConfig,
+    SubcarrierLayout,
+    sounding_layout,
+    subband_indices,
+)
+from repro.phy.geometry import (
+    Position,
+    RoomGeometry,
+    beamformee_positions,
+    mobility_waypoints,
+)
+from repro.phy.impairments import (
+    RfChainImpairment,
+    DeviceFingerprint,
+    PacketOffsets,
+    BeamformeeImpairment,
+)
+from repro.phy.channel import MultipathChannel, ChannelRealization
+from repro.phy.fading import (
+    GaussianRandomField,
+    SpatiallyCorrelatedChannel,
+    TappedDelayRealization,
+    spatial_correlation,
+)
+from repro.phy.devices import WiFiModule, AccessPoint, Beamformee, make_module_population
+from repro.phy.mimo import (
+    compute_cfr,
+    beamforming_matrix,
+    steering_weights,
+    mu_mimo_precoder,
+    interference_metrics,
+)
+from repro.phy.mobility import MobilityTrace, waypoint_path
+
+__all__ = [
+    "OfdmConfig",
+    "SubcarrierLayout",
+    "sounding_layout",
+    "subband_indices",
+    "Position",
+    "RoomGeometry",
+    "beamformee_positions",
+    "mobility_waypoints",
+    "RfChainImpairment",
+    "DeviceFingerprint",
+    "PacketOffsets",
+    "BeamformeeImpairment",
+    "MultipathChannel",
+    "ChannelRealization",
+    "GaussianRandomField",
+    "SpatiallyCorrelatedChannel",
+    "TappedDelayRealization",
+    "spatial_correlation",
+    "WiFiModule",
+    "AccessPoint",
+    "Beamformee",
+    "make_module_population",
+    "compute_cfr",
+    "beamforming_matrix",
+    "steering_weights",
+    "mu_mimo_precoder",
+    "interference_metrics",
+    "MobilityTrace",
+    "waypoint_path",
+]

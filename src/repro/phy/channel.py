@@ -1,0 +1,255 @@
+"""Geometric multipath channel model (substitute for the paper's testbed).
+
+The paper measures the channel frequency response (CFR) of Eq. (2) over the
+air; here the CFR is synthesised from a geometric multipath model:
+
+* a line-of-sight (direct) path between every TX/RX antenna pair,
+* first-order specular reflections off the four walls of the room (image
+  method), and
+* a configurable number of random point scatterers (furniture, bodies, ...)
+  whose positions are drawn once per *environment* so that different
+  beamformee positions observe different - but reproducible - channels.
+
+Every path ``p`` contributes ``A_p * exp(-j*2*pi*(f_c + k/T) * tau_p)`` to the
+CFR of sub-carrier ``k``, exactly the Eq. (2) structure.  Antenna geometry is
+handled exactly (per-element distances), which creates the position-dependent
+beam patterns that differentiate the S1/S2/S3 splits.
+
+Temporal variability (people moving near the AP during the D2 mobility
+captures) is modelled by per-packet perturbations of the scatterer gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.phy.geometry import Position, RoomGeometry
+from repro.phy.ofdm import SPEED_OF_LIGHT, SubcarrierLayout
+
+
+@dataclass(frozen=True)
+class PropagationPath:
+    """A single propagation path between the TX and RX antenna arrays.
+
+    Attributes
+    ----------
+    distances_m:
+        Exact path length for every TX/RX antenna pair, shape ``(M, N)``.
+    gain:
+        Complex path gain (common to all antenna pairs).
+    kind:
+        ``"los"``, ``"wall"`` or ``"scatter"`` - useful for diagnostics.
+    """
+
+    distances_m: np.ndarray
+    gain: complex
+    kind: str = "scatter"
+
+    @property
+    def mean_distance_m(self) -> float:
+        """Average path length across antenna pairs [m]."""
+        return float(np.mean(self.distances_m))
+
+
+@dataclass
+class ChannelRealization:
+    """A concrete set of propagation paths between a TX and an RX array."""
+
+    paths: List[PropagationPath]
+    carrier_frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise ValueError("a channel realization needs at least one path")
+        shape = self.paths[0].distances_m.shape
+        for path in self.paths:
+            if path.distances_m.shape != shape:
+                raise ValueError("all paths must share the same antenna geometry")
+
+    @property
+    def num_tx_antennas(self) -> int:
+        """Number of transmit antennas ``M``."""
+        return self.paths[0].distances_m.shape[0]
+
+    @property
+    def num_rx_antennas(self) -> int:
+        """Number of receive antennas ``N``."""
+        return self.paths[0].distances_m.shape[1]
+
+    def cfr(self, layout: SubcarrierLayout) -> np.ndarray:
+        """Channel frequency response ``H`` of shape ``(K, M, N)`` (Eq. 2)."""
+        frequencies = layout.frequencies_hz  # (K,)
+        delays = (
+            np.stack([path.distances_m for path in self.paths]) / SPEED_OF_LIGHT
+        )  # (P, M, N)
+        gains = np.array([path.gain for path in self.paths])  # (P,)
+        # phase[p, k, m, n] = -2*pi*f_k*tau[p, m, n]
+        phase = -2.0 * np.pi * frequencies[np.newaxis, :, np.newaxis, np.newaxis] * (
+            delays[:, np.newaxis, :, :]
+        )
+        contributions = gains[:, np.newaxis, np.newaxis, np.newaxis] * np.exp(1j * phase)
+        return np.sum(contributions, axis=0)
+
+    def perturbed(
+        self, rng: np.random.Generator, gain_jitter: float = 0.05, phase_jitter: float = 0.1
+    ) -> "ChannelRealization":
+        """Return a copy with small random per-path gain/phase perturbations.
+
+        Models packet-to-packet small-scale fading (e.g. the person moving
+        next to the AP during the D2 captures).  The line-of-sight path is
+        perturbed less than the scattered paths.
+        """
+        perturbed_paths = []
+        for path in self.paths:
+            scale = 0.3 if path.kind == "los" else 1.0
+            amplitude = 1.0 + scale * gain_jitter * rng.standard_normal()
+            phase = scale * phase_jitter * rng.standard_normal()
+            perturbed_paths.append(
+                PropagationPath(
+                    distances_m=path.distances_m,
+                    gain=path.gain * amplitude * np.exp(1j * phase),
+                    kind=path.kind,
+                )
+            )
+        return ChannelRealization(
+            paths=perturbed_paths, carrier_frequency_hz=self.carrier_frequency_hz
+        )
+
+
+@dataclass
+class MultipathChannel:
+    """Factory of :class:`ChannelRealization` objects for a given environment.
+
+    Attributes
+    ----------
+    room:
+        Room geometry used for wall reflections and scatterer placement.
+    num_scatterers:
+        Number of random point scatterers in the environment.
+    wall_reflection_loss:
+        Multiplicative amplitude loss of a wall reflection (0..1).
+    scatterer_gain:
+        Average amplitude of a scattered path relative to the direct path.
+    environment_seed:
+        Seed controlling the scatterer placement; two channels built with the
+        same seed share the same environment (as the two indoor environments
+        of the paper share the same layout).
+    """
+
+    room: RoomGeometry = field(default_factory=RoomGeometry)
+    num_scatterers: int = 6
+    wall_reflection_loss: float = 0.45
+    scatterer_gain: float = 0.35
+    environment_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_scatterers < 0:
+            raise ValueError("num_scatterers must be non-negative")
+        if not 0.0 <= self.wall_reflection_loss <= 1.0:
+            raise ValueError("wall_reflection_loss must be in [0, 1]")
+        rng = np.random.default_rng(self.environment_seed)
+        margin = 0.15
+        xs = rng.uniform(self.room.x_min + margin, self.room.x_max - margin, self.num_scatterers)
+        ys = rng.uniform(self.room.y_min + margin, self.room.y_max - margin, self.num_scatterers)
+        self._scatterers = [Position(float(x), float(y)) for x, y in zip(xs, ys)]
+        self._scatterer_phases = rng.uniform(0.0, 2.0 * np.pi, self.num_scatterers)
+        self._scatterer_amplitudes = self.scatterer_gain * (
+            0.5 + rng.uniform(0.0, 1.0, self.num_scatterers)
+        )
+
+    @property
+    def scatterers(self) -> List[Position]:
+        """Positions of the environment scatterers."""
+        return list(self._scatterers)
+
+    def realize(
+        self,
+        tx_elements: np.ndarray,
+        rx_elements: np.ndarray,
+        carrier_frequency_hz: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ChannelRealization:
+        """Build the set of propagation paths for the given antenna arrays.
+
+        Parameters
+        ----------
+        tx_elements:
+            TX antenna element coordinates, shape ``(M, 2)`` [m].
+        rx_elements:
+            RX antenna element coordinates, shape ``(N, 2)`` [m].
+        carrier_frequency_hz:
+            Carrier frequency (only stored for reference).
+        rng:
+            Optional generator used to randomise the scattered-path phases
+            slightly; if omitted the deterministic environment phases are
+            used.
+        """
+        tx_elements = np.asarray(tx_elements, dtype=float)
+        rx_elements = np.asarray(rx_elements, dtype=float)
+        if tx_elements.ndim != 2 or tx_elements.shape[1] != 2:
+            raise ValueError("tx_elements must have shape (M, 2)")
+        if rx_elements.ndim != 2 or rx_elements.shape[1] != 2:
+            raise ValueError("rx_elements must have shape (N, 2)")
+
+        paths: List[PropagationPath] = []
+
+        # Line of sight.
+        los_distances = _pairwise_distances(tx_elements, rx_elements)
+        los_gain = 1.0 / max(float(np.mean(los_distances)), 1e-3)
+        paths.append(
+            PropagationPath(distances_m=los_distances, gain=los_gain, kind="los")
+        )
+
+        # First-order wall reflections via image sources of the TX array.
+        tx_centre = Position(*np.mean(tx_elements, axis=0))
+        for image in self.room.wall_images(tx_centre):
+            offset = image.as_array() - tx_centre.as_array()
+            image_elements = tx_elements + offset[np.newaxis, :]
+            distances = _pairwise_distances(image_elements, rx_elements)
+            mean_d = max(float(np.mean(distances)), 1e-3)
+            gain = self.wall_reflection_loss / mean_d
+            # A reflection flips the phase (perfect-conductor approximation).
+            paths.append(
+                PropagationPath(distances_m=distances, gain=-gain, kind="wall")
+            )
+
+        # Random scatterers: TX -> scatterer -> RX.
+        for idx, scatterer in enumerate(self._scatterers):
+            point = scatterer.as_array()
+            d_tx = np.linalg.norm(tx_elements - point[np.newaxis, :], axis=1)  # (M,)
+            d_rx = np.linalg.norm(rx_elements - point[np.newaxis, :], axis=1)  # (N,)
+            distances = d_tx[:, np.newaxis] + d_rx[np.newaxis, :]
+            mean_d = max(float(np.mean(distances)), 1e-3)
+            phase = self._scatterer_phases[idx]
+            if rng is not None:
+                phase = phase + rng.normal(0.0, 0.05)
+            gain = self._scatterer_amplitudes[idx] / mean_d * np.exp(1j * phase)
+            paths.append(
+                PropagationPath(distances_m=distances, gain=gain, kind="scatter")
+            )
+
+        return ChannelRealization(
+            paths=paths, carrier_frequency_hz=carrier_frequency_hz
+        )
+
+
+def _pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Distances between every row of ``a`` (shape (M,2)) and ``b`` (shape (N,2))."""
+    diff = a[:, np.newaxis, :] - b[np.newaxis, :, :]
+    return np.linalg.norm(diff, axis=2)
+
+
+def delay_spread(realization: ChannelRealization) -> float:
+    """Root-mean-square delay spread of a channel realization [s].
+
+    A convenience diagnostic used by the examples: it quantifies how
+    frequency-selective a given TX/RX placement is.
+    """
+    delays = np.array([p.mean_distance_m for p in realization.paths]) / SPEED_OF_LIGHT
+    powers = np.array([abs(p.gain) ** 2 for p in realization.paths])
+    powers = powers / np.sum(powers)
+    mean_delay = float(np.sum(powers * delays))
+    return float(np.sqrt(np.sum(powers * (delays - mean_delay) ** 2)))

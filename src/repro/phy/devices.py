@@ -1,0 +1,247 @@
+"""Device abstractions: Wi-Fi modules, access points and beamformees.
+
+The paper fingerprints ten Compex WLE1216v5-23 modules mounted one at a time
+on the same Gateworks SBC + antennas, so the only thing that changes between
+classes is the module's RF circuitry.  This module mirrors that setup:
+
+* :class:`WiFiModule` -- a radio module identified by ``module_id`` carrying a
+  :class:`~repro.phy.impairments.DeviceFingerprint`.
+* :class:`AccessPoint` -- the beamformer: a module plugged into a fixed
+  antenna array at a given position.
+* :class:`Beamformee` -- a station with its own receive-chain impairments,
+  antenna array and position.
+* :func:`make_module_population` -- deterministic factory of a population of
+  modules (default ten, like the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.phy.geometry import Position, uniform_linear_array
+from repro.phy.impairments import BeamformeeImpairment, DeviceFingerprint
+from repro.phy.ofdm import SPEED_OF_LIGHT, DEFAULT_CARRIER_FREQUENCY_HZ
+
+#: Number of TX antennas the AP uses for DL MU-MIMO sounding in the paper.
+DEFAULT_NUM_TX_ANTENNAS = 3
+#: Number of RX antennas enabled at each beamformee in dataset D1.
+DEFAULT_NUM_RX_ANTENNAS = 2
+#: Number of Wi-Fi modules in the paper's population.
+DEFAULT_NUM_MODULES = 10
+
+
+def half_wavelength_spacing(
+    carrier_frequency_hz: float = DEFAULT_CARRIER_FREQUENCY_HZ,
+) -> float:
+    """Half-wavelength antenna spacing for the given carrier frequency [m]."""
+    return SPEED_OF_LIGHT / carrier_frequency_hz / 2.0
+
+
+@dataclass(frozen=True)
+class WiFiModule:
+    """A Wi-Fi radio module: the entity DeepCSI authenticates.
+
+    Attributes
+    ----------
+    module_id:
+        Integer identifier (the classification label).
+    fingerprint:
+        Stable per-chain hardware impairments of the module.
+    name:
+        Human-readable name, e.g. ``"compex-03"``.
+    """
+
+    module_id: int
+    fingerprint: DeviceFingerprint
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.module_id < 0:
+            raise ValueError("module_id must be non-negative")
+
+    @property
+    def num_tx_chains(self) -> int:
+        """Number of transmit chains of the module."""
+        return self.fingerprint.num_chains
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """The DL MU-MIMO beamformer: a module on a fixed antenna array.
+
+    Attributes
+    ----------
+    module:
+        The Wi-Fi module currently plugged into the SBC.
+    position:
+        Array phase-centre position in the room.
+    num_antennas:
+        Number of TX antennas used for sounding (``M``); must not exceed the
+        module's number of chains.
+    antenna_spacing_m:
+        Element spacing of the uniform linear array.
+    orientation_rad:
+        Azimuth of the array axis with respect to the room's ``x`` axis.
+        ``0`` (the default) reproduces the static testbed; the D2 mobility
+        traces add a small random yaw to model the AP being carried by hand.
+    """
+
+    module: WiFiModule
+    position: Position
+    num_antennas: int = DEFAULT_NUM_TX_ANTENNAS
+    antenna_spacing_m: float = field(
+        default_factory=half_wavelength_spacing
+    )
+    orientation_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_antennas < 1:
+            raise ValueError("num_antennas must be >= 1")
+        if self.num_antennas > self.module.num_tx_chains:
+            raise ValueError(
+                f"AP uses {self.num_antennas} antennas but module "
+                f"{self.module.module_id} only has {self.module.num_tx_chains} chains"
+            )
+
+    def antenna_elements(self) -> np.ndarray:
+        """TX antenna element coordinates, shape ``(M, 2)``."""
+        if self.orientation_rad == 0.0:
+            return uniform_linear_array(
+                self.position, self.num_antennas, self.antenna_spacing_m, axis="x"
+            )
+        offsets = (
+            np.arange(self.num_antennas) - (self.num_antennas - 1) / 2.0
+        ) * self.antenna_spacing_m
+        direction = np.array(
+            [np.cos(self.orientation_rad), np.sin(self.orientation_rad)]
+        )
+        return (
+            self.position.as_array()[np.newaxis, :]
+            + offsets[:, np.newaxis] * direction[np.newaxis, :]
+        )
+
+    def moved_to(self, position: Position) -> "AccessPoint":
+        """Return a copy of the AP relocated to ``position`` (for D2)."""
+        return replace(self, position=position)
+
+    def rotated(self, orientation_rad: float) -> "AccessPoint":
+        """Return a copy of the AP with the array yawed to ``orientation_rad``."""
+        return replace(self, orientation_rad=orientation_rad)
+
+    def with_module(self, module: WiFiModule) -> "AccessPoint":
+        """Return a copy of the AP with a different module plugged in."""
+        return replace(self, module=module)
+
+
+@dataclass(frozen=True)
+class Beamformee:
+    """A station receiving DL MU-MIMO streams and sending the feedback.
+
+    Attributes
+    ----------
+    station_id:
+        Integer identifier (1 or 2 in the paper).
+    position:
+        Antenna array phase-centre position.
+    num_antennas:
+        Number of enabled RX antennas (``N``).
+    num_streams:
+        Number of spatial streams served to this station (``N_SS <= N``).
+    impairment:
+        Receive-chain impairments of the station.
+    antenna_spacing_m:
+        Element spacing of the station's array.
+    """
+
+    station_id: int
+    position: Position
+    num_antennas: int = DEFAULT_NUM_RX_ANTENNAS
+    num_streams: int = DEFAULT_NUM_RX_ANTENNAS
+    impairment: Optional[BeamformeeImpairment] = None
+    antenna_spacing_m: float = field(default_factory=half_wavelength_spacing)
+
+    def __post_init__(self) -> None:
+        if self.num_antennas < 1:
+            raise ValueError("num_antennas must be >= 1")
+        if not 1 <= self.num_streams <= self.num_antennas:
+            raise ValueError("num_streams must be in 1..num_antennas")
+        if (
+            self.impairment is not None
+            and self.impairment.num_chains < self.num_antennas
+        ):
+            raise ValueError("impairment must cover every enabled RX antenna")
+
+    def antenna_elements(self) -> np.ndarray:
+        """RX antenna element coordinates, shape ``(N, 2)``."""
+        return uniform_linear_array(
+            self.position, self.num_antennas, self.antenna_spacing_m, axis="x"
+        )
+
+    def moved_to(self, position: Position) -> "Beamformee":
+        """Return a copy of the station relocated to ``position``."""
+        return replace(self, position=position)
+
+
+def make_module_population(
+    num_modules: int = DEFAULT_NUM_MODULES,
+    num_chains: int = 4,
+    fingerprint_strength: float = 1.0,
+    seed: int = 2022,
+) -> List[WiFiModule]:
+    """Create a reproducible population of Wi-Fi modules.
+
+    Parameters
+    ----------
+    num_modules:
+        Number of modules (classes) to generate.
+    num_chains:
+        Number of TX chains per module.  The paper's Compex modules have four
+        chains of which three are used for MU-MIMO sounding.
+    fingerprint_strength:
+        Relative magnitude of the hardware impairments; ``1.0`` corresponds
+        to realistic consumer-grade hardware.
+    seed:
+        Base seed; module ``i`` uses ``seed + i`` so adding modules never
+        changes existing fingerprints.
+    """
+    if num_modules < 1:
+        raise ValueError("num_modules must be >= 1")
+    modules = []
+    for module_id in range(num_modules):
+        rng = np.random.default_rng(seed + module_id)
+        fingerprint = DeviceFingerprint.random(
+            rng, num_chains=num_chains, strength=fingerprint_strength
+        )
+        modules.append(
+            WiFiModule(
+                module_id=module_id,
+                fingerprint=fingerprint,
+                name=f"compex-{module_id:02d}",
+            )
+        )
+    return modules
+
+
+def make_beamformee(
+    station_id: int,
+    position: Position,
+    num_antennas: int = DEFAULT_NUM_RX_ANTENNAS,
+    num_streams: Optional[int] = None,
+    impairment_strength: float = 0.6,
+    seed: int = 7_000,
+) -> Beamformee:
+    """Create a beamformee with reproducible receive-chain impairments."""
+    rng = np.random.default_rng(seed + station_id)
+    impairment = BeamformeeImpairment.random(
+        rng, num_chains=num_antennas, strength=impairment_strength
+    )
+    return Beamformee(
+        station_id=station_id,
+        position=position,
+        num_antennas=num_antennas,
+        num_streams=num_streams if num_streams is not None else num_antennas,
+        impairment=impairment,
+    )

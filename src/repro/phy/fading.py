@@ -1,0 +1,495 @@
+"""Spatially-correlated tapped-delay channel model.
+
+The purely geometric model of :mod:`repro.phy.channel` is physically faithful
+but decorrelates almost completely between beamformee positions that are only
+10 cm apart: at 5.21 GHz a 10 cm displacement changes every reflected-path
+phase by several wavelengths.  The paper's measurements behave differently --
+the feedback features that the classifier relies on vary *smoothly* enough
+with position that training on the odd positions lets the network interpolate
+to the even ones (split S2), while positions far outside the training range
+(split S3) or a moving AP (dataset D2) look like a different channel.
+
+This module provides a channel whose position dependence has an explicit,
+tunable **correlation length**:
+
+* :class:`GaussianRandomField` -- a smooth complex random field over TX/RX
+  positions built from random Fourier features; its autocorrelation is
+  approximately a squared exponential with the requested correlation length.
+* :class:`ChannelTap` -- one tap of a tapped-delay-line channel: a delay, a
+  departure/arrival direction and a gain field evaluated at the current
+  TX/RX placement.
+* :class:`SpatiallyCorrelatedChannel` -- the environment: a line-of-sight tap
+  (delay and directions from the actual geometry) plus a configurable number
+  of diffuse taps.  ``realize()`` produces a :class:`TappedDelayRealization`
+  that exposes the same ``cfr()`` / ``perturbed()`` interface as
+  :class:`repro.phy.channel.ChannelRealization`, so it can be used as a
+  drop-in substitute everywhere a channel model is expected.
+
+The trade-off between the two models is documented in DESIGN.md: the
+geometric model is used for the physics-level unit tests, the correlated
+model for dataset generation because its correlation length is the knob that
+reproduces the paper's position-generalisation results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.phy.geometry import Position
+from repro.phy.ofdm import SPEED_OF_LIGHT, SubcarrierLayout
+
+#: Default correlation length of the diffuse-gain fields [m].
+DEFAULT_CORRELATION_LENGTH_M = 0.25
+#: Default Rician K-factor (line-of-sight to diffuse power ratio), linear.
+DEFAULT_RICIAN_K = 2.0
+#: Default number of diffuse taps.
+DEFAULT_NUM_TAPS = 8
+#: Default maximum excess delay of the diffuse taps [s].
+DEFAULT_MAX_EXCESS_DELAY_S = 80e-9
+
+
+class FadingModelError(ValueError):
+    """Raised for invalid fading-model configurations."""
+
+
+@dataclass(frozen=True)
+class GaussianRandomField:
+    """Smooth complex random field over a low-dimensional position space.
+
+    The field is a sum of ``num_features`` complex plane waves whose spatial
+    frequencies are drawn from a zero-mean normal distribution with standard
+    deviation ``1 / correlation_length``; by Bochner's theorem the resulting
+    field has (approximately) a squared-exponential autocorrelation
+    ``exp(-|dp|^2 / (2 L^2))`` and unit average power.
+
+    Attributes
+    ----------
+    frequencies:
+        Spatial frequencies, shape ``(num_features, dims)`` [rad/m].
+    phases:
+        Per-feature phase offsets, shape ``(num_features,)``.
+    weights:
+        Complex per-feature weights, shape ``(num_features,)``.
+    """
+
+    frequencies: np.ndarray
+    phases: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.frequencies.ndim != 2:
+            raise FadingModelError("frequencies must have shape (num_features, dims)")
+        num_features = self.frequencies.shape[0]
+        if self.phases.shape != (num_features,) or self.weights.shape != (num_features,):
+            raise FadingModelError("phases and weights must match the feature count")
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the position space."""
+        return self.frequencies.shape[1]
+
+    def value(self, point: np.ndarray) -> complex:
+        """Field value at a single point of shape ``(dims,)``."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dims,):
+            raise FadingModelError(
+                f"point must have shape ({self.dims},), got {point.shape}"
+            )
+        args = self.frequencies @ point + self.phases
+        total = np.sum(self.weights * np.exp(1j * args))
+        return complex(total / np.sqrt(len(self.weights)))
+
+    def values(self, points: np.ndarray) -> np.ndarray:
+        """Field values at many points, shape ``(num_points, dims)``."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[1] != self.dims:
+            raise FadingModelError(
+                f"points must have shape (num_points, {self.dims})"
+            )
+        args = points @ self.frequencies.T + self.phases[np.newaxis, :]
+        return (np.exp(1j * args) @ self.weights) / np.sqrt(len(self.weights))
+
+    @staticmethod
+    def random(
+        rng: np.random.Generator,
+        dims: int,
+        correlation_length_m: float,
+        num_features: int = 48,
+    ) -> "GaussianRandomField":
+        """Draw a random field with the requested correlation length."""
+        if dims < 1:
+            raise FadingModelError("dims must be >= 1")
+        if correlation_length_m <= 0:
+            raise FadingModelError("correlation_length_m must be positive")
+        if num_features < 1:
+            raise FadingModelError("num_features must be >= 1")
+        frequencies = rng.normal(
+            0.0, 1.0 / correlation_length_m, size=(num_features, dims)
+        )
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=num_features)
+        weights = (
+            rng.standard_normal(num_features) + 1j * rng.standard_normal(num_features)
+        ) / np.sqrt(2.0)
+        return GaussianRandomField(
+            frequencies=frequencies, phases=phases, weights=weights
+        )
+
+
+@dataclass(frozen=True)
+class ChannelTap:
+    """One tap of the tapped-delay-line channel.
+
+    Attributes
+    ----------
+    excess_delay_s:
+        Delay of the tap in excess of the line-of-sight delay [s].
+    amplitude:
+        Average amplitude of the tap (relative to the line of sight).
+    departure_direction:
+        Unit vector of the departure direction in the room plane.
+    arrival_direction:
+        Unit vector of the arrival direction in the room plane.
+    gain_field:
+        Complex gain as a smooth function of the concatenated
+        ``(tx_x, tx_y, rx_x, rx_y)`` placement.
+    kind:
+        ``"los"`` or ``"diffuse"``.
+    """
+
+    excess_delay_s: float
+    amplitude: float
+    departure_direction: np.ndarray
+    arrival_direction: np.ndarray
+    gain_field: Optional[GaussianRandomField]
+    kind: str = "diffuse"
+
+    def gain(self, tx_centre: np.ndarray, rx_centre: np.ndarray) -> complex:
+        """Complex tap gain for the given TX/RX array centres."""
+        if self.gain_field is None:
+            return complex(self.amplitude)
+        point = np.concatenate([tx_centre, rx_centre])
+        return complex(self.amplitude * self.gain_field.value(point))
+
+
+@dataclass(frozen=True)
+class RealizedTap:
+    """A tap bound to concrete antenna arrays (steering phases resolved)."""
+
+    delay_s: float
+    gain: complex
+    tx_steering: np.ndarray
+    rx_steering: np.ndarray
+    kind: str = "diffuse"
+
+    def __post_init__(self) -> None:
+        if self.tx_steering.ndim != 1 or self.rx_steering.ndim != 1:
+            raise FadingModelError("steering vectors must be one-dimensional")
+
+
+@dataclass
+class TappedDelayRealization:
+    """A concrete tapped-delay channel between a TX and an RX antenna array.
+
+    Interface-compatible with :class:`repro.phy.channel.ChannelRealization`:
+    exposes ``cfr(layout)``, ``perturbed(rng, ...)`` and the antenna-count
+    properties, so :func:`repro.phy.mimo.compute_cfr` can consume it without
+    modification.
+    """
+
+    taps: List[RealizedTap]
+    carrier_frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if not self.taps:
+            raise FadingModelError("a realization needs at least one tap")
+        num_tx = len(self.taps[0].tx_steering)
+        num_rx = len(self.taps[0].rx_steering)
+        for tap in self.taps:
+            if len(tap.tx_steering) != num_tx or len(tap.rx_steering) != num_rx:
+                raise FadingModelError("all taps must share the antenna geometry")
+
+    @property
+    def num_tx_antennas(self) -> int:
+        """Number of transmit antennas ``M``."""
+        return len(self.taps[0].tx_steering)
+
+    @property
+    def num_rx_antennas(self) -> int:
+        """Number of receive antennas ``N``."""
+        return len(self.taps[0].rx_steering)
+
+    def cfr(self, layout: SubcarrierLayout) -> np.ndarray:
+        """Channel frequency response ``H`` of shape ``(K, M, N)``.
+
+        Every tap contributes
+        ``gain * a_tx(m) * a_rx(n) * exp(-j*2*pi*f_k*delay)`` -- the Eq. (2)
+        structure with the per-antenna-pair delay replaced by a steering
+        approximation (valid because the arrays are small compared to the
+        propagation distances).
+        """
+        frequencies = layout.frequencies_hz  # (K,)
+        gains = np.array([tap.gain for tap in self.taps])  # (T,)
+        delays = np.array([tap.delay_s for tap in self.taps])  # (T,)
+        tx_steering = np.stack([tap.tx_steering for tap in self.taps])  # (T, M)
+        rx_steering = np.stack([tap.rx_steering for tap in self.taps])  # (T, N)
+        # phase[t, k] = -2*pi*f_k*tau_t
+        phase = -2.0 * np.pi * frequencies[np.newaxis, :] * delays[:, np.newaxis]
+        per_tap = gains[:, np.newaxis] * np.exp(1j * phase)  # (T, K)
+        spatial = tx_steering[:, :, np.newaxis] * rx_steering[:, np.newaxis, :]  # (T, M, N)
+        return np.einsum("tk,tmn->kmn", per_tap, spatial)
+
+    def perturbed(
+        self,
+        rng: np.random.Generator,
+        gain_jitter: float = 0.05,
+        phase_jitter: float = 0.1,
+    ) -> "TappedDelayRealization":
+        """Copy with per-packet gain/phase jitter (small-scale fading).
+
+        The line-of-sight tap is perturbed less than the diffuse taps, as in
+        the geometric model.
+        """
+        perturbed_taps = []
+        for tap in self.taps:
+            scale = 0.3 if tap.kind == "los" else 1.0
+            amplitude = 1.0 + scale * gain_jitter * rng.standard_normal()
+            phase = scale * phase_jitter * rng.standard_normal()
+            perturbed_taps.append(
+                RealizedTap(
+                    delay_s=tap.delay_s,
+                    gain=tap.gain * amplitude * np.exp(1j * phase),
+                    tx_steering=tap.tx_steering,
+                    rx_steering=tap.rx_steering,
+                    kind=tap.kind,
+                )
+            )
+        return TappedDelayRealization(
+            taps=perturbed_taps, carrier_frequency_hz=self.carrier_frequency_hz
+        )
+
+
+def _unit_vector(angle_rad: float) -> np.ndarray:
+    """Unit vector in the room plane for a given azimuth angle."""
+    return np.array([np.cos(angle_rad), np.sin(angle_rad)], dtype=float)
+
+
+def _steering_vector(
+    elements: np.ndarray, direction: np.ndarray, carrier_frequency_hz: float
+) -> np.ndarray:
+    """Narrow-band steering vector of an arbitrary planar array.
+
+    ``elements`` has shape ``(A, 2)`` (element coordinates in metres) and
+    ``direction`` is a unit vector pointing *away* from the array.  The phase
+    reference is the array centroid so a single-element array always returns
+    ``[1.0]``.
+    """
+    elements = np.asarray(elements, dtype=float)
+    centre = np.mean(elements, axis=0)
+    offsets = elements - centre[np.newaxis, :]
+    wavelength = SPEED_OF_LIGHT / carrier_frequency_hz
+    projections = offsets @ np.asarray(direction, dtype=float)
+    return np.exp(-2j * np.pi * projections / wavelength)
+
+
+@dataclass
+class SpatiallyCorrelatedChannel:
+    """Tapped-delay channel whose taps fade smoothly with TX/RX position.
+
+    Attributes
+    ----------
+    num_taps:
+        Number of diffuse taps (the line of sight is added on top).
+    rician_k:
+        Line-of-sight to total-diffuse power ratio (linear).  Larger values
+        make the channel more deterministic and position dependence weaker.
+    correlation_length_m:
+        Correlation length of every diffuse-tap gain field; the channel seen
+        by a terminal decorrelates over displacements of roughly this size.
+    max_excess_delay_s:
+        Largest excess delay of the diffuse taps; controls how
+        frequency-selective the channel is across the sounded band.
+    delay_decay:
+        Exponential power-decay constant of the diffuse taps (power of tap
+        ``t`` is proportional to ``exp(-delay_decay * t / num_taps)``).
+    environment_seed:
+        Seed fixing the tap delays, directions and gain fields (the
+        "environment").
+    num_field_features:
+        Number of random Fourier features per gain field.
+    """
+
+    num_taps: int = DEFAULT_NUM_TAPS
+    rician_k: float = DEFAULT_RICIAN_K
+    correlation_length_m: float = DEFAULT_CORRELATION_LENGTH_M
+    max_excess_delay_s: float = DEFAULT_MAX_EXCESS_DELAY_S
+    delay_decay: float = 2.0
+    environment_seed: int = 0
+    num_field_features: int = 48
+
+    def __post_init__(self) -> None:
+        if self.num_taps < 1:
+            raise FadingModelError("num_taps must be >= 1")
+        if self.rician_k < 0:
+            raise FadingModelError("rician_k must be non-negative")
+        if self.correlation_length_m <= 0:
+            raise FadingModelError("correlation_length_m must be positive")
+        if self.max_excess_delay_s <= 0:
+            raise FadingModelError("max_excess_delay_s must be positive")
+        rng = np.random.default_rng(self.environment_seed)
+        # Diffuse-tap delays are spread over (0, max_excess_delay]; powers
+        # decay exponentially with delay, as in standard indoor models.
+        raw_delays = np.sort(rng.uniform(0.05, 1.0, size=self.num_taps))
+        self._tap_delays = raw_delays * self.max_excess_delay_s
+        powers = np.exp(-self.delay_decay * raw_delays)
+        powers = powers / np.sum(powers)
+        self._tap_amplitudes = np.sqrt(powers)
+        self._tap_departures = rng.uniform(0.0, 2.0 * np.pi, size=self.num_taps)
+        self._tap_arrivals = rng.uniform(0.0, 2.0 * np.pi, size=self.num_taps)
+        self._tap_fields = [
+            GaussianRandomField.random(
+                rng,
+                dims=4,
+                correlation_length_m=self.correlation_length_m,
+                num_features=self.num_field_features,
+            )
+            for _ in range(self.num_taps)
+        ]
+
+    def taps(self) -> List[ChannelTap]:
+        """The diffuse taps of the environment (without the line of sight)."""
+        taps = []
+        for index in range(self.num_taps):
+            taps.append(
+                ChannelTap(
+                    excess_delay_s=float(self._tap_delays[index]),
+                    amplitude=float(self._tap_amplitudes[index]),
+                    departure_direction=_unit_vector(self._tap_departures[index]),
+                    arrival_direction=_unit_vector(self._tap_arrivals[index]),
+                    gain_field=self._tap_fields[index],
+                    kind="diffuse",
+                )
+            )
+        return taps
+
+    def realize(
+        self,
+        tx_elements: np.ndarray,
+        rx_elements: np.ndarray,
+        carrier_frequency_hz: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> TappedDelayRealization:
+        """Resolve the channel for concrete TX/RX antenna arrays.
+
+        Parameters
+        ----------
+        tx_elements / rx_elements:
+            Antenna element coordinates, shapes ``(M, 2)`` and ``(N, 2)``.
+        carrier_frequency_hz:
+            Carrier frequency used for the steering phases.
+        rng:
+            Unused (accepted for interface compatibility with
+            :class:`repro.phy.channel.MultipathChannel`).
+        """
+        tx_elements = np.asarray(tx_elements, dtype=float)
+        rx_elements = np.asarray(rx_elements, dtype=float)
+        if tx_elements.ndim != 2 or tx_elements.shape[1] != 2:
+            raise FadingModelError("tx_elements must have shape (M, 2)")
+        if rx_elements.ndim != 2 or rx_elements.shape[1] != 2:
+            raise FadingModelError("rx_elements must have shape (N, 2)")
+        tx_centre = np.mean(tx_elements, axis=0)
+        rx_centre = np.mean(rx_elements, axis=0)
+
+        separation = rx_centre - tx_centre
+        distance = float(np.linalg.norm(separation))
+        distance = max(distance, 1e-3)
+        los_direction = separation / distance
+        los_delay = distance / SPEED_OF_LIGHT
+        # Total diffuse power is 1 by construction; the LoS amplitude follows
+        # from the Rician K-factor.  A 1/distance spreading loss is applied to
+        # everything, which only affects the absolute CFR scale.
+        spreading = 1.0 / distance
+        los_amplitude = np.sqrt(self.rician_k) * spreading
+
+        realized: List[RealizedTap] = []
+        realized.append(
+            RealizedTap(
+                delay_s=los_delay,
+                gain=complex(los_amplitude),
+                tx_steering=_steering_vector(
+                    tx_elements, los_direction, carrier_frequency_hz
+                ),
+                rx_steering=_steering_vector(
+                    rx_elements, -los_direction, carrier_frequency_hz
+                ),
+                kind="los",
+            )
+        )
+        for tap in self.taps():
+            gain = tap.gain(tx_centre, rx_centre) * spreading
+            realized.append(
+                RealizedTap(
+                    delay_s=los_delay + tap.excess_delay_s,
+                    gain=gain,
+                    tx_steering=_steering_vector(
+                        tx_elements, tap.departure_direction, carrier_frequency_hz
+                    ),
+                    rx_steering=_steering_vector(
+                        rx_elements, tap.arrival_direction, carrier_frequency_hz
+                    ),
+                    kind="diffuse",
+                )
+            )
+        return TappedDelayRealization(
+            taps=realized, carrier_frequency_hz=carrier_frequency_hz
+        )
+
+
+def spatial_correlation(
+    channel: SpatiallyCorrelatedChannel,
+    reference: Position,
+    displacements_m: Sequence[float],
+    carrier_frequency_hz: float,
+    probe: Optional[Position] = None,
+    num_references: int = 12,
+    reference_spread_m: float = 0.6,
+) -> List[Tuple[float, float]]:
+    """Empirical channel correlation versus RX displacement.
+
+    For every displacement ``d`` the diffuse tap-gain vector is evaluated at a
+    grid of reference RX positions around ``reference`` and at the same
+    positions shifted laterally by ``d``; the reported value is the magnitude
+    of the normalised inner product averaged over the reference grid (the
+    averaging keeps the estimate stable even with few taps).  Useful to
+    verify -- and to document in the benchmarks -- that the configured
+    correlation length behaves as intended.
+    """
+    if num_references < 1:
+        raise FadingModelError("num_references must be >= 1")
+    tx_position = probe if probe is not None else Position(0.0, 0.0)
+    tx_centre = tx_position.as_array()
+    taps = channel.taps()
+
+    def tap_gains(rx_position: Position) -> np.ndarray:
+        rx_centre = rx_position.as_array()
+        return np.array(
+            [tap.gain(tx_centre, rx_centre) for tap in taps], dtype=complex
+        )
+
+    offsets = np.linspace(-reference_spread_m, reference_spread_m, num_references)
+    references = [reference.translated(0.0, float(offset)) for offset in offsets]
+    base_gains = [tap_gains(position) for position in references]
+
+    results = []
+    for displacement in displacements_m:
+        values = []
+        for position, base in zip(references, base_gains):
+            shifted = tap_gains(position.translated(float(displacement), 0.0))
+            denom = np.linalg.norm(base) * np.linalg.norm(shifted)
+            values.append(
+                np.abs(np.vdot(base, shifted)) / denom if denom > 0 else 0.0
+            )
+        results.append((float(displacement), float(np.mean(values))))
+    return results

@@ -1,0 +1,223 @@
+"""Indoor geometry of the paper's experimental setup (Fig. 6).
+
+The testbed places the access point (beamformer) at one end of a room and the
+two beamformees roughly three metres away.  For dataset D1 the beamformees
+are moved sideways in 10 cm steps over nine positions; for dataset D2 the
+beamformees stay at position 3 while the AP is moved along the waypoint path
+A - B - C - D - B - A (80 cm forward, 80 cm left, 160 cm right, back).
+
+The geometry here reproduces those distances.  Coordinates are expressed in
+metres in a right-handed frame where the AP's nominal position A is the
+origin, ``x`` grows towards the right of Fig. 6 and ``y`` grows towards the
+beamformees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the horizontal plane of the room, in metres."""
+
+    x: float
+    y: float
+
+    def as_array(self) -> np.ndarray:
+        """Return the position as a ``(2,)`` numpy array."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to another position [m]."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+    def translated(self, dx: float, dy: float) -> "Position":
+        """Return a copy shifted by ``(dx, dy)`` metres."""
+        return Position(self.x + dx, self.y + dy)
+
+
+#: Nominal AP position (yellow star A in Fig. 6).
+AP_POSITION_A = Position(0.0, 0.0)
+#: Mobility waypoints of Fig. 6: 0.8 m forward (B), 0.8 m left (C),
+#: 1.6 m right of C i.e. 0.8 m right of B (D).
+AP_POSITION_B = Position(0.0, 0.8)
+AP_POSITION_C = Position(-0.8, 0.8)
+AP_POSITION_D = Position(0.8, 0.8)
+
+#: Distance from the AP to the beamformee row [m] (Fig. 6: 3 m).
+BEAMFORMEE_ROW_DISTANCE = 3.0
+#: Initial lateral offsets of the two beamformees from the room axis [m].
+#: Beamformee 1 starts 0.75 m left of the axis, beamformee 2 0.75 m right
+#: (1.5 m separation per Fig. 6) with a 0.1 m asymmetry.
+BEAMFORMEE1_START = Position(-0.75, BEAMFORMEE_ROW_DISTANCE)
+BEAMFORMEE2_START = Position(0.85, BEAMFORMEE_ROW_DISTANCE)
+#: Lateral step between consecutive D1 positions [m].
+POSITION_STEP = 0.10
+#: Number of beamformee position pairs in dataset D1.
+NUM_D1_POSITIONS = 9
+
+
+@dataclass(frozen=True)
+class RoomGeometry:
+    """Rectangular room used by the multipath model for wall reflections.
+
+    The room is axis-aligned; ``x_min``/``x_max`` bound the lateral extent
+    and ``y_min``/``y_max`` the longitudinal extent.  The default matches the
+    Fig. 6 footprint (3 m wide corridor-like area, about 6 m long) with the
+    AP placed 1 m from the back wall.
+    """
+
+    x_min: float = -1.9
+    x_max: float = 1.9
+    y_min: float = -1.0
+    y_max: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.x_min >= self.x_max or self.y_min >= self.y_max:
+            raise ValueError("room bounds must be non-degenerate")
+
+    @property
+    def width(self) -> float:
+        """Lateral extent of the room [m]."""
+        return self.x_max - self.x_min
+
+    @property
+    def length(self) -> float:
+        """Longitudinal extent of the room [m]."""
+        return self.y_max - self.y_min
+
+    def contains(self, position: Position, margin: float = 0.0) -> bool:
+        """Whether ``position`` lies inside the room (within ``margin``)."""
+        return (
+            self.x_min - margin <= position.x <= self.x_max + margin
+            and self.y_min - margin <= position.y <= self.y_max + margin
+        )
+
+    def wall_images(self, source: Position) -> List[Position]:
+        """First-order image sources of ``source`` across the four walls.
+
+        The image method models a single specular reflection off each wall as
+        a virtual source mirrored across that wall; the multipath model uses
+        these to build deterministic reflected paths.
+        """
+        return [
+            Position(2 * self.x_min - source.x, source.y),
+            Position(2 * self.x_max - source.x, source.y),
+            Position(source.x, 2 * self.y_min - source.y),
+            Position(source.x, 2 * self.y_max - source.y),
+        ]
+
+
+def beamformee_positions(position_id: int) -> Tuple[Position, Position]:
+    """Positions of the two beamformees for D1 position ``position_id``.
+
+    Position identifiers follow Fig. 6: ``1`` places both beamformees at
+    their starting points (directly facing the AP); each subsequent position
+    moves beamformee 1 a further 10 cm to the left and beamformee 2 a further
+    10 cm to the right.
+
+    Parameters
+    ----------
+    position_id:
+        Integer in ``1..9``.
+
+    Returns
+    -------
+    (beamformee1, beamformee2):
+        Positions of the two stations.
+    """
+    if not 1 <= position_id <= NUM_D1_POSITIONS:
+        raise ValueError(
+            f"position_id must be in 1..{NUM_D1_POSITIONS}, got {position_id}"
+        )
+    offset = (position_id - 1) * POSITION_STEP
+    bf1 = BEAMFORMEE1_START.translated(-offset, 0.0)
+    bf2 = BEAMFORMEE2_START.translated(offset, 0.0)
+    return bf1, bf2
+
+
+def all_beamformee_positions() -> Dict[int, Tuple[Position, Position]]:
+    """Mapping of every D1 position id to the two beamformee positions."""
+    return {pid: beamformee_positions(pid) for pid in range(1, NUM_D1_POSITIONS + 1)}
+
+
+def mobility_waypoints() -> List[Position]:
+    """Waypoints of the D2 mobility path A-B-C-D-B-A (Fig. 6)."""
+    return [
+        AP_POSITION_A,
+        AP_POSITION_B,
+        AP_POSITION_C,
+        AP_POSITION_D,
+        AP_POSITION_B,
+        AP_POSITION_A,
+    ]
+
+
+def mobility_subpath(name: str) -> List[Position]:
+    """Waypoints of a named sub-path of the mobility route.
+
+    ``"ABCB"`` is the first half of the route (used for training in the
+    Fig. 17b experiment) and ``"BDB"`` the second half (used for testing).
+    ``"full"`` returns the complete A-B-C-D-B-A route.
+    """
+    routes: Dict[str, List[Position]] = {
+        "full": mobility_waypoints(),
+        "ABCB": [AP_POSITION_A, AP_POSITION_B, AP_POSITION_C, AP_POSITION_B],
+        "BDB": [AP_POSITION_B, AP_POSITION_D, AP_POSITION_B],
+    }
+    try:
+        return list(routes[name])
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown sub-path {name!r}; expected one of {sorted(routes)}"
+        ) from exc
+
+
+def uniform_linear_array(
+    centre: Position, num_antennas: int, spacing_m: float, axis: str = "x"
+) -> np.ndarray:
+    """Antenna element coordinates of a uniform linear array (ULA).
+
+    Parameters
+    ----------
+    centre:
+        Array phase centre.
+    num_antennas:
+        Number of elements.
+    spacing_m:
+        Inter-element spacing in metres (typically half a wavelength).
+    axis:
+        ``"x"`` (array parallel to the lateral axis) or ``"y"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(num_antennas, 2)`` with element positions.
+    """
+    if num_antennas < 1:
+        raise ValueError("num_antennas must be >= 1")
+    if spacing_m <= 0:
+        raise ValueError("spacing_m must be positive")
+    offsets = (np.arange(num_antennas) - (num_antennas - 1) / 2.0) * spacing_m
+    coords = np.tile(centre.as_array(), (num_antennas, 1))
+    if axis == "x":
+        coords[:, 0] += offsets
+    elif axis == "y":
+        coords[:, 1] += offsets
+    else:
+        raise ValueError("axis must be 'x' or 'y'")
+    return coords
+
+
+def path_length(points: Sequence[Position]) -> float:
+    """Total length of a polyline through ``points`` [m]."""
+    if len(points) < 2:
+        return 0.0
+    total = 0.0
+    for first, second in zip(points[:-1], points[1:]):
+        total += first.distance_to(second)
+    return total

@@ -1,0 +1,412 @@
+"""RF-chain impairment models: the radio fingerprint and per-packet offsets.
+
+DeepCSI's core intuition is that the imperfections of the transmitter's radio
+circuitry percolate into the CFR estimated at the beamformee and therefore
+into the compressed beamforming feedback.  In the paper these imperfections
+come from ten physical Compex Wi-Fi modules; here they are modelled
+parametrically so that a synthetic dataset exhibits the same structure:
+
+* :class:`RfChainImpairment` -- the *stable*, device-unique frequency response
+  of a single RF chain: gain offset, smooth gain ripple, constant phase
+  offset, group-delay skew (a linear phase slope over frequency), smooth
+  phase ripple and a small IQ imbalance.
+* :class:`DeviceFingerprint` -- one impairment per transmit chain of a Wi-Fi
+  module.  Applying it to a clean CFR yields the CFR a beamformee would
+  actually estimate for that module.
+* :class:`BeamformeeImpairment` -- the receive-chain counterpart.  It explains
+  why a model trained on the feedback of one beamformee does not transfer to
+  another beamformee (Fig. 11): the feedback carries the imperfections of
+  *both* ends of the link.
+* :class:`PacketOffsets` -- the *per-packet random* phase offsets of Eq. (9)
+  (CFO, SFO, packet-detection delay, PLL offset, phase ambiguity).  These are
+  not useful as a fingerprint on their own because they change packet by
+  packet, but they are part of the measured CFR and the offset-correction
+  baseline of Fig. 16 attempts to remove them (taking part of the device
+  fingerprint with them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Default strength (relative magnitude) of the device-unique impairments.
+DEFAULT_FINGERPRINT_STRENGTH = 1.0
+
+
+@dataclass(frozen=True)
+class RfChainImpairment:
+    """Stable frequency response of one RF chain.
+
+    The complex response applied to sub-carrier ``k`` (index relative to the
+    channel centre, spacing ``delta_f``) is::
+
+        g(k) = (1 + gain_offset + sum_i gain_ripple[i] * cos(2*pi*f_i*k + p_i))
+               * exp(j * (phase_offset + 2*pi*k*delta_f*delay_skew_s
+                          + sum_i phase_ripple[i] * sin(2*pi*f_i*k + q_i)))
+
+    plus a small IQ-imbalance term that mixes in the conjugate response.
+
+    Attributes
+    ----------
+    gain_offset:
+        Broadband gain error (relative, e.g. ``0.05`` for +5 %).
+    gain_ripple_amplitudes / gain_ripple_periods / gain_ripple_phases:
+        Amplitudes, periods (in sub-carriers) and phases of the slowly-varying
+        gain ripple components.
+    phase_offset_rad:
+        Constant phase rotation of the chain.
+    delay_skew_s:
+        Group-delay difference of the chain relative to the reference chain;
+        produces a phase slope ``2*pi*k*delta_f*delay_skew_s`` across
+        sub-carriers.
+    phase_ripple_amplitudes / phase_ripple_periods / phase_ripple_phases:
+        Slowly-varying phase ripple components [rad].
+    iq_amplitude_imbalance / iq_phase_imbalance_rad:
+        Amplitude and phase imbalance between the I and Q branches.
+    """
+
+    gain_offset: float = 0.0
+    gain_ripple_amplitudes: tuple = ()
+    gain_ripple_periods: tuple = ()
+    gain_ripple_phases: tuple = ()
+    phase_offset_rad: float = 0.0
+    delay_skew_s: float = 0.0
+    phase_ripple_amplitudes: tuple = ()
+    phase_ripple_periods: tuple = ()
+    phase_ripple_phases: tuple = ()
+    iq_amplitude_imbalance: float = 0.0
+    iq_phase_imbalance_rad: float = 0.0
+
+    def response(
+        self, subcarrier_indices: np.ndarray, subcarrier_spacing_hz: float
+    ) -> np.ndarray:
+        """Complex chain response evaluated on the given sub-carriers.
+
+        Parameters
+        ----------
+        subcarrier_indices:
+            Integer sub-carrier indices ``k``.
+        subcarrier_spacing_hz:
+            Sub-carrier spacing ``delta_f`` [Hz].
+
+        Returns
+        -------
+        numpy.ndarray
+            Complex array with one response sample per sub-carrier.
+        """
+        k = np.asarray(subcarrier_indices, dtype=float)
+        gain = np.full_like(k, 1.0 + self.gain_offset)
+        for amp, period, phase in zip(
+            self.gain_ripple_amplitudes,
+            self.gain_ripple_periods,
+            self.gain_ripple_phases,
+        ):
+            gain = gain + amp * np.cos(2.0 * np.pi * k / period + phase)
+
+        phase = np.full_like(k, self.phase_offset_rad)
+        phase = phase + 2.0 * np.pi * k * subcarrier_spacing_hz * self.delay_skew_s
+        for amp, period, offset in zip(
+            self.phase_ripple_amplitudes,
+            self.phase_ripple_periods,
+            self.phase_ripple_phases,
+        ):
+            phase = phase + amp * np.sin(2.0 * np.pi * k / period + offset)
+
+        direct = gain * np.exp(1j * phase)
+        if self.iq_amplitude_imbalance == 0.0 and self.iq_phase_imbalance_rad == 0.0:
+            return direct
+        # A (small) IQ imbalance leaks a scaled conjugate image into the
+        # response; modelled to first order.
+        epsilon = self.iq_amplitude_imbalance
+        theta = self.iq_phase_imbalance_rad
+        leakage = 0.5 * (epsilon + 1j * theta)
+        return direct * (1.0 + leakage) + np.conj(direct) * leakage
+
+    @staticmethod
+    def random(
+        rng: np.random.Generator,
+        strength: float = DEFAULT_FINGERPRINT_STRENGTH,
+        num_ripple_components: int = 3,
+    ) -> "RfChainImpairment":
+        """Draw a random but *stable* chain impairment.
+
+        The draw is deterministic given ``rng``'s state, so a fingerprint
+        seeded from a module identifier is reproducible across runs.
+        """
+        if strength < 0:
+            raise ValueError("strength must be non-negative")
+        n = int(num_ripple_components)
+        # The amplitude terms (broadband gain error, gain ripple, IQ
+        # imbalance) are the most channel-robust part of the fingerprint and
+        # are what lets the classifier generalise to unseen positions; the
+        # phase terms are highly discriminative but channel-entangled.
+        return RfChainImpairment(
+            gain_offset=float(rng.normal(0.0, 0.10 * strength)),
+            gain_ripple_amplitudes=tuple(
+                np.abs(rng.normal(0.0, 0.045 * strength, size=n))
+            ),
+            gain_ripple_periods=tuple(rng.uniform(40.0, 200.0, size=n)),
+            gain_ripple_phases=tuple(rng.uniform(0.0, 2.0 * np.pi, size=n)),
+            phase_offset_rad=float(rng.uniform(-np.pi, np.pi) * min(strength, 1.0)),
+            delay_skew_s=float(rng.normal(0.0, 4e-9 * strength)),
+            phase_ripple_amplitudes=tuple(
+                np.abs(rng.normal(0.0, 0.03 * strength, size=n))
+            ),
+            phase_ripple_periods=tuple(rng.uniform(40.0, 200.0, size=n)),
+            phase_ripple_phases=tuple(rng.uniform(0.0, 2.0 * np.pi, size=n)),
+            iq_amplitude_imbalance=float(rng.normal(0.0, 0.02 * strength)),
+            iq_phase_imbalance_rad=float(rng.normal(0.0, 0.015 * strength)),
+        )
+
+
+@dataclass(frozen=True)
+class DeviceFingerprint:
+    """Per-transmit-chain impairments of a Wi-Fi module (the fingerprint)."""
+
+    chains: tuple
+
+    def __post_init__(self) -> None:
+        if not self.chains:
+            raise ValueError("a device fingerprint needs at least one chain")
+
+    @property
+    def num_chains(self) -> int:
+        """Number of transmit chains covered by this fingerprint."""
+        return len(self.chains)
+
+    def response_matrix(
+        self, subcarrier_indices: np.ndarray, subcarrier_spacing_hz: float
+    ) -> np.ndarray:
+        """Complex response of every chain: shape ``(K, num_chains)``."""
+        responses = [
+            chain.response(subcarrier_indices, subcarrier_spacing_hz)
+            for chain in self.chains
+        ]
+        return np.stack(responses, axis=1)
+
+    def apply(
+        self,
+        cfr: np.ndarray,
+        subcarrier_indices: np.ndarray,
+        subcarrier_spacing_hz: float,
+    ) -> np.ndarray:
+        """Apply the fingerprint to a clean CFR.
+
+        Parameters
+        ----------
+        cfr:
+            Clean channel frequency response of shape ``(K, M, N)`` where
+            ``M`` is the number of transmit antennas.
+        subcarrier_indices:
+            Sub-carrier indices matching the first axis of ``cfr``.
+        subcarrier_spacing_hz:
+            Sub-carrier spacing [Hz].
+
+        Returns
+        -------
+        numpy.ndarray
+            Impaired CFR of the same shape as ``cfr``.
+        """
+        cfr = np.asarray(cfr)
+        if cfr.ndim != 3:
+            raise ValueError("cfr must have shape (K, M, N)")
+        if cfr.shape[1] > self.num_chains:
+            raise ValueError(
+                f"CFR uses {cfr.shape[1]} TX antennas but the fingerprint "
+                f"only covers {self.num_chains} chains"
+            )
+        response = self.response_matrix(subcarrier_indices, subcarrier_spacing_hz)
+        return cfr * response[:, : cfr.shape[1], np.newaxis]
+
+    @staticmethod
+    def random(
+        rng: np.random.Generator,
+        num_chains: int,
+        strength: float = DEFAULT_FINGERPRINT_STRENGTH,
+    ) -> "DeviceFingerprint":
+        """Draw a random fingerprint with ``num_chains`` transmit chains."""
+        if num_chains < 1:
+            raise ValueError("num_chains must be >= 1")
+        chains = tuple(
+            RfChainImpairment.random(rng, strength=strength) for _ in range(num_chains)
+        )
+        return DeviceFingerprint(chains=chains)
+
+
+@dataclass(frozen=True)
+class BeamformeeImpairment:
+    """Per-receive-chain impairments of a beamformee (station)."""
+
+    chains: tuple
+
+    def __post_init__(self) -> None:
+        if not self.chains:
+            raise ValueError("a beamformee impairment needs at least one chain")
+
+    @property
+    def num_chains(self) -> int:
+        """Number of receive chains covered by this impairment."""
+        return len(self.chains)
+
+    def apply(
+        self,
+        cfr: np.ndarray,
+        subcarrier_indices: np.ndarray,
+        subcarrier_spacing_hz: float,
+    ) -> np.ndarray:
+        """Apply the receive-chain responses to a CFR of shape ``(K, M, N)``."""
+        cfr = np.asarray(cfr)
+        if cfr.ndim != 3:
+            raise ValueError("cfr must have shape (K, M, N)")
+        if cfr.shape[2] > self.num_chains:
+            raise ValueError(
+                f"CFR uses {cfr.shape[2]} RX antennas but the impairment "
+                f"only covers {self.num_chains} chains"
+            )
+        responses = [
+            chain.response(subcarrier_indices, subcarrier_spacing_hz)
+            for chain in self.chains[: cfr.shape[2]]
+        ]
+        response = np.stack(responses, axis=1)  # (K, N)
+        return cfr * response[:, np.newaxis, :]
+
+    @staticmethod
+    def random(
+        rng: np.random.Generator,
+        num_chains: int,
+        strength: float = 0.6,
+    ) -> "BeamformeeImpairment":
+        """Draw a random receive-chain impairment."""
+        if num_chains < 1:
+            raise ValueError("num_chains must be >= 1")
+        chains = tuple(
+            RfChainImpairment.random(rng, strength=strength) for _ in range(num_chains)
+        )
+        return BeamformeeImpairment(chains=chains)
+
+
+@dataclass(frozen=True)
+class PacketOffsets:
+    """Per-packet random phase offsets of Eq. (9).
+
+    Attributes
+    ----------
+    cfo_phase_rad:
+        Residual carrier-frequency-offset phase :math:`\\theta_{CFO}`.
+    sfo_delay_s:
+        Sampling-frequency-offset equivalent delay :math:`\\tau_{SFO}`.
+    pdd_delay_s:
+        Packet-detection delay :math:`\\tau_{PDD}`.
+    pll_phase_rad:
+        Phase-locked-loop initial phase :math:`\\theta_{PPO}`.
+    antenna_phase_ambiguity_rad:
+        Per-transmit-antenna phase ambiguity :math:`\\theta_{PA}` (multiples
+        of :math:`\\pi` in the paper's model).
+    """
+
+    cfo_phase_rad: float
+    sfo_delay_s: float
+    pdd_delay_s: float
+    pll_phase_rad: float
+    antenna_phase_ambiguity_rad: tuple
+
+    def phase(
+        self,
+        subcarrier_indices: np.ndarray,
+        symbol_duration_s: float,
+        num_tx_antennas: int,
+    ) -> np.ndarray:
+        """Total phase offset per (sub-carrier, TX antenna): shape ``(K, M)``.
+
+        Implements Eq. (9):
+        ``theta = theta_CFO - 2*pi*k*(tau_SFO + tau_PDD)/T + theta_PPO + theta_PA``.
+        """
+        if num_tx_antennas > len(self.antenna_phase_ambiguity_rad):
+            raise ValueError(
+                "not enough per-antenna phase-ambiguity terms for the CFR"
+            )
+        k = np.asarray(subcarrier_indices, dtype=float)
+        common = (
+            self.cfo_phase_rad
+            - 2.0 * np.pi * k * (self.sfo_delay_s + self.pdd_delay_s) / symbol_duration_s
+            + self.pll_phase_rad
+        )
+        per_antenna = np.asarray(
+            self.antenna_phase_ambiguity_rad[:num_tx_antennas], dtype=float
+        )
+        return common[:, np.newaxis] + per_antenna[np.newaxis, :]
+
+    def apply(
+        self,
+        cfr: np.ndarray,
+        subcarrier_indices: np.ndarray,
+        symbol_duration_s: float,
+    ) -> np.ndarray:
+        """Rotate a CFR of shape ``(K, M, N)`` by the packet offsets (Eq. 10)."""
+        cfr = np.asarray(cfr)
+        if cfr.ndim != 3:
+            raise ValueError("cfr must have shape (K, M, N)")
+        phase = self.phase(subcarrier_indices, symbol_duration_s, cfr.shape[1])
+        return cfr * np.exp(1j * phase)[:, :, np.newaxis]
+
+    @staticmethod
+    def random(
+        rng: np.random.Generator,
+        num_tx_antennas: int,
+        cfo_std_rad: float = np.pi / 4,
+        sfo_std_s: float = 20e-9,
+        pdd_std_s: float = 50e-9,
+        pa_flip_probability: float = 0.5,
+    ) -> "PacketOffsets":
+        """Draw the random offsets affecting a single sounding packet.
+
+        ``pa_flip_probability`` is the probability that the phase-ambiguity
+        term of a transmit antenna takes the value ``pi`` instead of ``0``;
+        set it to zero to model a transmitter whose PLL phase ambiguity is
+        stable over the observation window.
+        """
+        if not 0.0 <= pa_flip_probability <= 1.0:
+            raise ValueError("pa_flip_probability must be in [0, 1]")
+        ambiguities = tuple(
+            float(np.pi) if rng.random() < pa_flip_probability else 0.0
+            for _ in range(num_tx_antennas)
+        )
+        return PacketOffsets(
+            cfo_phase_rad=float(rng.normal(0.0, cfo_std_rad)),
+            sfo_delay_s=float(abs(rng.normal(0.0, sfo_std_s))),
+            pdd_delay_s=float(abs(rng.normal(0.0, pdd_std_s))),
+            pll_phase_rad=float(rng.uniform(-np.pi, np.pi)),
+            antenna_phase_ambiguity_rad=ambiguities,
+        )
+
+    @staticmethod
+    def none(num_tx_antennas: int) -> "PacketOffsets":
+        """Offsets that leave the CFR untouched (useful in tests)."""
+        return PacketOffsets(
+            cfo_phase_rad=0.0,
+            sfo_delay_s=0.0,
+            pdd_delay_s=0.0,
+            pll_phase_rad=0.0,
+            antenna_phase_ambiguity_rad=tuple(0.0 for _ in range(num_tx_antennas)),
+        )
+
+
+def thermal_noise(
+    rng: np.random.Generator, shape: Sequence[int], snr_db: float, signal_power: float
+) -> np.ndarray:
+    """Complex Gaussian estimation noise for a target SNR.
+
+    The beamformee estimates the CFR from the VHT-LTFs of the NDP; the
+    estimate is corrupted by thermal noise.  ``signal_power`` is the average
+    power of the CFR entries and ``snr_db`` the estimation SNR.
+    """
+    if signal_power < 0:
+        raise ValueError("signal_power must be non-negative")
+    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    scale = np.sqrt(noise_power / 2.0)
+    return scale * (
+        rng.standard_normal(tuple(shape)) + 1j * rng.standard_normal(tuple(shape))
+    )

@@ -1,0 +1,321 @@
+"""MIMO CFR assembly, SVD beamforming and MU-MIMO precoding.
+
+This module ties the channel model, the device impairments and the OFDM
+layout together:
+
+* :func:`compute_cfr` builds the CFR a beamformee estimates from the NDP,
+  including the beamformer fingerprint, the beamformee's own receive-chain
+  response, the per-packet phase offsets of Eq. (9) and estimation noise.
+* :func:`beamforming_matrix` computes the per-sub-carrier beamforming matrix
+  ``V_k`` (first ``N_SS`` columns of the right-singular-vector matrix of
+  ``H_k^T``, Eq. (3)).
+* :func:`steering_weights` / :func:`mu_mimo_precoder` compute single-user and
+  multi-user steering matrices; :func:`interference_metrics` quantifies the
+  residual inter-stream (ISI) and inter-user (IUI) interference, which the
+  paper argues never contaminates the feedback because the NDP is sent
+  un-beamformed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.phy.channel import ChannelRealization, MultipathChannel
+from repro.phy.devices import AccessPoint, Beamformee
+from repro.phy.impairments import PacketOffsets, thermal_noise
+from repro.phy.ofdm import SubcarrierLayout
+
+
+@dataclass(frozen=True)
+class SoundingResult:
+    """Everything produced by a single NDP sounding towards one beamformee.
+
+    Attributes
+    ----------
+    cfr:
+        Estimated CFR ``H`` of shape ``(K, M, N)``.
+    v_matrix:
+        Beamforming matrix ``V`` of shape ``(K, M, N_SS)`` derived from the
+        CFR through Eq. (3).
+    """
+
+    cfr: np.ndarray
+    v_matrix: np.ndarray
+
+
+def compute_cfr(
+    access_point: AccessPoint,
+    beamformee: Beamformee,
+    channel: MultipathChannel,
+    layout: SubcarrierLayout,
+    rng: np.random.Generator,
+    packet_offsets: Optional[PacketOffsets] = None,
+    snr_db: float = 30.0,
+    fading_jitter: float = 0.03,
+    realization: Optional[ChannelRealization] = None,
+    pa_flip_probability: float = 0.5,
+) -> np.ndarray:
+    """CFR estimated by ``beamformee`` from an NDP sent by ``access_point``.
+
+    Parameters
+    ----------
+    access_point:
+        The beamformer (module + antenna array + position).
+    beamformee:
+        The station estimating the channel.
+    channel:
+        Multipath environment model.
+    layout:
+        Sub-carrier layout of the sounded channel.
+    rng:
+        Random generator for fading, packet offsets and estimation noise.
+    packet_offsets:
+        Per-packet phase offsets; drawn randomly when omitted.
+    snr_db:
+        Channel-estimation SNR at the beamformee.
+    fading_jitter:
+        Standard deviation of the per-packet path-gain perturbation.
+    realization:
+        Pre-computed channel realization to reuse (avoids recomputing the
+        geometry for every packet of a static trace).
+    pa_flip_probability:
+        Probability of a per-antenna ``pi`` phase ambiguity when the packet
+        offsets are drawn internally (ignored when ``packet_offsets`` is
+        given).
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex CFR of shape ``(K, M, N)``.
+    """
+    cfg = layout.config
+    if realization is None:
+        realization = channel.realize(
+            access_point.antenna_elements(),
+            beamformee.antenna_elements(),
+            cfg.carrier_frequency_hz,
+        )
+    perturbed = realization.perturbed(
+        rng, gain_jitter=fading_jitter, phase_jitter=2.0 * fading_jitter
+    )
+    cfr = perturbed.cfr(layout)
+
+    # Transmit-chain (beamformer) fingerprint: the quantity DeepCSI learns.
+    cfr = access_point.module.fingerprint.apply(
+        cfr, layout.indices, cfg.subcarrier_spacing_hz
+    )
+    # Receive-chain response of the beamformee.
+    if beamformee.impairment is not None:
+        cfr = beamformee.impairment.apply(
+            cfr, layout.indices, cfg.subcarrier_spacing_hz
+        )
+    # Per-packet random offsets (Eq. 9 / Eq. 10).
+    if packet_offsets is None:
+        packet_offsets = PacketOffsets.random(
+            rng, access_point.num_antennas, pa_flip_probability=pa_flip_probability
+        )
+    cfr = packet_offsets.apply(cfr, layout.indices, cfg.symbol_duration_s)
+
+    # Channel-estimation noise.
+    signal_power = float(np.mean(np.abs(cfr) ** 2))
+    cfr = cfr + thermal_noise(rng, cfr.shape, snr_db, signal_power)
+    return cfr
+
+
+def beamforming_matrix(cfr: np.ndarray, num_streams: int) -> np.ndarray:
+    """Per-sub-carrier beamforming matrix ``V`` from the CFR (Eq. 3).
+
+    For every sub-carrier ``k`` the CFR sub-matrix ``H_k`` (``M x N``) is
+    transposed and decomposed as ``H_k^T = U_k S_k Z_k^H``; the first
+    ``num_streams`` columns of ``Z_k`` form ``V_k``.
+
+    Parameters
+    ----------
+    cfr:
+        CFR of shape ``(K, M, N)``.
+    num_streams:
+        Number of spatial streams ``N_SS`` (at most ``N``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``V`` of shape ``(K, M, num_streams)`` with orthonormal columns.
+    """
+    cfr = np.asarray(cfr)
+    if cfr.ndim != 3:
+        raise ValueError("cfr must have shape (K, M, N)")
+    num_rx = cfr.shape[2]
+    if not 1 <= num_streams <= num_rx:
+        raise ValueError(
+            f"num_streams must be in 1..{num_rx} (number of RX antennas)"
+        )
+    # H_k^T has shape (N, M); batched SVD over the K sub-carriers.
+    h_t = np.transpose(cfr, (0, 2, 1))
+    _, _, zh = np.linalg.svd(h_t, full_matrices=True)
+    # zh has shape (K, M, M) and equals Z^H; Z's columns are rows of zh
+    # conjugated.
+    z = np.conj(np.transpose(zh, (0, 2, 1)))
+    return z[:, :, :num_streams]
+
+
+def steering_weights(v_matrix: np.ndarray) -> np.ndarray:
+    """Single-user steering matrix: the beamformer simply applies ``V``.
+
+    With ``W_k = V_k`` the effective channel ``H_k^T W_k`` becomes
+    column-orthogonal, which removes inter-stream interference in the ideal
+    (un-quantised, noise-free) case.
+    """
+    return np.array(v_matrix, copy=True)
+
+
+def mu_mimo_precoder(
+    cfrs: Sequence[np.ndarray], streams_per_user: Sequence[int]
+) -> List[np.ndarray]:
+    """Zero-forcing multi-user precoder for DL MU-MIMO.
+
+    Given the CFR of every beamformee, compute per-user steering matrices
+    that null the inter-user interference: the composite channel rows of the
+    other users are projected out before applying the per-user SVD precoder.
+
+    Parameters
+    ----------
+    cfrs:
+        One CFR of shape ``(K, M, N_u)`` per beamformee ``u``.
+    streams_per_user:
+        Number of spatial streams for each beamformee.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        Per-user steering matrices ``W_u`` of shape ``(K, M, N_SS,u)``.
+    """
+    if len(cfrs) != len(streams_per_user):
+        raise ValueError("cfrs and streams_per_user must have the same length")
+    if not cfrs:
+        raise ValueError("at least one beamformee is required")
+    num_subcarriers = cfrs[0].shape[0]
+    num_tx = cfrs[0].shape[1]
+    total_streams = int(sum(streams_per_user))
+    if total_streams > num_tx:
+        raise ValueError(
+            f"cannot serve {total_streams} streams with {num_tx} TX antennas"
+        )
+    for cfr in cfrs:
+        if cfr.shape[0] != num_subcarriers or cfr.shape[1] != num_tx:
+            raise ValueError("all CFRs must share the (K, M) dimensions")
+
+    weights: List[np.ndarray] = []
+    for user, cfr in enumerate(cfrs):
+        n_ss = streams_per_user[user]
+        others = [
+            np.transpose(other, (0, 2, 1))  # (K, N_v, M)
+            for v, other in enumerate(cfrs)
+            if v != user
+        ]
+        w_user = np.zeros((num_subcarriers, num_tx, n_ss), dtype=complex)
+        for k in range(num_subcarriers):
+            if others:
+                interference = np.concatenate([o[k] for o in others], axis=0)
+                # Null space of the other users' channel rows.
+                _, s, vh = np.linalg.svd(interference, full_matrices=True)
+                rank = int(np.sum(s > 1e-10 * (s[0] if len(s) else 1.0)))
+                null_basis = np.conj(vh[rank:, :]).T  # (M, M - rank)
+            else:
+                null_basis = np.eye(num_tx, dtype=complex)
+            if null_basis.shape[1] == 0:
+                raise ValueError(
+                    "zero-forcing infeasible: no null space left for user "
+                    f"{user} on sub-carrier {k}"
+                )
+            effective = cfr[k].T @ null_basis  # (N_u, M-rank)
+            _, _, vh_eff = np.linalg.svd(effective, full_matrices=False)
+            precoder = np.conj(vh_eff[:n_ss, :]).T  # (M-rank, n_ss)
+            w_user[k] = null_basis @ precoder
+        weights.append(w_user)
+    return weights
+
+
+@dataclass(frozen=True)
+class InterferenceReport:
+    """Residual interference of a MU-MIMO transmission (linear power ratios).
+
+    Attributes
+    ----------
+    signal_power:
+        Mean useful signal power per user.
+    inter_stream_interference:
+        Mean ISI power per user (off-diagonal leakage of the effective
+        per-user channel).
+    inter_user_interference:
+        Mean IUI power per user (leakage of other users' precoders).
+    """
+
+    signal_power: Tuple[float, ...]
+    inter_stream_interference: Tuple[float, ...]
+    inter_user_interference: Tuple[float, ...]
+
+    def sinr_db(self, noise_power: float = 0.0) -> Tuple[float, ...]:
+        """Per-user SINR in dB for a given noise power."""
+        sinrs = []
+        for sig, isi, iui in zip(
+            self.signal_power,
+            self.inter_stream_interference,
+            self.inter_user_interference,
+        ):
+            denom = isi + iui + noise_power
+            sinrs.append(10.0 * np.log10(sig / denom) if denom > 0 else np.inf)
+        return tuple(sinrs)
+
+
+def interference_metrics(
+    cfrs: Sequence[np.ndarray], weights: Sequence[np.ndarray]
+) -> InterferenceReport:
+    """Measure residual ISI and IUI of a set of per-user precoders.
+
+    For every user ``u`` the effective channel towards user ``u`` is
+    ``E_{u,v} = H_u^T W_v``; the diagonal of ``E_{u,u}`` carries the useful
+    signal, its off-diagonal entries the inter-stream interference and the
+    ``E_{u,v}`` (``v != u``) blocks the inter-user interference.
+    """
+    if len(cfrs) != len(weights):
+        raise ValueError("cfrs and weights must have the same length")
+    signal, isi, iui = [], [], []
+    for u, cfr in enumerate(cfrs):
+        h_t = np.transpose(cfr, (0, 2, 1))  # (K, N_u, M)
+        own = np.matmul(h_t, weights[u])  # (K, N_u, n_ss_u)
+        n_ss = own.shape[2]
+        diag = np.abs(np.stack([own[:, i, i] for i in range(min(n_ss, own.shape[1]))], axis=1)) ** 2
+        diag_power = float(np.mean(np.sum(diag, axis=1)))
+        total_own = float(np.mean(np.sum(np.abs(own) ** 2, axis=(1, 2))))
+        isi_power = max(total_own - diag_power, 0.0)
+        iui_power = 0.0
+        for v, w in enumerate(weights):
+            if v == u:
+                continue
+            cross = np.matmul(h_t, w)
+            iui_power += float(np.mean(np.sum(np.abs(cross) ** 2, axis=(1, 2))))
+        signal.append(diag_power)
+        isi.append(isi_power)
+        iui.append(iui_power)
+    return InterferenceReport(
+        signal_power=tuple(signal),
+        inter_stream_interference=tuple(isi),
+        inter_user_interference=tuple(iui),
+    )
+
+
+def sound_beamformee(
+    access_point: AccessPoint,
+    beamformee: Beamformee,
+    channel: MultipathChannel,
+    layout: SubcarrierLayout,
+    rng: np.random.Generator,
+    **cfr_kwargs,
+) -> SoundingResult:
+    """Run one complete sounding: CFR estimation plus ``V`` computation."""
+    cfr = compute_cfr(access_point, beamformee, channel, layout, rng, **cfr_kwargs)
+    v_matrix = beamforming_matrix(cfr, beamformee.num_streams)
+    return SoundingResult(cfr=cfr, v_matrix=v_matrix)

@@ -1,0 +1,131 @@
+"""Mobility traces for dataset D2: the AP moving along the Fig. 6 path.
+
+The paper's dynamic dataset D2 is collected while the AP is *manually* moved
+along the waypoint path A-B-C-D-B-A, so the realised trajectory differs
+slightly from run to run and a person is always walking next to the AP.
+:func:`waypoint_path` samples a polyline between waypoints at a constant
+nominal speed and adds small per-sample jitter to model the manual movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.phy.geometry import Position, path_length
+
+
+@dataclass(frozen=True)
+class MobilityTrace:
+    """A sampled trajectory of the access point.
+
+    Attributes
+    ----------
+    positions:
+        Sequence of AP positions, one per sounding packet.
+    timestamps_s:
+        Sampling instant of every position.
+    """
+
+    positions: tuple
+    timestamps_s: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.positions) != len(self.timestamps_s):
+            raise ValueError("positions and timestamps must have equal length")
+        if len(self.positions) == 0:
+            raise ValueError("a mobility trace cannot be empty")
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __getitem__(self, index: int) -> Position:
+        return self.positions[index]
+
+    @property
+    def total_distance_m(self) -> float:
+        """Length of the realised trajectory [m]."""
+        return path_length(list(self.positions))
+
+
+def static_trace(
+    position: Position, num_samples: int, interval_s: float = 0.5
+) -> MobilityTrace:
+    """A trace that keeps the AP fixed (used for the 'fix' groups of D2)."""
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    positions = tuple(position for _ in range(num_samples))
+    timestamps = tuple(i * interval_s for i in range(num_samples))
+    return MobilityTrace(positions=positions, timestamps_s=timestamps)
+
+
+def waypoint_path(
+    waypoints: Sequence[Position],
+    num_samples: int,
+    interval_s: float = 0.5,
+    jitter_std_m: float = 0.02,
+    rng: Optional[np.random.Generator] = None,
+) -> MobilityTrace:
+    """Sample a trajectory along a waypoint polyline.
+
+    Parameters
+    ----------
+    waypoints:
+        Ordered list of waypoints (e.g. A, B, C, D, B, A).
+    num_samples:
+        Number of positions to produce (one per sounding packet).
+    interval_s:
+        Time between consecutive soundings.
+    jitter_std_m:
+        Standard deviation of the lateral jitter modelling the manual
+        movement of the AP; set to ``0`` for an exact polyline.
+    rng:
+        Random generator used for the jitter.
+
+    Returns
+    -------
+    MobilityTrace
+        The sampled trajectory.
+    """
+    if len(waypoints) < 2:
+        raise ValueError("at least two waypoints are required")
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    if jitter_std_m < 0:
+        raise ValueError("jitter_std_m must be non-negative")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    # Arc-length parametrisation of the polyline.
+    points = np.array([w.as_array() for w in waypoints])
+    segment_lengths = np.linalg.norm(np.diff(points, axis=0), axis=1)
+    cumulative = np.concatenate([[0.0], np.cumsum(segment_lengths)])
+    total_length = cumulative[-1]
+    if total_length == 0:
+        return static_trace(waypoints[0], num_samples, interval_s)
+
+    targets = np.linspace(0.0, total_length, num_samples)
+    positions: List[Position] = []
+    for target in targets:
+        segment = int(np.searchsorted(cumulative, target, side="right") - 1)
+        segment = min(segment, len(segment_lengths) - 1)
+        seg_len = segment_lengths[segment]
+        fraction = 0.0 if seg_len == 0 else (target - cumulative[segment]) / seg_len
+        point = points[segment] + fraction * (points[segment + 1] - points[segment])
+        if jitter_std_m > 0:
+            point = point + rng.normal(0.0, jitter_std_m, size=2)
+        positions.append(Position(float(point[0]), float(point[1])))
+
+    timestamps = tuple(i * interval_s for i in range(num_samples))
+    return MobilityTrace(positions=tuple(positions), timestamps_s=timestamps)
+
+
+def round_trip(trace: MobilityTrace) -> MobilityTrace:
+    """Concatenate a trace with its time-reversed copy (out-and-back walk)."""
+    positions = trace.positions + tuple(reversed(trace.positions))
+    interval = (
+        trace.timestamps_s[1] - trace.timestamps_s[0] if len(trace) > 1 else 0.5
+    )
+    timestamps = tuple(i * interval for i in range(len(positions)))
+    return MobilityTrace(positions=positions, timestamps_s=timestamps)

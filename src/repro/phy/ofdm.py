@@ -1,0 +1,303 @@
+"""IEEE 802.11ac OFDM sub-carrier layouts and basic OFDM parameters.
+
+The paper sounds channel 42 (centre frequency 5.21 GHz) with 80 MHz of
+bandwidth.  The compressed beamforming feedback carries one set of angles per
+*sounded* sub-carrier: for an 80 MHz VHT channel the standard defines 256
+sub-carriers of which 234 are sounded (the DC/null and pilot sub-carriers are
+excluded).  Narrower channels nested inside the 80 MHz channel sound 110
+(40 MHz) and 54 (20 MHz) sub-carriers respectively; Fig. 12a of the paper
+evaluates DeepCSI on exactly those nested subsets.
+
+This module provides:
+
+* :class:`OfdmConfig` -- carrier frequency, bandwidth, sub-carrier spacing and
+  OFDM symbol duration.
+* :class:`SubcarrierLayout` -- the set of sounded sub-carrier indices for a
+  given bandwidth, with helpers to map to absolute frequencies.
+* :func:`sounding_layout` -- standard-compliant layouts for 80/40/20 MHz.
+* :func:`subband_indices` -- positions (within the 80 MHz sounding order) of
+  the sub-carriers belonging to a nested 40/20 MHz channel, which is how the
+  paper extracts the narrow-band subsets from the wide-band captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+#: Speed of light [m/s], used to convert path lengths into delays.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Sub-carrier spacing of 802.11ac OFDM [Hz].
+SUBCARRIER_SPACING_HZ = 312_500.0
+
+#: Number of sounded sub-carriers per bandwidth (MHz -> count), as reported in
+#: Section IV / Fig. 12a of the paper.
+SOUNDED_SUBCARRIERS = {80: 234, 40: 110, 20: 54}
+
+#: Default centre frequency (channel 42) used in the paper's testbed [Hz].
+DEFAULT_CARRIER_FREQUENCY_HZ = 5.21e9
+
+
+class OfdmError(ValueError):
+    """Raised for invalid OFDM configuration parameters."""
+
+
+@dataclass(frozen=True)
+class OfdmConfig:
+    """Static OFDM parameters of the sounded channel.
+
+    Attributes
+    ----------
+    carrier_frequency_hz:
+        Centre frequency :math:`f_c` of the channel.
+    bandwidth_mhz:
+        Channel bandwidth in MHz (20, 40 or 80).
+    subcarrier_spacing_hz:
+        Spacing :math:`1/T` between adjacent OFDM sub-carriers.
+    """
+
+    carrier_frequency_hz: float = DEFAULT_CARRIER_FREQUENCY_HZ
+    bandwidth_mhz: int = 80
+    subcarrier_spacing_hz: float = SUBCARRIER_SPACING_HZ
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mhz not in SOUNDED_SUBCARRIERS:
+            raise OfdmError(
+                f"unsupported bandwidth {self.bandwidth_mhz} MHz; "
+                f"expected one of {sorted(SOUNDED_SUBCARRIERS)}"
+            )
+        if self.carrier_frequency_hz <= 0:
+            raise OfdmError("carrier frequency must be positive")
+        if self.subcarrier_spacing_hz <= 0:
+            raise OfdmError("sub-carrier spacing must be positive")
+
+    @property
+    def symbol_duration_s(self) -> float:
+        """Useful OFDM symbol duration :math:`T` (without guard interval)."""
+        return 1.0 / self.subcarrier_spacing_hz
+
+    @property
+    def num_sounded_subcarriers(self) -> int:
+        """Number of sub-carriers sounded by the NDP for this bandwidth."""
+        return SOUNDED_SUBCARRIERS[self.bandwidth_mhz]
+
+
+def _sounded_indices_80mhz() -> np.ndarray:
+    """Sounded sub-carrier indices for an 80 MHz VHT channel.
+
+    The 802.11ac feedback for 80 MHz covers indices -122..-2 and 2..122,
+    excluding the eight pilot sub-carriers (+/-11, +/-39, +/-75, +/-103);
+    that yields the 234 sounded sub-carriers reported by the paper.
+    """
+    pilots = {-103, -75, -39, -11, 11, 39, 75, 103}
+    negative = [k for k in range(-122, -1) if k not in pilots]
+    positive = [k for k in range(2, 123) if k not in pilots]
+    indices = np.array(negative + positive, dtype=int)
+    return indices
+
+
+def _sounded_indices_40mhz() -> np.ndarray:
+    """Sounded sub-carrier indices for a 40 MHz VHT channel (110 tones).
+
+    The feedback covers indices -58..-2 and 2..58 minus four excluded
+    pilot tones, which yields the 110 sounded sub-carriers the paper
+    reports for the 40 MHz channel 38.
+    """
+    excluded = {-53, -25, 25, 53}
+    negative = [k for k in range(-58, -1) if k not in excluded]
+    positive = [k for k in range(2, 59) if k not in excluded]
+    return np.array(negative + positive, dtype=int)
+
+
+def _sounded_indices_20mhz() -> np.ndarray:
+    """Sounded sub-carrier indices for a 20 MHz VHT channel (54 tones).
+
+    The feedback covers indices -28..-1 and 1..28 minus two excluded pilot
+    tones, which yields the 54 sounded sub-carriers the paper reports for
+    the 20 MHz channel 36.
+    """
+    excluded = {-21, 21}
+    negative = [k for k in range(-28, 0) if k not in excluded]
+    positive = [k for k in range(1, 29) if k not in excluded]
+    return np.array(negative + positive, dtype=int)
+
+
+_INDEX_BUILDERS = {
+    80: _sounded_indices_80mhz,
+    40: _sounded_indices_40mhz,
+    20: _sounded_indices_20mhz,
+}
+
+
+@dataclass(frozen=True)
+class SubcarrierLayout:
+    """Set of sounded sub-carriers of a VHT channel.
+
+    Attributes
+    ----------
+    config:
+        OFDM configuration of the channel.
+    indices:
+        Integer sub-carrier indices :math:`k` relative to the channel centre,
+        in ascending order.  ``len(indices)`` equals
+        ``config.num_sounded_subcarriers``.
+    """
+
+    config: OfdmConfig
+    indices: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        expected = self.config.num_sounded_subcarriers
+        if len(self.indices) != expected:
+            raise OfdmError(
+                f"layout for {self.config.bandwidth_mhz} MHz must have "
+                f"{expected} sub-carriers, got {len(self.indices)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def num_subcarriers(self) -> int:
+        """Number of sounded sub-carriers (``K`` in the paper)."""
+        return len(self.indices)
+
+    @property
+    def frequencies_hz(self) -> np.ndarray:
+        """Absolute frequency of every sounded sub-carrier [Hz]."""
+        cfg = self.config
+        return cfg.carrier_frequency_hz + self.indices * cfg.subcarrier_spacing_hz
+
+    @property
+    def baseband_offsets_hz(self) -> np.ndarray:
+        """Baseband frequency offset ``k / T`` of every sub-carrier [Hz]."""
+        return self.indices * self.config.subcarrier_spacing_hz
+
+
+def sounding_layout(
+    bandwidth_mhz: int = 80,
+    carrier_frequency_hz: float = DEFAULT_CARRIER_FREQUENCY_HZ,
+) -> SubcarrierLayout:
+    """Build the standard sounding layout for the requested bandwidth.
+
+    Parameters
+    ----------
+    bandwidth_mhz:
+        20, 40 or 80.
+    carrier_frequency_hz:
+        Channel centre frequency; defaults to channel 42 (5.21 GHz).
+    """
+    if bandwidth_mhz not in _INDEX_BUILDERS:
+        raise OfdmError(
+            f"unsupported bandwidth {bandwidth_mhz} MHz; "
+            f"expected one of {sorted(_INDEX_BUILDERS)}"
+        )
+    config = OfdmConfig(
+        carrier_frequency_hz=carrier_frequency_hz, bandwidth_mhz=bandwidth_mhz
+    )
+    return SubcarrierLayout(config=config, indices=_INDEX_BUILDERS[bandwidth_mhz]())
+
+
+def subband_indices(
+    wide_layout: SubcarrierLayout, target_bandwidth_mhz: int
+) -> np.ndarray:
+    """Positions of a nested narrow channel inside a wide sounding layout.
+
+    The paper extracts the 40 MHz (channel 38) and 20 MHz (channel 36)
+    subsets from the 80 MHz channel-42 captures.  Channel 38 occupies the
+    lower half of channel 42 and channel 36 the lower quarter, so the nested
+    channel centre sits at a negative offset from the 80 MHz centre.
+
+    Parameters
+    ----------
+    wide_layout:
+        The layout the data was captured with (normally the 80 MHz layout).
+    target_bandwidth_mhz:
+        Bandwidth of the nested channel to extract (20, 40 or the same as
+        the wide layout).
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer positions into ``wide_layout.indices`` selecting the
+        sub-carriers of the nested channel, with
+        ``len(result) == SOUNDED_SUBCARRIERS[target_bandwidth_mhz]``.
+    """
+    wide_bw = wide_layout.config.bandwidth_mhz
+    if target_bandwidth_mhz == wide_bw:
+        return np.arange(wide_layout.num_subcarriers)
+    if target_bandwidth_mhz not in SOUNDED_SUBCARRIERS:
+        raise OfdmError(f"unsupported target bandwidth {target_bandwidth_mhz} MHz")
+    if target_bandwidth_mhz > wide_bw:
+        raise OfdmError("target bandwidth must not exceed the capture bandwidth")
+
+    count = SOUNDED_SUBCARRIERS[target_bandwidth_mhz]
+    # Centre offset of the nested channel relative to the wide channel, in
+    # sub-carrier units.  Channel 38 (40 MHz) is centred 20 MHz below channel
+    # 42; channel 36 (20 MHz) is centred 30 MHz below.
+    if wide_bw == 80 and target_bandwidth_mhz == 40:
+        centre_offset = -64
+    elif wide_bw == 80 and target_bandwidth_mhz == 20:
+        centre_offset = -96
+    elif wide_bw == 40 and target_bandwidth_mhz == 20:
+        centre_offset = -32
+    else:  # pragma: no cover - exhaustively handled above
+        raise OfdmError(
+            f"no nesting rule for {target_bandwidth_mhz} MHz inside {wide_bw} MHz"
+        )
+
+    # Select the `count` sounded sub-carriers closest to the nested centre.
+    distance = np.abs(wide_layout.indices - centre_offset)
+    order = np.argsort(distance, kind="stable")[:count]
+    return np.sort(order)
+
+
+def ofdm_symbol(
+    data: np.ndarray, layout: SubcarrierLayout, oversampling: int = 1
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthesise the time-domain baseband OFDM symbol of Eq. (1).
+
+    This is not required by the fingerprinting pipeline itself (DeepCSI works
+    entirely in the frequency domain) but is provided for completeness of the
+    PHY substrate and used by the PHY unit tests to validate the sub-carrier
+    layout round-trips through an FFT.
+
+    Parameters
+    ----------
+    data:
+        Complex modulation symbols, one per sounded sub-carrier.
+    layout:
+        Sub-carrier layout describing where the symbols are mapped.
+    oversampling:
+        Integer oversampling factor for the IFFT grid.
+
+    Returns
+    -------
+    (time, samples):
+        Sample times [s] and complex baseband samples.
+    """
+    if len(data) != layout.num_subcarriers:
+        raise OfdmError("data length must match the number of sounded sub-carriers")
+    if oversampling < 1:
+        raise OfdmError("oversampling factor must be >= 1")
+
+    span = int(np.max(np.abs(layout.indices))) + 1
+    fft_size = int(2 ** np.ceil(np.log2(2 * span))) * oversampling
+    grid = np.zeros(fft_size, dtype=complex)
+    grid[layout.indices % fft_size] = data
+    samples = np.fft.ifft(grid) * fft_size
+    duration = layout.config.symbol_duration_s
+    time = np.arange(fft_size) * duration / fft_size
+    return time, samples
+
+
+def demodulate_symbol(
+    samples: np.ndarray, layout: SubcarrierLayout
+) -> np.ndarray:
+    """Recover the per-sub-carrier symbols from a time-domain OFDM symbol."""
+    fft_size = len(samples)
+    grid = np.fft.fft(samples) / fft_size
+    return grid[layout.indices % fft_size]

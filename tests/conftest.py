@@ -1,0 +1,75 @@
+"""Shared fixtures for the DeepCSI reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import DatasetConfig, generate_dataset_d1, generate_dataset_d2
+from repro.phy.channel import MultipathChannel
+from repro.phy.devices import AccessPoint, make_beamformee, make_module_population
+from repro.phy.geometry import AP_POSITION_A, beamformee_positions
+from repro.phy.ofdm import sounding_layout
+
+
+def random_unitary_columns(
+    rng: np.random.Generator, num_subcarriers: int, num_tx: int, num_streams: int
+) -> np.ndarray:
+    """Random matrices with orthonormal columns, shape (K, M, N_SS)."""
+    raw = rng.standard_normal((num_subcarriers, num_tx, num_tx)) + 1j * rng.standard_normal(
+        (num_subcarriers, num_tx, num_tx)
+    )
+    q, _ = np.linalg.qr(raw)
+    return q[:, :, :num_streams]
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def layout20():
+    """20 MHz sounding layout (54 sub-carriers) for fast PHY tests."""
+    return sounding_layout(20)
+
+
+@pytest.fixture(scope="session")
+def layout80():
+    """80 MHz sounding layout (234 sub-carriers), the paper's configuration."""
+    return sounding_layout(80)
+
+
+@pytest.fixture(scope="session")
+def small_modules():
+    """Three Wi-Fi modules with reproducible fingerprints."""
+    return make_module_population(num_modules=3, seed=99)
+
+
+@pytest.fixture(scope="session")
+def small_network(small_modules):
+    """A minimal network: AP (module 0), one beamformee, a channel."""
+    access_point = AccessPoint(module=small_modules[0], position=AP_POSITION_A)
+    bf_position, _ = beamformee_positions(3)
+    beamformee = make_beamformee(1, bf_position, num_antennas=2, num_streams=2)
+    channel = MultipathChannel(num_scatterers=4, environment_seed=7)
+    return access_point, beamformee, channel
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset_config() -> DatasetConfig:
+    """Very small dataset configuration used by the slower tests."""
+    return DatasetConfig(num_modules=3, soundings_per_trace=4, base_seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_d1(tiny_dataset_config):
+    """A miniature D1 dataset (3 modules x 9 positions x 4 soundings)."""
+    return generate_dataset_d1(tiny_dataset_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_d2(tiny_dataset_config):
+    """A miniature D2 dataset (3 modules x 11 traces x 4 soundings)."""
+    return generate_dataset_d2(tiny_dataset_config)

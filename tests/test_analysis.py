@@ -1,0 +1,182 @@
+"""Tests for the ASCII plotting helpers and the separability diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ascii_plots import (
+    PlotError,
+    accuracy_comparison,
+    bar_chart,
+    heatmap,
+    histogram,
+    line_plot,
+    sparkline,
+)
+from repro.analysis.separability import (
+    LinearProbe,
+    SeparabilityError,
+    centroid_separability,
+    linear_probe_accuracy,
+)
+from repro.datasets.containers import FeedbackSample
+
+
+def _synthetic_samples(num_per_class=20, num_classes=3, separation=2.0, seed=0):
+    """Tiny well-separated synthetic 'V~' samples for the probe tests."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for cls in range(num_classes):
+        centre = separation * rng.standard_normal((8, 2, 1)) + separation * cls
+        for _ in range(num_per_class):
+            matrix = centre + 0.1 * (
+                rng.standard_normal((8, 2, 1)) + 1j * rng.standard_normal((8, 2, 1))
+            )
+            samples.append(
+                FeedbackSample(v_tilde=matrix, module_id=cls, beamformee_id=1)
+            )
+    rng.shuffle(samples)
+    return samples
+
+
+class TestSparklineAndBars:
+    def test_sparkline_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_sparkline_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_sparkline_rejects_empty_and_nan(self):
+        with pytest.raises(PlotError):
+            sparkline([])
+        with pytest.raises(PlotError):
+            sparkline([1.0, float("nan")])
+
+    def test_bar_chart_renders_one_row_per_value(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_bar_chart_validates_inputs(self):
+        with pytest.raises(PlotError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(PlotError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(PlotError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_accuracy_comparison_includes_paper_value(self):
+        text = accuracy_comparison([("S1", 0.98, 0.9802), ("S2", 0.75, None)])
+        assert "paper" in text
+        assert "S2" in text
+        with pytest.raises(PlotError):
+            accuracy_comparison([("S1", 1.5, None)])
+        with pytest.raises(PlotError):
+            accuracy_comparison([])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50))
+    def test_sparkline_never_crashes_on_finite_input(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestLineAndHistogram:
+    def test_line_plot_has_requested_height(self):
+        plot = line_plot(np.sin(np.linspace(0, 6, 50)), height=8, width=40)
+        lines = plot.splitlines()
+        assert len(lines) == 8 + 2  # header + rows + footer
+        assert all(len(line) <= 40 for line in lines[1:-1])
+
+    def test_line_plot_rejects_bad_dimensions(self):
+        with pytest.raises(PlotError):
+            line_plot([1.0, 2.0], height=1)
+        with pytest.raises(PlotError):
+            line_plot([1.0, 2.0], width=1)
+
+    def test_histogram_counts_sum_to_sample_size(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=200)
+        text = histogram(values, num_bins=8)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()]
+        assert sum(counts) == 200
+
+    def test_histogram_invalid_bins(self):
+        with pytest.raises(PlotError):
+            histogram([1.0, 2.0], num_bins=0)
+
+
+class TestHeatmap:
+    def test_heatmap_shape_and_labels(self):
+        matrix = np.arange(12).reshape(3, 4)
+        text = heatmap(matrix, row_labels=["r0", "r1", "r2"], col_labels=list("abcd"))
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        assert lines[1].startswith("r0")
+
+    def test_heatmap_rejects_bad_labels(self):
+        with pytest.raises(PlotError):
+            heatmap(np.ones((2, 2)), row_labels=["only-one"])
+        with pytest.raises(PlotError):
+            heatmap(np.ones((2, 2)), col_labels=["a"])
+        with pytest.raises(PlotError):
+            heatmap(np.array([[np.inf, 1.0]]))
+
+    def test_heatmap_darkest_cell_is_maximum(self):
+        matrix = np.array([[0.0, 0.0], [0.0, 1.0]])
+        text = heatmap(matrix)
+        assert text.splitlines()[-1].endswith("@")
+
+
+class TestLinearProbe:
+    def test_probe_separates_well_separated_classes(self):
+        samples = _synthetic_samples()
+        split = int(0.8 * len(samples))
+        accuracy = linear_probe_accuracy(samples[:split], samples[split:])
+        assert accuracy > 0.9
+
+    def test_probe_requires_fit_before_predict(self):
+        probe = LinearProbe()
+        with pytest.raises(SeparabilityError):
+            probe.predict(_synthetic_samples(num_per_class=2))
+
+    def test_probe_rejects_single_class(self):
+        samples = _synthetic_samples(num_per_class=5, num_classes=1)
+        with pytest.raises(SeparabilityError):
+            LinearProbe().fit(samples)
+
+    def test_probe_rejects_empty_input(self):
+        with pytest.raises(SeparabilityError):
+            LinearProbe().fit([])
+        with pytest.raises(SeparabilityError):
+            LinearProbe(epochs=0)
+
+    def test_probe_is_deterministic_given_seed(self):
+        samples = _synthetic_samples()
+        split = int(0.8 * len(samples))
+        first = linear_probe_accuracy(samples[:split], samples[split:], seed=3)
+        second = linear_probe_accuracy(samples[:split], samples[split:], seed=3)
+        assert first == second
+
+
+class TestCentroidSeparability:
+    def test_separated_classes_have_high_fisher_ratio(self):
+        report = centroid_separability(_synthetic_samples(separation=3.0))
+        assert report.num_classes == 3
+        assert report.fisher_ratio > 1.0
+        assert report.nearest_centroid_accuracy > 0.9
+
+    def test_overlapping_classes_have_lower_ratio(self):
+        separated = centroid_separability(_synthetic_samples(separation=3.0, seed=1))
+        overlapping = centroid_separability(_synthetic_samples(separation=0.05, seed=1))
+        assert separated.fisher_ratio > overlapping.fisher_ratio
+        assert (
+            separated.nearest_centroid_accuracy
+            >= overlapping.nearest_centroid_accuracy
+        )
+
+    def test_single_class_rejected(self):
+        with pytest.raises(SeparabilityError):
+            centroid_separability(_synthetic_samples(num_per_class=4, num_classes=1))

@@ -1,0 +1,131 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.io import load_dataset
+
+
+@pytest.fixture(scope="module")
+def generated_dataset(tmp_path_factory):
+    """A tiny D1 archive generated through the CLI itself."""
+    directory = tmp_path_factory.mktemp("cli-data")
+    path = directory / "d1.npz"
+    code = main(
+        [
+            "generate",
+            "d1",
+            str(path),
+            "--modules",
+            "3",
+            "--soundings",
+            "4",
+            "--seed",
+            "7",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_parser_knows_every_subcommand(self):
+        parser = build_parser()
+        minimal_arguments = {
+            "generate": ["d1", "out.npz"],
+            "info": ["data.npz"],
+            "train": ["data.npz", "model-dir"],
+            "evaluate": ["data.npz", "model-dir"],
+            "probe": ["data.npz"],
+        }
+        for command, extra in minimal_arguments.items():
+            args = parser.parse_args([command, *extra])
+            assert args.command == command
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerateAndInfo:
+    def test_generate_writes_a_loadable_archive(self, generated_dataset):
+        dataset = load_dataset(generated_dataset)
+        assert dataset.num_samples == 3 * 9 * 4 * 2
+        assert dataset.module_ids == [0, 1, 2]
+
+    def test_info_summarises_the_archive(self, generated_dataset, capsys):
+        code = main(["info", str(generated_dataset)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "traces" in captured
+        assert "V~ shape" in captured
+
+    def test_info_on_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["info", str(tmp_path / "missing.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProbeTrainEvaluate:
+    def test_probe_reports_accuracy(self, generated_dataset, capsys):
+        code = main(
+            [
+                "probe",
+                str(generated_dataset),
+                "--split",
+                "S1",
+                "--stride",
+                "16",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "linear-probe accuracy" in captured
+        assert "%" in captured
+
+    def test_train_then_evaluate_round_trip(self, generated_dataset, tmp_path, capsys):
+        model_dir = tmp_path / "model"
+        code = main(
+            [
+                "train",
+                str(generated_dataset),
+                str(model_dir),
+                "--split",
+                "S1",
+                "--stride",
+                "16",
+                "--epochs",
+                "2",
+                "--batch-size",
+                "16",
+            ]
+        )
+        assert code == 0
+        summary = json.loads((model_dir / "training_summary.json").read_text())
+        assert summary["split"] == "S1"
+        assert (model_dir / "weights.npz").exists()
+
+        code = main(
+            [
+                "evaluate",
+                str(generated_dataset),
+                str(model_dir),
+                "--split",
+                "S1",
+                "--stride",
+                "16",
+                "--num-classes",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "accuracy" in captured
+
+    def test_unknown_split_is_reported_as_error(self, generated_dataset):
+        with pytest.raises(SystemExit):
+            # argparse rejects the invalid choice before our handler runs.
+            main(["probe", str(generated_dataset), "--split", "S9"])

@@ -1,0 +1,110 @@
+"""Tests for the phase-offset correction baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.offset_correction import (
+    correct_phase_offsets,
+    correct_sample,
+    correct_samples,
+)
+from repro.datasets.containers import FeedbackSample
+
+
+def make_matrix(rng, num_sub=40):
+    v = rng.standard_normal((num_sub, 3, 2)) + 1j * rng.standard_normal((num_sub, 3, 2))
+    return v
+
+
+def make_smooth_matrix(rng, num_sub=40):
+    """A matrix whose phase varies smoothly across sub-carriers.
+
+    Smoothness keeps ``numpy.unwrap`` consistent when an extra linear phase
+    slope is added, which is required for exact slope-removal checks.
+    """
+    k = np.arange(num_sub)
+    magnitude = 1.0 + 0.2 * rng.random((num_sub, 3, 2))
+    phase = (
+        0.4 * np.sin(2 * np.pi * k / 32)[:, np.newaxis, np.newaxis]
+        + rng.uniform(-np.pi, np.pi, size=(1, 3, 2))
+    )
+    return magnitude * np.exp(1j * phase)
+
+
+class TestCorrectPhaseOffsets:
+    def test_preserves_magnitude(self, rng):
+        v = make_matrix(rng)
+        cleaned = correct_phase_offsets(v)
+        np.testing.assert_allclose(np.abs(cleaned), np.abs(v), rtol=1e-10)
+
+    def test_removes_constant_phase_offset(self, rng):
+        v = make_matrix(rng)
+        rotated = v * np.exp(1j * 0.9)
+        np.testing.assert_allclose(
+            correct_phase_offsets(rotated), correct_phase_offsets(v), atol=1e-8
+        )
+
+    def test_removes_linear_phase_slope(self, rng):
+        num_sub = 40
+        v = make_smooth_matrix(rng, num_sub)
+        slope = np.exp(1j * 0.05 * np.arange(num_sub))
+        tilted = v * slope[:, np.newaxis, np.newaxis]
+        np.testing.assert_allclose(
+            correct_phase_offsets(tilted), correct_phase_offsets(v), atol=1e-6
+        )
+
+    def test_keeps_nonlinear_phase_structure(self, rng):
+        num_sub = 64
+        magnitude = np.ones((num_sub, 1, 1))
+        curvature = 0.5 * np.sin(2 * np.pi * np.arange(num_sub) / 16)
+        v = magnitude * np.exp(1j * curvature[:, np.newaxis, np.newaxis])
+        cleaned = correct_phase_offsets(v)
+        # The sinusoidal (non-affine) phase component must survive.
+        assert np.std(np.angle(cleaned[:, 0, 0])) > 0.1
+
+    def test_idempotent(self, rng):
+        v = make_smooth_matrix(rng)
+        once = correct_phase_offsets(v)
+        twice = correct_phase_offsets(once)
+        np.testing.assert_allclose(once, twice, atol=1e-8)
+
+    def test_custom_subcarrier_indices(self, rng):
+        v = make_matrix(rng, 20)
+        indices = np.linspace(-10, 10, 20)
+        cleaned = correct_phase_offsets(v, subcarrier_indices=indices)
+        assert cleaned.shape == v.shape
+
+    def test_invalid_inputs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            correct_phase_offsets(rng.standard_normal((4, 4)))
+        with pytest.raises(ValueError):
+            correct_phase_offsets(make_matrix(rng, 10), subcarrier_indices=np.arange(5))
+
+
+class TestCorrectSample:
+    def test_labels_are_preserved(self, rng):
+        sample = FeedbackSample(
+            v_tilde=make_matrix(rng),
+            module_id=4,
+            beamformee_id=2,
+            position_id=7,
+            group="mob1",
+            timestamp_s=3.5,
+            path_progress=0.4,
+        )
+        cleaned = correct_sample(sample)
+        assert cleaned.module_id == 4
+        assert cleaned.beamformee_id == 2
+        assert cleaned.position_id == 7
+        assert cleaned.group == "mob1"
+        assert cleaned.path_progress == 0.4
+        assert not np.allclose(cleaned.v_tilde, sample.v_tilde)
+
+    def test_correct_samples_maps_the_list(self, rng):
+        samples = [
+            FeedbackSample(v_tilde=make_matrix(rng), module_id=i, beamformee_id=1)
+            for i in range(3)
+        ]
+        cleaned = correct_samples(samples)
+        assert len(cleaned) == 3
+        assert [s.module_id for s in cleaned] == [0, 1, 2]

@@ -1,0 +1,230 @@
+"""Tests for open-set authentication and continual learning."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
+from repro.core.continual import (
+    ContinualConfig,
+    ContinualDeepCsi,
+    ContinualLearningError,
+    ReplayBuffer,
+    evaluate_forgetting,
+)
+from repro.core.model import DeepCsiModelConfig
+from repro.core.openset import (
+    OpenSetAuthenticator,
+    OpenSetError,
+    calibrate_threshold,
+    evaluate_open_set,
+    threshold_sweep,
+)
+from repro.datasets.containers import FeedbackSample
+from repro.datasets.features import FeatureConfig
+from repro.nn.training import TrainingConfig
+
+
+def _make_samples(module_ids, num_per_module=25, seed=0, shift=0.0, centres_seed=42):
+    """Small, well-separated synthetic samples (fast to train on).
+
+    The class centres depend only on ``centres_seed`` and the module id, so
+    sample sets generated with different ``seed`` values (train / test / new
+    condition) share the same class structure.
+    """
+    rng = np.random.default_rng(seed)
+    centres = {
+        module_id: (
+            lambda class_rng: class_rng.standard_normal((12, 2, 1))
+            + 1j * class_rng.standard_normal((12, 2, 1))
+        )(np.random.default_rng(centres_seed + module_id))
+        for module_id in module_ids
+    }
+    samples = []
+    for module_id in module_ids:
+        for _ in range(num_per_module):
+            noise = 0.15 * (
+                rng.standard_normal((12, 2, 1)) + 1j * rng.standard_normal((12, 2, 1))
+            )
+            samples.append(
+                FeedbackSample(
+                    v_tilde=centres[module_id] + noise + shift,
+                    module_id=module_id,
+                    beamformee_id=1,
+                )
+            )
+    rng.shuffle(samples)
+    return samples
+
+
+def _tiny_classifier(num_classes):
+    config = ClassifierConfig(
+        num_classes=num_classes,
+        feature=FeatureConfig(stream_indices=(0,)),
+        model=DeepCsiModelConfig(
+            num_filters=8,
+            kernel_widths=(3,),
+            pool_width=2,
+            dense_units=(16,),
+            dropout_retain=(1.0,),
+            use_attention=False,
+        ),
+        training=TrainingConfig(epochs=25, batch_size=16, validation_split=0.0,
+                                early_stopping_patience=None),
+        learning_rate=5e-3,
+        seed=0,
+    )
+    return DeepCsiClassifier(config)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A classifier trained on modules 0-2 plus held-out and unknown samples."""
+    known_train = _make_samples([0, 1, 2], num_per_module=30, seed=1)
+    known_test = _make_samples([0, 1, 2], num_per_module=10, seed=2)
+    unknown = _make_samples([3, 4], num_per_module=10, seed=3, shift=1.5)
+    classifier = _tiny_classifier(num_classes=3)
+    classifier.fit(known_train)
+    return classifier, known_train, known_test, unknown
+
+
+class TestOpenSetAuthenticator:
+    def test_invalid_scoring_rejected(self, trained_setup):
+        classifier = trained_setup[0]
+        with pytest.raises(OpenSetError):
+            OpenSetAuthenticator(classifier, scoring="bogus")
+
+    def test_scores_and_decisions(self, trained_setup):
+        classifier, _, known_test, _ = trained_setup
+        authenticator = OpenSetAuthenticator(classifier, threshold=0.0)
+        scores = authenticator.scores(known_test)
+        assert scores.shape == (len(known_test),)
+        decisions = authenticator.decide(known_test)
+        assert all(decision.accepted for decision in decisions)
+        assert all(0 <= decision.predicted_module_id < 3 for decision in decisions)
+
+    def test_empty_sample_list_rejected(self, trained_setup):
+        authenticator = OpenSetAuthenticator(trained_setup[0])
+        with pytest.raises(OpenSetError):
+            authenticator.scores([])
+
+    def test_centroid_scoring_requires_enrolment(self, trained_setup):
+        classifier, known_train, known_test, _ = trained_setup
+        authenticator = OpenSetAuthenticator(classifier, scoring="centroid_distance")
+        with pytest.raises(OpenSetError):
+            authenticator.scores(known_test)
+        authenticator.enroll(known_train)
+        assert authenticator.scores(known_test).shape == (len(known_test),)
+
+    def test_known_devices_score_higher_than_unknown(self, trained_setup):
+        classifier, known_train, known_test, unknown = trained_setup
+        for scoring in ("max_softmax", "negative_entropy", "centroid_distance"):
+            authenticator = OpenSetAuthenticator(classifier, scoring=scoring)
+            if scoring == "centroid_distance":
+                authenticator.enroll(known_train)
+            known_scores = authenticator.scores(known_test)
+            unknown_scores = authenticator.scores(unknown)
+            assert known_scores.mean() > unknown_scores.mean(), scoring
+
+    def test_calibrated_threshold_bounds_false_rejections(self, trained_setup):
+        classifier, known_train, known_test, unknown = trained_setup
+        authenticator = OpenSetAuthenticator(classifier)
+        threshold = calibrate_threshold(
+            authenticator, known_train, target_false_reject_rate=0.1
+        )
+        assert authenticator.threshold == threshold
+        metrics = evaluate_open_set(authenticator, known_test, unknown)
+        assert metrics.false_reject_rate <= 0.35
+        assert 0.0 <= metrics.auroc <= 1.0
+        assert metrics.auroc > 0.6
+
+    def test_threshold_sweep_is_monotone(self, trained_setup):
+        classifier, _, known_test, unknown = trained_setup
+        authenticator = OpenSetAuthenticator(classifier)
+        sweep = threshold_sweep(authenticator, known_test, unknown, num_points=11)
+        thresholds = sorted(sweep)
+        fars = [sweep[t][0] for t in thresholds]
+        frrs = [sweep[t][1] for t in thresholds]
+        assert all(a >= b for a, b in zip(fars[:-1], fars[1:]))
+        assert all(a <= b for a, b in zip(frrs[:-1], frrs[1:]))
+
+    def test_evaluation_requires_both_populations(self, trained_setup):
+        classifier, _, known_test, unknown = trained_setup
+        authenticator = OpenSetAuthenticator(classifier)
+        with pytest.raises(OpenSetError):
+            evaluate_open_set(authenticator, [], unknown)
+        with pytest.raises(OpenSetError):
+            evaluate_open_set(authenticator, known_test, [])
+
+
+class TestReplayBuffer:
+    def test_buffer_respects_capacity(self):
+        buffer = ReplayBuffer(capacity=10, seed=0)
+        buffer.add(_make_samples([0, 1], num_per_module=20))
+        assert len(buffer) <= 10
+        assert set(buffer.classes) == {0, 1}
+
+    def test_buffer_keeps_all_classes(self):
+        buffer = ReplayBuffer(capacity=9, seed=0)
+        buffer.add(_make_samples([0, 1, 2], num_per_module=30))
+        assert set(buffer.classes) == {0, 1, 2}
+
+    def test_sample_is_balanced_and_bounded(self):
+        buffer = ReplayBuffer(capacity=30, seed=0)
+        buffer.add(_make_samples([0, 1, 2], num_per_module=20))
+        drawn = buffer.sample(9)
+        assert len(drawn) <= 9
+        drawn_classes = {sample.module_id for sample in drawn}
+        assert drawn_classes == {0, 1, 2}
+
+    def test_sample_zero_returns_empty(self):
+        buffer = ReplayBuffer(capacity=5)
+        assert buffer.sample(0) == []
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ContinualLearningError):
+            ReplayBuffer(capacity=0)
+        buffer = ReplayBuffer(capacity=5)
+        with pytest.raises(ContinualLearningError):
+            buffer.sample(-1)
+
+
+class TestContinualLearning:
+    def test_config_validation(self):
+        with pytest.raises(ContinualLearningError):
+            ContinualConfig(replay_capacity=0)
+        with pytest.raises(ContinualLearningError):
+            ContinualConfig(fine_tune_epochs=0)
+        with pytest.raises(ContinualLearningError):
+            ContinualConfig(learning_rate=0.0)
+        with pytest.raises(ContinualLearningError):
+            ContinualConfig(replay_ratio=-1.0)
+
+    def test_observe_requires_bootstrap(self):
+        learner = ContinualDeepCsi(_tiny_classifier(3))
+        with pytest.raises(Exception):
+            learner.observe(_make_samples([0], num_per_module=4))
+
+    def test_bootstrap_then_observe_keeps_accuracy(self):
+        train = _make_samples([0, 1, 2], num_per_module=25, seed=5)
+        test = _make_samples([0, 1, 2], num_per_module=8, seed=6)
+        new_condition = _make_samples([0, 1, 2], num_per_module=8, seed=7, shift=0.3)
+        learner = ContinualDeepCsi(
+            _tiny_classifier(3),
+            ContinualConfig(replay_capacity=60, fine_tune_epochs=2, seed=0),
+        )
+        learner.bootstrap(train)
+        baseline = learner.evaluate(test).accuracy
+        assert baseline > 0.8
+        report = evaluate_forgetting(learner, test, new_condition)
+        assert learner.num_updates == 1
+        assert report.before == pytest.approx(baseline)
+        # Replay keeps the earlier condition from collapsing.
+        assert report.after > 0.5
+        assert report.forgetting < 0.4
+
+    def test_empty_inputs_rejected(self):
+        learner = ContinualDeepCsi(_tiny_classifier(3))
+        with pytest.raises(ContinualLearningError):
+            learner.bootstrap([])
+        with pytest.raises(ContinualLearningError):
+            ContinualDeepCsi(_tiny_classifier(3)).observe([])

@@ -1,0 +1,137 @@
+"""Tests for the dataset containers (samples, traces, datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.containers import (
+    FeedbackDataset,
+    FeedbackSample,
+    Trace,
+    merge_datasets,
+)
+
+
+def make_sample(module_id=0, beamformee_id=1, position_id=1, group="static",
+                timestamp=0.0, progress=0.0, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    v = rng.standard_normal((8, 3, 2)) + 1j * rng.standard_normal((8, 3, 2))
+    return FeedbackSample(
+        v_tilde=v,
+        module_id=module_id,
+        beamformee_id=beamformee_id,
+        position_id=position_id,
+        group=group,
+        timestamp_s=timestamp,
+        path_progress=progress,
+    )
+
+
+def make_trace(module_id=0, position_id=1, group="static", num_samples=6):
+    trace = Trace(module_id=module_id, position_id=position_id, group=group)
+    for index in range(num_samples):
+        for beamformee in (1, 2):
+            trace.add(
+                make_sample(
+                    module_id=module_id,
+                    beamformee_id=beamformee,
+                    position_id=position_id,
+                    group=group,
+                    timestamp=index * 0.5,
+                    progress=index / max(num_samples - 1, 1),
+                )
+            )
+    return trace
+
+
+class TestFeedbackSample:
+    def test_dimension_properties(self):
+        sample = make_sample()
+        assert sample.num_subcarriers == 8
+        assert sample.num_tx_antennas == 3
+        assert sample.num_streams == 2
+
+
+class TestTrace:
+    def test_iteration_and_indexing(self):
+        trace = make_trace(num_samples=3)
+        assert len(trace) == 6
+        assert trace[0].beamformee_id == 1
+        assert sum(1 for _ in trace) == 6
+
+    def test_filter_beamformee(self):
+        trace = make_trace(num_samples=4)
+        only_bf2 = trace.filter_beamformee(2)
+        assert len(only_bf2) == 4
+        assert all(s.beamformee_id == 2 for s in only_bf2)
+        assert only_bf2.module_id == trace.module_id
+
+    def test_time_split_keeps_order_and_proportion(self):
+        trace = make_trace(num_samples=10)
+        train, test = trace.time_split(0.8)
+        assert len(train) == 16 and len(test) == 4
+        # Training samples come before test samples for each beamformee.
+        for beamformee in (1, 2):
+            train_times = [s.timestamp_s for s in train if s.beamformee_id == beamformee]
+            test_times = [s.timestamp_s for s in test if s.beamformee_id == beamformee]
+            assert max(train_times) < min(test_times)
+
+    def test_time_split_keeps_both_beamformees(self):
+        trace = make_trace(num_samples=5)
+        train, test = trace.time_split(0.8)
+        assert {s.beamformee_id for s in train} == {1, 2}
+        assert {s.beamformee_id for s in test} == {1, 2}
+
+    def test_time_split_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace().time_split(1.0)
+
+    def test_progress_split(self):
+        trace = make_trace(num_samples=10)
+        before, after = trace.progress_split(0.5)
+        assert all(s.path_progress <= 0.5 for s in before)
+        assert all(s.path_progress > 0.5 for s in after)
+        assert len(before) + len(after) == len(trace)
+
+    def test_progress_split_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace().progress_split(0.0)
+
+
+class TestFeedbackDataset:
+    def make_dataset(self):
+        dataset = FeedbackDataset(name="test")
+        for module in range(2):
+            for position in (1, 2, 3):
+                dataset.add(make_trace(module_id=module, position_id=position))
+        return dataset
+
+    def test_summary_properties(self):
+        dataset = self.make_dataset()
+        assert len(dataset) == 6
+        assert dataset.module_ids == [0, 1]
+        assert dataset.position_ids == [1, 2, 3]
+        assert dataset.groups == ["static"]
+        assert dataset.num_samples == 6 * 12
+        assert "test" in dataset.summary()
+
+    def test_filter_by_module_and_position(self):
+        dataset = self.make_dataset()
+        filtered = dataset.filter(module_ids=[1], position_ids=[2, 3])
+        assert len(filtered) == 2
+        assert all(t.module_id == 1 for t in filtered)
+
+    def test_filter_with_predicate(self):
+        dataset = self.make_dataset()
+        filtered = dataset.filter(predicate=lambda t: t.position_id == 1)
+        assert len(filtered) == 2
+
+    def test_samples_flattening_and_beamformee_restriction(self):
+        dataset = self.make_dataset()
+        all_samples = dataset.samples()
+        bf1_samples = dataset.samples(beamformee_id=1)
+        assert len(all_samples) == dataset.num_samples
+        assert len(bf1_samples) == dataset.num_samples // 2
+
+    def test_merge_datasets(self):
+        merged = merge_datasets([self.make_dataset(), self.make_dataset()])
+        assert len(merged) == 12

@@ -1,0 +1,145 @@
+"""Tests for the CNN feature extraction from ``V~`` matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.containers import FeedbackSample
+from repro.datasets.features import (
+    FeatureConfig,
+    FeatureError,
+    FeatureExtractor,
+    apply_normalization,
+    normalize_features,
+    strided_subcarriers,
+)
+
+
+def make_v(rng, num_sub=20, num_tx=3, num_streams=2):
+    v = rng.standard_normal((num_sub, num_tx, num_streams)) + 1j * rng.standard_normal(
+        (num_sub, num_tx, num_streams)
+    )
+    # Emulate the real-last-row property of V~.
+    v[:, -1, :] = np.abs(v[:, -1, :].real)
+    return v
+
+
+class TestFeatureConfig:
+    def test_default_shape_matches_paper_input(self, rng):
+        # All 3 antennas, stream 0 only, all sub-carriers: Nch = 2M-1 = 5.
+        config = FeatureConfig()
+        resolved = config.resolve(234, 3, 2)
+        assert resolved.shape == (5, 1, 234)
+
+    def test_channel_count_excludes_q_of_last_antenna_only(self):
+        config = FeatureConfig(antenna_indices=(0, 1), stream_indices=(0, 1))
+        resolved = config.resolve(20, 3, 2)
+        assert resolved.num_channels == 4  # both antennas keep I and Q
+        config_with_last = FeatureConfig(antenna_indices=(0, 2), stream_indices=(0,))
+        assert config_with_last.resolve(20, 3, 2).num_channels == 3
+
+    def test_out_of_range_selections_rejected(self):
+        with pytest.raises(FeatureError):
+            FeatureConfig(antenna_indices=(3,)).resolve(20, 3, 2)
+        with pytest.raises(FeatureError):
+            FeatureConfig(stream_indices=(2,)).resolve(20, 3, 2)
+        with pytest.raises(FeatureError):
+            FeatureConfig(subcarrier_positions=(25,)).resolve(20, 3, 2)
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(FeatureError):
+            FeatureConfig(antenna_indices=()).resolve(20, 3, 2)
+
+
+class TestFeatureExtractor:
+    def test_output_shape(self, rng):
+        extractor = FeatureExtractor(FeatureConfig())
+        features = extractor.transform_matrix(make_v(rng))
+        assert features.shape == (5, 1, 20)
+
+    def test_i_and_q_channels_carry_real_and_imaginary_parts(self, rng):
+        v = make_v(rng)
+        extractor = FeatureExtractor(
+            FeatureConfig(antenna_indices=(0,), stream_indices=(0,), last_antenna_index=2)
+        )
+        features = extractor.transform_matrix(v)
+        np.testing.assert_allclose(features[0, 0], v[:, 0, 0].real)
+        np.testing.assert_allclose(features[1, 0], v[:, 0, 0].imag)
+
+    def test_last_antenna_contributes_only_real_channel(self, rng):
+        v = make_v(rng)
+        extractor = FeatureExtractor(
+            FeatureConfig(antenna_indices=(2,), stream_indices=(0,))
+        )
+        features = extractor.transform_matrix(v)
+        assert features.shape[0] == 1
+        np.testing.assert_allclose(features[0, 0], v[:, 2, 0].real)
+
+    def test_subcarrier_selection(self, rng):
+        v = make_v(rng)
+        positions = (0, 2, 4, 6)
+        extractor = FeatureExtractor(
+            FeatureConfig(subcarrier_positions=positions, stream_indices=(0,))
+        )
+        features = extractor.transform_matrix(v)
+        assert features.shape[2] == 4
+        np.testing.assert_allclose(features[0, 0], v[list(positions), 0, 0].real)
+
+    def test_stream_selection(self, rng):
+        v = make_v(rng)
+        extractor = FeatureExtractor(FeatureConfig(stream_indices=(1,)))
+        features = extractor.transform_matrix(v)
+        np.testing.assert_allclose(features[0, 0], v[:, 0, 1].real)
+
+    def test_transform_samples_returns_labels(self, rng):
+        extractor = FeatureExtractor(FeatureConfig())
+        samples = [
+            FeedbackSample(v_tilde=make_v(rng), module_id=i % 3, beamformee_id=1)
+            for i in range(6)
+        ]
+        features, labels = extractor.transform_samples(samples)
+        assert features.shape[0] == 6
+        np.testing.assert_array_equal(labels, [0, 1, 2, 0, 1, 2])
+
+    def test_empty_sample_list_rejected(self):
+        with pytest.raises(FeatureError):
+            FeatureExtractor().transform_samples([])
+
+    def test_output_shape_helper_matches_actual(self, rng):
+        extractor = FeatureExtractor(FeatureConfig(stream_indices=(0, 1)))
+        predicted = extractor.output_shape((20, 3, 2))
+        actual = extractor.transform_matrix(make_v(rng)).shape
+        assert predicted == actual
+
+    def test_non_3d_matrix_rejected(self, rng):
+        with pytest.raises(FeatureError):
+            FeatureExtractor().transform_matrix(rng.standard_normal((4, 4)))
+
+
+class TestHelpers:
+    def test_strided_subcarriers(self):
+        assert strided_subcarriers(10, 3) == (0, 3, 6, 9)
+        with pytest.raises(FeatureError):
+            strided_subcarriers(10, 0)
+
+    def test_normalize_features_standardises_channels(self, rng):
+        features = rng.standard_normal((50, 3, 1, 20)) * 5.0 + 2.0
+        normalised, stats = normalize_features(features)
+        np.testing.assert_allclose(normalised.mean(axis=(0, 2, 3)), 0.0, atol=1e-9)
+        np.testing.assert_allclose(normalised.std(axis=(0, 2, 3)), 1.0, atol=1e-6)
+
+    def test_apply_normalization_reuses_statistics(self, rng):
+        train = rng.standard_normal((50, 3, 1, 20)) * 5.0 + 2.0
+        test = rng.standard_normal((10, 3, 1, 20)) * 5.0 + 2.0
+        _, stats = normalize_features(train)
+        transformed = apply_normalization(test, stats)
+        expected = (test - stats[0]) / stats[1]
+        np.testing.assert_allclose(transformed, expected)
+
+    @given(stride=st.integers(1, 10), total=st.integers(10, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_strided_subcarriers_property(self, stride, total):
+        positions = strided_subcarriers(total, stride)
+        assert positions[0] == 0
+        assert all(b - a == stride for a, b in zip(positions, positions[1:]))
+        assert positions[-1] < total

@@ -1,0 +1,214 @@
+"""Tests for the D1/D2 dataset generators and the S1..S6 splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import (
+    D2_GROUPS,
+    DatasetConfig,
+    generate_mobility_trace,
+    generate_position_trace,
+)
+from repro.datasets.splits import (
+    D1_SPLITS,
+    D2_SPLITS,
+    SplitError,
+    d1_cross_beamformee_split,
+    d1_split,
+    d2_split,
+    d2_subpath_split,
+)
+
+
+class TestDatasetConfig:
+    def test_defaults_match_paper_setup(self):
+        config = DatasetConfig()
+        assert config.num_modules == 10
+        assert config.bandwidth_mhz == 80
+        assert config.quantization.b_phi == 9
+        assert config.quantization.b_psi == 7
+
+    def test_layout_and_modules_derived_from_config(self):
+        config = DatasetConfig(num_modules=4)
+        assert config.layout().num_subcarriers == 234
+        assert len(config.modules()) == 4
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(num_modules=1)
+        with pytest.raises(ValueError):
+            DatasetConfig(soundings_per_trace=0)
+
+
+class TestPositionTrace:
+    def test_trace_contains_both_beamformees(self, tiny_dataset_config):
+        module = tiny_dataset_config.modules()[0]
+        trace = generate_position_trace(module, 2, tiny_dataset_config)
+        beamformees = {s.beamformee_id for s in trace}
+        assert beamformees == {1, 2}
+        assert len(trace) == 2 * tiny_dataset_config.soundings_per_trace
+
+    def test_samples_carry_metadata(self, tiny_dataset_config):
+        module = tiny_dataset_config.modules()[1]
+        trace = generate_position_trace(module, 5, tiny_dataset_config, trace_id=7)
+        assert trace.trace_id == 7
+        sample = trace[0]
+        assert sample.module_id == module.module_id
+        assert sample.position_id == 5
+        assert sample.group == "static"
+        assert sample.v_tilde.shape == (234, 3, 2)
+
+    def test_v_tilde_has_unit_norm_columns(self, tiny_dataset_config):
+        module = tiny_dataset_config.modules()[0]
+        trace = generate_position_trace(module, 1, tiny_dataset_config)
+        v = trace[0].v_tilde.astype(complex)
+        norms = np.linalg.norm(v, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-5)
+
+    def test_generation_is_deterministic(self, tiny_dataset_config):
+        module = tiny_dataset_config.modules()[0]
+        a = generate_position_trace(module, 1, tiny_dataset_config)
+        b = generate_position_trace(module, 1, tiny_dataset_config)
+        np.testing.assert_allclose(a[0].v_tilde, b[0].v_tilde)
+
+    def test_different_positions_give_different_feedback(self, tiny_dataset_config):
+        module = tiny_dataset_config.modules()[0]
+        a = generate_position_trace(module, 1, tiny_dataset_config)
+        b = generate_position_trace(module, 9, tiny_dataset_config)
+        assert not np.allclose(a[0].v_tilde, b[0].v_tilde)
+
+    def test_different_modules_give_different_feedback(self, tiny_dataset_config):
+        modules = tiny_dataset_config.modules()
+        a = generate_position_trace(modules[0], 1, tiny_dataset_config)
+        b = generate_position_trace(modules[1], 1, tiny_dataset_config)
+        assert not np.allclose(a[0].v_tilde, b[0].v_tilde)
+
+
+class TestMobilityTraceGeneration:
+    def test_mobility_groups_have_progress(self, tiny_dataset_config):
+        module = tiny_dataset_config.modules()[0]
+        trace = generate_mobility_trace(module, "mob1", tiny_dataset_config)
+        bf1_progress = [s.path_progress for s in trace if s.beamformee_id == 1]
+        assert bf1_progress[0] == pytest.approx(0.0)
+        assert bf1_progress[-1] == pytest.approx(1.0)
+
+    def test_static_groups_have_zero_progress(self, tiny_dataset_config):
+        module = tiny_dataset_config.modules()[0]
+        trace = generate_mobility_trace(module, "fix1", tiny_dataset_config)
+        assert all(s.path_progress == 0.0 for s in trace)
+
+    def test_d2_beamformee_stream_counts(self, tiny_dataset_config):
+        module = tiny_dataset_config.modules()[0]
+        trace = generate_mobility_trace(module, "mob2", tiny_dataset_config)
+        bf1 = next(s for s in trace if s.beamformee_id == 1)
+        bf2 = next(s for s in trace if s.beamformee_id == 2)
+        assert bf1.v_tilde.shape == (234, 3, 1)
+        assert bf2.v_tilde.shape == (234, 3, 2)
+
+    def test_unknown_group_rejected(self, tiny_dataset_config):
+        module = tiny_dataset_config.modules()[0]
+        with pytest.raises(ValueError):
+            generate_mobility_trace(module, "mob3", tiny_dataset_config)
+
+
+class TestD1Dataset:
+    def test_structure(self, tiny_d1, tiny_dataset_config):
+        expected_traces = tiny_dataset_config.num_modules * 9
+        assert len(tiny_d1) == expected_traces
+        assert tiny_d1.position_ids == list(range(1, 10))
+        assert tiny_d1.module_ids == list(range(tiny_dataset_config.num_modules))
+
+    def test_every_module_position_pair_present(self, tiny_d1):
+        pairs = {(t.module_id, t.position_id) for t in tiny_d1}
+        assert len(pairs) == len(tiny_d1)
+
+
+class TestD2Dataset:
+    def test_structure(self, tiny_d2, tiny_dataset_config):
+        per_module = sum(D2_GROUPS.values())
+        assert len(tiny_d2) == tiny_dataset_config.num_modules * per_module
+        assert set(tiny_d2.groups) == set(D2_GROUPS)
+
+    def test_group_counts_match_paper(self, tiny_d2, tiny_dataset_config):
+        for group, count in D2_GROUPS.items():
+            traces = tiny_d2.filter(groups=[group])
+            assert len(traces) == tiny_dataset_config.num_modules * count
+
+
+class TestD1Splits:
+    def test_split_definitions(self):
+        assert D1_SPLITS["S1"].train_positions == tuple(range(1, 10))
+        assert D1_SPLITS["S2"].test_positions == (2, 4, 6, 8)
+        assert set(D1_SPLITS["S3"].train_positions).isdisjoint(
+            D1_SPLITS["S3"].test_positions
+        )
+
+    def test_s1_is_a_time_split(self, tiny_d1):
+        train, test = d1_split(tiny_d1, D1_SPLITS["S1"], beamformee_id=1)
+        # 80/20 split of every trace.
+        assert len(train) == 3 * len(test)
+        train_positions = {s.position_id for s in train}
+        test_positions = {s.position_id for s in test}
+        assert train_positions == test_positions == set(range(1, 10))
+
+    def test_s3_keeps_positions_disjoint(self, tiny_d1):
+        train, test = d1_split(tiny_d1, D1_SPLITS["S3"], beamformee_id=1)
+        assert {s.position_id for s in train} == {1, 2, 3, 4, 5}
+        assert {s.position_id for s in test} == {6, 7, 8, 9}
+
+    def test_beamformee_filter(self, tiny_d1):
+        train, test = d1_split(tiny_d1, D1_SPLITS["S2"], beamformee_id=2)
+        assert all(s.beamformee_id == 2 for s in train + test)
+
+    def test_num_train_positions_restricts_training_set(self, tiny_d1):
+        train_full, _ = d1_split(tiny_d1, D1_SPLITS["S3"], beamformee_id=1)
+        train_small, test_small = d1_split(
+            tiny_d1, D1_SPLITS["S3"], beamformee_id=1, num_train_positions=2
+        )
+        assert {s.position_id for s in train_small} == {1, 2}
+        assert len(train_small) < len(train_full)
+        assert {s.position_id for s in test_small} == {6, 7, 8, 9}
+
+    def test_invalid_num_train_positions_rejected(self, tiny_d1):
+        with pytest.raises(SplitError):
+            d1_split(tiny_d1, D1_SPLITS["S3"], num_train_positions=9)
+
+    def test_every_module_in_both_sets(self, tiny_d1):
+        train, test = d1_split(tiny_d1, D1_SPLITS["S2"], beamformee_id=1)
+        assert {s.module_id for s in train} == {s.module_id for s in test}
+
+    def test_cross_beamformee_split(self, tiny_d1):
+        train, test = d1_cross_beamformee_split(tiny_d1, D1_SPLITS["S1"], 1, 2)
+        assert all(s.beamformee_id == 1 for s in train)
+        assert all(s.beamformee_id == 2 for s in test)
+        with pytest.raises(SplitError):
+            d1_cross_beamformee_split(tiny_d1, D1_SPLITS["S1"], 1, 1)
+
+    def test_empty_split_rejected(self, tiny_d2):
+        # Applying a D1 split to D2 (whose traces have position 3 only but
+        # group labels) must fail loudly rather than return empty sets.
+        with pytest.raises(SplitError):
+            d1_split(tiny_d2.filter(groups=["fix1"]), D1_SPLITS["S3"])
+
+
+class TestD2Splits:
+    def test_split_definitions(self):
+        assert D2_SPLITS["S5"].train_groups == ("fix1", "fix2")
+        assert D2_SPLITS["S6"].test_groups == ("fix1", "fix2")
+
+    def test_s5_separates_static_and_mobile(self, tiny_d2):
+        train, test = d2_split(tiny_d2, D2_SPLITS["S5"], beamformee_id=1)
+        assert {s.group for s in train} == {"fix1", "fix2"}
+        assert {s.group for s in test} == {"mob1", "mob2"}
+
+    def test_s4_uses_different_mobility_groups(self, tiny_d2):
+        train, test = d2_split(tiny_d2, D2_SPLITS["S4"], beamformee_id=1)
+        assert {s.group for s in train} == {"mob1"}
+        assert {s.group for s in test} == {"mob2"}
+
+    def test_subpath_split_respects_progress(self, tiny_d2):
+        train, test = d2_subpath_split(tiny_d2, beamformee_id=1, progress_threshold=0.5)
+        assert all(s.path_progress <= 0.5 for s in train)
+        assert all(s.path_progress > 0.5 for s in test)
+        assert {s.group for s in train} == {"mob1"}
+        assert {s.group for s in test} == {"mob2"}

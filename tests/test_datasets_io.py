@@ -1,0 +1,110 @@
+"""Tests for dataset persistence (save/load round trip)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.containers import FeedbackDataset, FeedbackSample, Trace
+from repro.datasets.io import (
+    DatasetIOError,
+    dataset_size_bytes,
+    load_dataset,
+    save_dataset,
+)
+
+
+def _tiny_dataset(num_traces=3, samples_per_trace=4, shape=(16, 3, 2)):
+    rng = np.random.default_rng(0)
+    dataset = FeedbackDataset(name="tiny")
+    for trace_id in range(num_traces):
+        trace = Trace(
+            module_id=trace_id % 2,
+            position_id=trace_id + 1,
+            group="static",
+            trace_id=trace_id,
+        )
+        for index in range(samples_per_trace):
+            matrix = (
+                rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            ).astype(np.complex64)
+            trace.add(
+                FeedbackSample(
+                    v_tilde=matrix,
+                    module_id=trace.module_id,
+                    beamformee_id=1 + index % 2,
+                    position_id=trace.position_id,
+                    group="static",
+                    timestamp_s=0.5 * index,
+                    path_progress=index / samples_per_trace,
+                )
+            )
+        dataset.add(trace)
+    return dataset
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        dataset = _tiny_dataset()
+        path = save_dataset(dataset, tmp_path / "tiny.npz")
+        loaded = load_dataset(path)
+
+        assert loaded.name == dataset.name
+        assert len(loaded) == len(dataset)
+        assert loaded.num_samples == dataset.num_samples
+        for original, restored in zip(dataset, loaded):
+            assert restored.module_id == original.module_id
+            assert restored.position_id == original.position_id
+            assert restored.group == original.group
+            assert restored.trace_id == original.trace_id
+            for sample_a, sample_b in zip(original, restored):
+                np.testing.assert_allclose(sample_b.v_tilde, sample_a.v_tilde)
+                assert sample_b.beamformee_id == sample_a.beamformee_id
+                assert sample_b.timestamp_s == pytest.approx(sample_a.timestamp_s)
+                assert sample_b.path_progress == pytest.approx(sample_a.path_progress)
+
+    def test_suffix_added_when_missing(self, tmp_path):
+        path = save_dataset(_tiny_dataset(), tmp_path / "archive")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_generated_d1_round_trips(self, tmp_path, tiny_d1):
+        path = save_dataset(tiny_d1, tmp_path / "d1.npz")
+        loaded = load_dataset(path)
+        assert loaded.num_samples == tiny_d1.num_samples
+        assert loaded.module_ids == tiny_d1.module_ids
+        assert loaded.position_ids == tiny_d1.position_ids
+
+    def test_size_estimate_is_positive(self):
+        assert dataset_size_bytes(_tiny_dataset()) > 0
+
+
+class TestErrorHandling:
+    def test_empty_dataset_rejected(self, tmp_path):
+        with pytest.raises(DatasetIOError):
+            save_dataset(FeedbackDataset(name="empty"), tmp_path / "empty.npz")
+
+    def test_empty_trace_rejected(self, tmp_path):
+        dataset = FeedbackDataset(name="bad")
+        dataset.add(Trace(module_id=0, trace_id=0))
+        with pytest.raises(DatasetIOError):
+            save_dataset(dataset, tmp_path / "bad.npz")
+
+    def test_inconsistent_shapes_rejected(self, tmp_path):
+        dataset = _tiny_dataset(num_traces=1)
+        odd = FeedbackSample(
+            v_tilde=np.zeros((8, 3, 2), dtype=np.complex64),
+            module_id=0,
+            beamformee_id=1,
+        )
+        dataset.traces[0].add(odd)
+        with pytest.raises(DatasetIOError):
+            save_dataset(dataset, tmp_path / "odd.npz")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetIOError):
+            load_dataset(tmp_path / "does_not_exist.npz")
+
+    def test_corrupt_archive_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        np.savez(path, unrelated=np.arange(3))
+        with pytest.raises(DatasetIOError):
+            load_dataset(path)

@@ -1,0 +1,146 @@
+"""Tests for the experiment profiles and the lightweight experiments.
+
+The training-heavy experiments are exercised by the benchmark suite; here
+they are only checked for structure using miniature profiles so the test
+suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import DeepCsiModelConfig
+from repro.experiments import (
+    fig13_quantization_error,
+    fig14_v_time_evolution,
+)
+from repro.experiments.common import (
+    cached_dataset_d1,
+    clear_dataset_cache,
+    default_feature_config,
+    default_subcarrier_positions,
+    format_accuracy_table,
+    train_and_evaluate,
+)
+from repro.experiments.profiles import (
+    FAST_PROFILE,
+    FULL_PROFILE,
+    ExperimentProfile,
+    get_profile,
+)
+from repro.datasets.splits import D1_SPLITS, d1_split
+
+#: A miniature profile so experiment plumbing can be tested in seconds.
+MINI_PROFILE = ExperimentProfile(
+    name="mini",
+    num_modules=3,
+    d1_soundings_per_trace=4,
+    d2_soundings_per_trace=6,
+    subcarrier_stride=8,
+    model=DeepCsiModelConfig(
+        num_filters=8,
+        kernel_widths=(5, 3),
+        pool_width=2,
+        dense_units=(16,),
+        dropout_retain=(0.8,),
+        attention_kernel_width=3,
+    ),
+    epochs=4,
+    batch_size=16,
+    early_stopping_patience=None,
+    learning_rate=3e-3,
+    base_seed=5,
+)
+
+
+class TestProfiles:
+    def test_named_profiles(self):
+        assert get_profile("fast") is FAST_PROFILE
+        assert get_profile("full") is FULL_PROFILE
+        with pytest.raises(ValueError):
+            get_profile("huge")
+
+    def test_environment_variable_selects_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert get_profile() is FULL_PROFILE
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert get_profile() is FAST_PROFILE
+
+    def test_profile_derives_dataset_and_training_configs(self):
+        d1_cfg = MINI_PROFILE.d1_config()
+        assert d1_cfg.num_modules == 3
+        assert d1_cfg.soundings_per_trace == 4
+        d2_cfg = MINI_PROFILE.d2_config()
+        assert d2_cfg.soundings_per_trace == 6
+        training = MINI_PROFILE.training_config(seed=3)
+        assert training.epochs == 4
+        assert training.seed == 3
+
+    def test_scaled_returns_modified_copy(self):
+        scaled = FAST_PROFILE.scaled(num_modules=5)
+        assert scaled.num_modules == 5
+        assert FAST_PROFILE.num_modules == 10
+
+    def test_full_profile_uses_paper_scale(self):
+        assert FULL_PROFILE.subcarrier_stride == 1
+        assert FULL_PROFILE.model.num_filters == 128
+
+
+class TestCommonHelpers:
+    def test_default_subcarrier_positions_respect_stride(self):
+        positions = default_subcarrier_positions(MINI_PROFILE)
+        assert positions[0] == 0
+        assert positions[1] == MINI_PROFILE.subcarrier_stride
+        assert len(positions) == int(np.ceil(234 / MINI_PROFILE.subcarrier_stride))
+
+    def test_dataset_cache_returns_same_object(self):
+        clear_dataset_cache()
+        first = cached_dataset_d1(MINI_PROFILE)
+        second = cached_dataset_d1(MINI_PROFILE)
+        assert first is second
+        clear_dataset_cache()
+
+    def test_train_and_evaluate_produces_report(self):
+        clear_dataset_cache()
+        dataset = cached_dataset_d1(MINI_PROFILE)
+        train, test = d1_split(dataset, D1_SPLITS["S1"], beamformee_id=1)
+        evaluation = train_and_evaluate(
+            train,
+            test,
+            MINI_PROFILE,
+            feature_config=default_feature_config(MINI_PROFILE),
+            label="unit",
+        )
+        assert 0.0 <= evaluation.accuracy <= 1.0
+        assert evaluation.num_parameters > 0
+        assert evaluation.report.confusion.shape == (3, 3)
+        clear_dataset_cache()
+
+    def test_format_accuracy_table_includes_paper_values(self):
+        text = format_accuracy_table(
+            [("S1", 0.98)], title="demo", paper_values={"S1": 98.0}
+        )
+        assert "S1" in text and "paper" in text
+
+
+class TestLightweightExperiments:
+    def test_fig13_error_grows_with_stream_and_coarser_codebook(self):
+        result = fig13_quantization_error.run(MINI_PROFILE, num_realizations=6)
+        fine = result.mean_error(7, 9)
+        coarse = result.mean_error(5, 7)
+        # Coarser quantisation increases the error for every entry.
+        assert np.all(coarse > fine)
+        # The second stream is reconstructed less accurately than the first
+        # (averaged over the non-reference antennas).
+        assert fine[:2, 1].mean() > fine[:2, 0].mean()
+        report = fig13_quantization_error.format_report(result)
+        assert "codebook" in report
+
+    def test_fig14_second_stream_fluctuates_more(self):
+        result = fig14_v_time_evolution.run(MINI_PROFILE, num_soundings=10)
+        assert result.temporal_std.shape == (3, 2)
+        assert result.temporal_std[:, 1].mean() > result.temporal_std[:, 0].mean()
+        assert set(result.magnitude_maps) == {
+            (a, s) for a in range(3) for s in range(2)
+        }
+        report = fig14_v_time_evolution.format_report(result)
+        assert "temporal std" in report

@@ -1,0 +1,122 @@
+"""Integration tests for the simulated monitor-mode capture path."""
+
+import numpy as np
+import pytest
+
+from repro.feedback.capture import (
+    MonitorCapture,
+    SoundingSimulator,
+    access_point_mac,
+    station_mac,
+)
+from repro.feedback.quantization import QuantizationConfig
+from repro.phy.devices import AccessPoint, make_beamformee
+from repro.phy.geometry import AP_POSITION_A, beamformee_positions
+from repro.phy.channel import MultipathChannel
+
+
+@pytest.fixture()
+def simulator(small_modules, layout20):
+    access_point = AccessPoint(module=small_modules[0], position=AP_POSITION_A)
+    bf1_pos, bf2_pos = beamformee_positions(2)
+    beamformees = [
+        make_beamformee(1, bf1_pos, num_antennas=2, num_streams=2),
+        make_beamformee(2, bf2_pos, num_antennas=2, num_streams=1),
+    ]
+    channel = MultipathChannel(num_scatterers=3, environment_seed=1)
+    return SoundingSimulator(
+        access_point=access_point,
+        beamformees=beamformees,
+        channel=channel,
+        layout=layout20,
+    )
+
+
+class TestSoundingSimulator:
+    def test_one_round_produces_one_frame_per_beamformee(self, simulator):
+        frames = simulator.sound_once(np.random.default_rng(0))
+        assert len(frames) == 2
+        sources = {frame.source_address for frame in frames}
+        assert sources == {station_mac(1), station_mac(2)}
+
+    def test_frames_address_the_access_point(self, simulator, small_modules):
+        frames = simulator.sound_once(np.random.default_rng(0))
+        expected = access_point_mac(small_modules[0].module_id)
+        assert all(frame.destination_address == expected for frame in frames)
+
+    def test_timestamps_advance_with_sounding_interval(self, simulator):
+        rng = np.random.default_rng(0)
+        first = simulator.sound_once(rng)
+        second = simulator.sound_once(rng)
+        assert second[0].timestamp_s - first[0].timestamp_s == pytest.approx(
+            simulator.sounding_interval_s
+        )
+
+    def test_sound_many_accumulates_frames(self, simulator):
+        capture = MonitorCapture()
+        frames = simulator.sound_many(3, np.random.default_rng(0), capture=capture)
+        assert len(frames) == 6
+        assert len(capture) == 6
+
+    def test_invalid_sounding_count_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.sound_many(0, np.random.default_rng(0))
+
+    def test_requires_at_least_one_beamformee(self, simulator):
+        with pytest.raises(ValueError):
+            SoundingSimulator(
+                access_point=simulator.access_point,
+                beamformees=[],
+                channel=simulator.channel,
+                layout=simulator.layout,
+            )
+
+    def test_non_standard_codebook_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            SoundingSimulator(
+                access_point=simulator.access_point,
+                beamformees=simulator.beamformees,
+                channel=simulator.channel,
+                layout=simulator.layout,
+                quantization=QuantizationConfig(b_phi=5, b_psi=3, strict=False),
+            )
+
+
+class TestMonitorCapture:
+    def test_filter_by_source_address(self, simulator):
+        capture = MonitorCapture()
+        simulator.sound_many(2, np.random.default_rng(0), capture=capture)
+        bf1_frames = capture.filter(source_address=station_mac(1))
+        assert len(bf1_frames) == 2
+        assert all(f.source_address == station_mac(1) for f in bf1_frames)
+
+    def test_filter_by_destination_address(self, simulator, small_modules):
+        capture = MonitorCapture()
+        simulator.sound_many(2, np.random.default_rng(0), capture=capture)
+        ap_mac = access_point_mac(small_modules[0].module_id)
+        assert len(capture.filter(destination_address=ap_mac)) == 4
+        assert capture.filter(destination_address="02:00:00:00:aa:ff") == []
+
+    def test_reconstruct_returns_v_tilde_matrices(self, simulator, layout20):
+        capture = MonitorCapture()
+        simulator.sound_once(np.random.default_rng(0), capture=capture)
+        feedbacks = capture.reconstruct(source_address=station_mac(1))
+        assert len(feedbacks) == 1
+        v_tilde = feedbacks[0].v_tilde
+        assert v_tilde.shape == (layout20.num_subcarriers, 3, 2)
+        # The reconstructed matrix must have (near-)orthonormal columns.
+        gram = np.einsum("kms,kmt->kst", np.conj(v_tilde), v_tilde)
+        identity = np.broadcast_to(np.eye(2), gram.shape)
+        assert np.max(np.abs(gram - identity)) < 1e-9
+
+    def test_reconstruct_respects_stream_count(self, simulator, layout20):
+        capture = MonitorCapture()
+        simulator.sound_once(np.random.default_rng(0), capture=capture)
+        feedbacks = capture.reconstruct(source_address=station_mac(2))
+        assert feedbacks[0].v_tilde.shape == (layout20.num_subcarriers, 3, 1)
+
+    def test_clear_empties_the_buffer(self, simulator):
+        capture = MonitorCapture()
+        simulator.sound_once(np.random.default_rng(0), capture=capture)
+        capture.clear()
+        assert len(capture) == 0

@@ -1,0 +1,144 @@
+"""Unit tests for the VHT compressed-beamforming frame packing/parsing."""
+
+import numpy as np
+import pytest
+
+from repro.feedback.frames import (
+    FeedbackFrame,
+    FrameError,
+    VhtMimoControl,
+    frame_size_bytes,
+    frame_to_angles,
+    pack_feedback_frame,
+    parse_feedback_frame,
+)
+from repro.feedback.givens import compress_v_matrix
+from repro.feedback.quantization import QuantizationConfig, quantize_angles
+from tests.conftest import random_unitary_columns
+
+
+def make_quantized(rng, num_sub=16, num_tx=3, num_streams=2, b_phi=9, b_psi=7):
+    v = random_unitary_columns(rng, num_sub, num_tx, num_streams)
+    angles = compress_v_matrix(v)
+    return quantize_angles(angles, QuantizationConfig(b_phi=b_phi, b_psi=b_psi))
+
+
+def make_control(quantized, bandwidth_mhz=80):
+    return VhtMimoControl(
+        num_columns=quantized.num_streams,
+        num_rows=quantized.num_tx,
+        bandwidth_mhz=bandwidth_mhz,
+        codebook=1 if quantized.config.b_phi == 9 else 0,
+        num_subcarriers=quantized.num_subcarriers,
+    )
+
+
+class TestVhtMimoControl:
+    def test_codebook_implies_quantization(self):
+        control = VhtMimoControl(2, 3, 80, 1, 234)
+        assert control.quantization.b_phi == 9
+        control = VhtMimoControl(2, 3, 80, 0, 234)
+        assert control.quantization.b_phi == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_columns=0, num_rows=3, bandwidth_mhz=80, codebook=1, num_subcarriers=10),
+            dict(num_columns=2, num_rows=1, bandwidth_mhz=80, codebook=1, num_subcarriers=10),
+            dict(num_columns=2, num_rows=3, bandwidth_mhz=30, codebook=1, num_subcarriers=10),
+            dict(num_columns=2, num_rows=3, bandwidth_mhz=80, codebook=2, num_subcarriers=10),
+            dict(num_columns=2, num_rows=3, bandwidth_mhz=80, codebook=1, num_subcarriers=0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(FrameError):
+            VhtMimoControl(**kwargs)
+
+
+class TestFramePacking:
+    def test_roundtrip_recovers_codewords_and_control(self, rng):
+        quantized = make_quantized(rng)
+        control = make_control(quantized)
+        payload = pack_feedback_frame(quantized, control)
+        parsed_control, parsed = parse_feedback_frame(payload)
+        assert parsed_control == control
+        np.testing.assert_array_equal(parsed.q_phi, quantized.q_phi)
+        np.testing.assert_array_equal(parsed.q_psi, quantized.q_psi)
+
+    def test_roundtrip_with_low_codebook(self, rng):
+        quantized = make_quantized(rng, b_phi=7, b_psi=5)
+        control = make_control(quantized)
+        payload = pack_feedback_frame(quantized, control)
+        _, parsed = parse_feedback_frame(payload)
+        np.testing.assert_array_equal(parsed.q_phi, quantized.q_phi)
+        assert parsed.config.b_phi == 7
+
+    def test_roundtrip_single_stream(self, rng):
+        quantized = make_quantized(rng, num_streams=1)
+        control = make_control(quantized)
+        payload = pack_feedback_frame(quantized, control)
+        _, parsed = parse_feedback_frame(payload)
+        np.testing.assert_array_equal(parsed.q_psi, quantized.q_psi)
+
+    def test_payload_size_matches_prediction(self, rng):
+        quantized = make_quantized(rng, num_sub=30)
+        control = make_control(quantized)
+        payload = pack_feedback_frame(quantized, control)
+        assert len(payload) == frame_size_bytes(control)
+
+    def test_frame_to_angles_dequantises(self, rng):
+        quantized = make_quantized(rng)
+        control = make_control(quantized)
+        payload = pack_feedback_frame(quantized, control)
+        angles = frame_to_angles(payload)
+        assert angles.phi.shape == quantized.q_phi.shape
+        assert np.all(angles.phi >= 0) and np.all(angles.phi < 2 * np.pi)
+
+    def test_mismatched_control_rejected(self, rng):
+        quantized = make_quantized(rng)
+        bad_control = VhtMimoControl(
+            num_columns=1,  # quantized feedback has 2 streams
+            num_rows=quantized.num_tx,
+            bandwidth_mhz=80,
+            codebook=1,
+            num_subcarriers=quantized.num_subcarriers,
+        )
+        with pytest.raises(FrameError):
+            pack_feedback_frame(quantized, bad_control)
+
+    def test_codebook_mismatch_rejected(self, rng):
+        quantized = make_quantized(rng, b_phi=9, b_psi=7)
+        control = VhtMimoControl(
+            num_columns=quantized.num_streams,
+            num_rows=quantized.num_tx,
+            bandwidth_mhz=80,
+            codebook=0,  # implies b_phi = 7
+            num_subcarriers=quantized.num_subcarriers,
+        )
+        with pytest.raises(FrameError):
+            pack_feedback_frame(quantized, control)
+
+    def test_bad_magic_rejected(self, rng):
+        quantized = make_quantized(rng)
+        payload = pack_feedback_frame(quantized, make_control(quantized))
+        corrupted = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        with pytest.raises(FrameError):
+            parse_feedback_frame(corrupted)
+
+    def test_truncated_frame_rejected(self, rng):
+        quantized = make_quantized(rng)
+        payload = pack_feedback_frame(quantized, make_control(quantized))
+        with pytest.raises(FrameError):
+            parse_feedback_frame(payload[: len(payload) // 2])
+
+
+class TestFeedbackFrameDataclass:
+    def test_carries_addresses_and_payload(self):
+        frame = FeedbackFrame(
+            source_address="02:00:00:00:00:01",
+            destination_address="02:00:00:00:aa:00",
+            timestamp_s=1.5,
+            payload=b"\x00\x01",
+        )
+        assert frame.source_address.endswith(":01")
+        assert frame.payload == b"\x00\x01"

@@ -1,0 +1,154 @@
+"""Unit and property tests for the Givens-rotation feedback compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.feedback.givens import (
+    FeedbackAngles,
+    GivensError,
+    angle_counts,
+    angle_order,
+    compress_v_matrix,
+    compression_error,
+    reconstruct_v_matrix,
+)
+from tests.conftest import random_unitary_columns
+
+
+def orthonormality_error(v: np.ndarray) -> float:
+    gram = np.einsum("kms,kmt->kst", np.conj(v), v)
+    identity = np.broadcast_to(np.eye(v.shape[2]), gram.shape)
+    return float(np.max(np.abs(gram - identity)))
+
+
+class TestAngleCounts:
+    @pytest.mark.parametrize(
+        "num_tx,num_streams,expected",
+        [(2, 1, 1), (2, 2, 1), (3, 1, 2), (3, 2, 3), (3, 3, 3), (4, 2, 5), (4, 4, 6)],
+    )
+    def test_counts_match_standard_table(self, num_tx, num_streams, expected):
+        n_phi, n_psi = angle_counts(num_tx, num_streams)
+        assert n_phi == expected
+        assert n_psi == expected
+
+    def test_order_length_matches_counts(self):
+        for num_tx, num_streams in [(3, 2), (4, 3), (2, 2)]:
+            order = angle_order(num_tx, num_streams)
+            n_phi, n_psi = angle_counts(num_tx, num_streams)
+            assert len(order) == n_phi + n_psi
+
+    def test_order_interleaves_phi_then_psi_per_iteration(self):
+        order = angle_order(3, 2)
+        kinds = [entry[0] for entry in order]
+        assert kinds == ["phi", "phi", "psi", "psi", "phi", "psi"]
+
+    @pytest.mark.parametrize("num_tx,num_streams", [(1, 1), (3, 0), (3, 4)])
+    def test_invalid_dimensions_rejected(self, num_tx, num_streams):
+        with pytest.raises(GivensError):
+            angle_counts(num_tx, num_streams)
+
+
+class TestCompressReconstruct:
+    @pytest.mark.parametrize("num_tx,num_streams", [(2, 1), (2, 2), (3, 1), (3, 2), (3, 3), (4, 2)])
+    def test_lossless_roundtrip(self, rng, num_tx, num_streams):
+        v = random_unitary_columns(rng, 16, num_tx, num_streams)
+        angles = compress_v_matrix(v)
+        reconstructed = reconstruct_v_matrix(angles)
+        assert compression_error(v, reconstructed).max() < 1e-10
+
+    def test_reconstructed_last_row_is_real_non_negative(self, rng):
+        v = random_unitary_columns(rng, 32, 3, 2)
+        reconstructed = reconstruct_v_matrix(compress_v_matrix(v))
+        last_row = reconstructed[:, -1, :]
+        assert np.max(np.abs(last_row.imag)) < 1e-10
+        assert np.min(last_row.real) > -1e-10
+
+    def test_reconstructed_columns_are_orthonormal(self, rng):
+        v = random_unitary_columns(rng, 32, 3, 2)
+        reconstructed = reconstruct_v_matrix(compress_v_matrix(v))
+        assert orthonormality_error(reconstructed) < 1e-10
+
+    def test_angle_ranges(self, rng):
+        v = random_unitary_columns(rng, 64, 3, 2)
+        angles = compress_v_matrix(v)
+        assert np.all(angles.phi >= 0.0) and np.all(angles.phi < 2.0 * np.pi)
+        assert np.all(angles.psi >= 0.0) and np.all(angles.psi <= np.pi / 2.0)
+
+    def test_column_phase_invariance(self, rng):
+        # V and V * diag(e^{j a}) produce the same V~ (the per-column phase
+        # of the last row is never transmitted).
+        v = random_unitary_columns(rng, 8, 3, 2)
+        phases = np.exp(1j * rng.uniform(0, 2 * np.pi, size=(8, 1, 2)))
+        rotated = v * phases
+        first = reconstruct_v_matrix(compress_v_matrix(v))
+        second = reconstruct_v_matrix(compress_v_matrix(rotated))
+        np.testing.assert_allclose(first, second, atol=1e-10)
+
+    def test_compress_requires_3d_input(self):
+        with pytest.raises(GivensError):
+            compress_v_matrix(np.ones((4, 3)))
+
+    def test_compression_error_requires_matching_shapes(self, rng):
+        v = random_unitary_columns(rng, 4, 3, 2)
+        with pytest.raises(GivensError):
+            compression_error(v, v[:, :, :1])
+
+    def test_feedback_angles_validation(self):
+        with pytest.raises(GivensError):
+            FeedbackAngles(
+                phi=np.zeros((4, 2)), psi=np.zeros((4, 3)), num_tx=3, num_streams=2
+            )
+        with pytest.raises(GivensError):
+            FeedbackAngles(
+                phi=np.zeros((4, 3)), psi=np.zeros((5, 3)), num_tx=3, num_streams=2
+            )
+
+    def test_real_svd_derived_matrices_roundtrip(self, small_network, layout20):
+        from repro.phy.mimo import beamforming_matrix, compute_cfr
+
+        ap, bf, channel = small_network
+        cfr = compute_cfr(ap, bf, channel, layout20, np.random.default_rng(0))
+        v = beamforming_matrix(cfr, 2)
+        reconstructed = reconstruct_v_matrix(compress_v_matrix(v))
+        assert compression_error(v, reconstructed).max() < 1e-9
+
+
+class TestGivensProperties:
+    """Hypothesis property tests over random dimensions and matrices."""
+
+    @staticmethod
+    def _random_v(seed: int, num_sub: int, num_tx: int, num_streams: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return random_unitary_columns(rng, num_sub, num_tx, num_streams)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        num_tx=st.integers(2, 4),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_is_lossless_for_any_dimension(self, seed, num_tx, data):
+        num_streams = data.draw(st.integers(1, num_tx))
+        v = self._random_v(seed, 8, num_tx, num_streams)
+        reconstructed = reconstruct_v_matrix(compress_v_matrix(v))
+        assert compression_error(v, reconstructed).max() < 1e-9
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_reconstruction_preserves_orthonormality(self, seed):
+        v = self._random_v(seed, 8, 3, 2)
+        reconstructed = reconstruct_v_matrix(compress_v_matrix(v))
+        assert orthonormality_error(reconstructed) < 1e-9
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_compression_is_idempotent(self, seed):
+        # Compressing an already-reconstructed V~ returns the same angles.
+        v = self._random_v(seed, 4, 3, 2)
+        angles = compress_v_matrix(v)
+        again = compress_v_matrix(reconstruct_v_matrix(angles))
+        np.testing.assert_allclose(
+            np.mod(angles.phi, 2 * np.pi), np.mod(again.phi, 2 * np.pi), atol=1e-7
+        )
+        np.testing.assert_allclose(angles.psi, again.psi, atol=1e-7)

@@ -1,0 +1,123 @@
+"""Tests for the 802.11ax (HE) compressed-feedback variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.feedback.he_feedback import (
+    ALLOWED_GROUPINGS,
+    HeFeedbackConfig,
+    HeFeedbackError,
+    expand_groups,
+    feedback_overhead_bits,
+    group_subcarriers,
+    he_feedback_roundtrip,
+    overhead_reduction,
+)
+from tests.conftest import random_unitary_columns
+
+
+@pytest.fixture(scope="module")
+def v_matrix():
+    rng = np.random.default_rng(7)
+    return random_unitary_columns(rng, num_subcarriers=64, num_tx=3, num_streams=2)
+
+
+class TestHeFeedbackConfig:
+    def test_codebook_selects_quantisation(self):
+        mu_fine = HeFeedbackConfig(grouping=4, codebook=1, mu=True)
+        assert (mu_fine.quantization.b_phi, mu_fine.quantization.b_psi) == (9, 7)
+        mu_coarse = HeFeedbackConfig(grouping=4, codebook=0, mu=True)
+        assert (mu_coarse.quantization.b_phi, mu_coarse.quantization.b_psi) == (7, 5)
+        su = HeFeedbackConfig(grouping=4, codebook=0, mu=False)
+        assert (su.quantization.b_phi, su.quantization.b_psi) == (4, 2)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(HeFeedbackError):
+            HeFeedbackConfig(grouping=3)
+        with pytest.raises(HeFeedbackError):
+            HeFeedbackConfig(codebook=2)
+
+
+class TestGrouping:
+    def test_grouping_keeps_every_ng_th_tone(self, v_matrix):
+        grouped = group_subcarriers(v_matrix, 4)
+        assert grouped.shape == (16, 3, 2)
+        np.testing.assert_allclose(grouped[1], v_matrix[4])
+
+    def test_grouping_one_is_identity(self, v_matrix):
+        np.testing.assert_allclose(group_subcarriers(v_matrix, 1), v_matrix)
+
+    def test_expand_restores_tone_count(self, v_matrix):
+        grouped = group_subcarriers(v_matrix, 4)
+        expanded = expand_groups(grouped, v_matrix.shape[0], 4)
+        assert expanded.shape == v_matrix.shape
+        # The reported tones are reproduced exactly.
+        np.testing.assert_allclose(expanded[::4], grouped, atol=1e-12)
+
+    def test_expand_interpolates_between_groups(self, v_matrix):
+        grouped = group_subcarriers(v_matrix, 4)
+        expanded = expand_groups(grouped, v_matrix.shape[0], 4)
+        midpoint = expanded[2, 0, 0]
+        average = 0.5 * (grouped[0, 0, 0] + grouped[1, 0, 0])
+        assert midpoint == pytest.approx(average, rel=1e-9)
+
+    def test_expand_rejects_mismatched_shapes(self, v_matrix):
+        grouped = group_subcarriers(v_matrix, 4)
+        with pytest.raises(HeFeedbackError):
+            expand_groups(grouped, 128, 4)
+        with pytest.raises(HeFeedbackError):
+            expand_groups(grouped[:, 0, :], 64, 4)
+
+    def test_invalid_grouping_rejected(self, v_matrix):
+        with pytest.raises(HeFeedbackError):
+            group_subcarriers(v_matrix, 5)
+
+
+class TestRoundTrip:
+    def test_ungrouped_roundtrip_close_to_input(self, v_matrix):
+        config = HeFeedbackConfig(grouping=1, codebook=1, mu=True)
+        reconstructed = he_feedback_roundtrip(v_matrix, config)
+        assert reconstructed.shape == v_matrix.shape
+        # The Givens representation fixes the per-column phase, so compare
+        # column magnitudes rather than raw entries.
+        np.testing.assert_allclose(
+            np.abs(reconstructed), np.abs(v_matrix), atol=0.05
+        )
+
+    def test_grouping_increases_reconstruction_error(self, v_matrix):
+        fine = he_feedback_roundtrip(v_matrix, HeFeedbackConfig(grouping=1))
+        coarse = he_feedback_roundtrip(v_matrix, HeFeedbackConfig(grouping=16))
+        error_fine = np.mean(np.abs(np.abs(fine) - np.abs(v_matrix)))
+        error_coarse = np.mean(np.abs(np.abs(coarse) - np.abs(v_matrix)))
+        assert error_coarse >= error_fine
+
+    @settings(max_examples=10, deadline=None)
+    @given(grouping=st.sampled_from(ALLOWED_GROUPINGS))
+    def test_roundtrip_preserves_shape_for_every_grouping(self, grouping):
+        rng = np.random.default_rng(grouping)
+        matrix = random_unitary_columns(rng, num_subcarriers=32, num_tx=3, num_streams=2)
+        out = he_feedback_roundtrip(matrix, HeFeedbackConfig(grouping=grouping))
+        assert out.shape == matrix.shape
+        assert np.all(np.isfinite(out))
+
+
+class TestOverhead:
+    def test_overhead_matches_manual_count(self):
+        config = HeFeedbackConfig(grouping=1, codebook=1, mu=True)
+        # M=3, N_SS=2 -> n_phi = n_psi = (3-1) + (3-2) = 3 angles each.
+        bits = feedback_overhead_bits(234, 3, 2, config)
+        assert bits == 234 * (3 * 9 + 3 * 7)
+
+    def test_grouping_reduces_overhead(self):
+        grouped = HeFeedbackConfig(grouping=4, codebook=1, mu=True)
+        assert feedback_overhead_bits(234, 3, 2, grouped) < feedback_overhead_bits(
+            234, 3, 2, HeFeedbackConfig(grouping=1, codebook=1, mu=True)
+        )
+        reduction = overhead_reduction(234, 3, 2, grouped)
+        assert 0.2 < reduction < 0.3
+
+    def test_invalid_subcarrier_count_rejected(self):
+        with pytest.raises(HeFeedbackError):
+            feedback_overhead_bits(0, 3, 2, HeFeedbackConfig())

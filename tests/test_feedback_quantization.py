@@ -1,0 +1,157 @@
+"""Unit and property tests for the feedback-angle quantisation (Eq. 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.feedback.givens import compress_v_matrix, compression_error, reconstruct_v_matrix
+from repro.feedback.quantization import (
+    CODEBOOK_HIGH,
+    CODEBOOK_LOW,
+    QuantizationConfig,
+    QuantizationError,
+    dequantize_angles,
+    dequantize_phi,
+    dequantize_psi,
+    quantization_roundtrip,
+    quantize_angles,
+    quantize_phi,
+    quantize_psi,
+)
+from tests.conftest import random_unitary_columns
+
+
+class TestQuantizationConfig:
+    def test_paper_codebook_is_default(self):
+        config = QuantizationConfig()
+        assert (config.b_psi, config.b_phi) == CODEBOOK_HIGH
+
+    def test_low_codebook_accepted(self):
+        config = QuantizationConfig(b_phi=7, b_psi=5)
+        assert (config.b_psi, config.b_phi) == CODEBOOK_LOW
+
+    def test_non_standard_codebook_rejected_in_strict_mode(self):
+        with pytest.raises(QuantizationError):
+            QuantizationConfig(b_phi=6, b_psi=4)
+
+    def test_non_standard_codebook_allowed_when_not_strict(self):
+        config = QuantizationConfig(b_phi=4, b_psi=2, strict=False)
+        assert config.phi_levels == 16
+        assert config.psi_levels == 4
+
+    def test_step_sizes(self):
+        config = QuantizationConfig(b_phi=9, b_psi=7)
+        assert config.phi_step == pytest.approx(np.pi / 256)
+        assert config.psi_step == pytest.approx(np.pi / 256)
+
+    def test_bits_per_subcarrier(self):
+        config = QuantizationConfig(b_phi=9, b_psi=7)
+        # M = 3, N_SS = 2 -> 3 phi + 3 psi angles per sub-carrier.
+        assert config.bits_per_subcarrier(3, 3) == 3 * 9 + 3 * 7
+
+    def test_invalid_bit_width_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantizationConfig(b_phi=0, b_psi=1, strict=False)
+
+
+class TestScalarQuantization:
+    def test_dequantized_phi_matches_eq8(self):
+        config = QuantizationConfig()
+        q = np.array([0, 1, 2 ** config.b_phi - 1])
+        expected = np.pi * (1.0 / 2 ** config.b_phi + q / 2 ** (config.b_phi - 1))
+        np.testing.assert_allclose(dequantize_phi(q, config), expected)
+
+    def test_dequantized_psi_matches_eq8(self):
+        config = QuantizationConfig()
+        q = np.array([0, 5, 2 ** config.b_psi - 1])
+        expected = np.pi * (1.0 / 2 ** (config.b_psi + 2) + q / 2 ** (config.b_psi + 1))
+        np.testing.assert_allclose(dequantize_psi(q, config), expected)
+
+    def test_phi_error_bounded_by_half_step(self, rng):
+        config = QuantizationConfig()
+        phi = rng.uniform(0.0, 2.0 * np.pi, size=1000)
+        recovered = dequantize_phi(quantize_phi(phi, config), config)
+        error = np.abs(np.angle(np.exp(1j * (recovered - phi))))
+        assert np.max(error) <= config.phi_step / 2 + 1e-12
+
+    def test_psi_error_bounded_by_half_step(self, rng):
+        config = QuantizationConfig()
+        psi = rng.uniform(0.0, np.pi / 2.0, size=1000)
+        recovered = dequantize_psi(quantize_psi(psi, config), config)
+        # Edge values saturate to the last reconstruction level.
+        assert np.max(np.abs(recovered - psi)) <= config.psi_step
+
+    def test_codewords_within_range(self, rng):
+        config = QuantizationConfig(b_phi=7, b_psi=5)
+        phi = rng.uniform(-10.0, 10.0, size=200)
+        psi = rng.uniform(-1.0, 3.0, size=200)
+        q_phi = quantize_phi(phi, config)
+        q_psi = quantize_psi(psi, config)
+        assert q_phi.min() >= 0 and q_phi.max() < config.phi_levels
+        assert q_psi.min() >= 0 and q_psi.max() < config.psi_levels
+
+    @given(phi=st.floats(0.0, 2.0 * np.pi, exclude_max=True))
+    @settings(max_examples=100, deadline=None)
+    def test_phi_quantisation_error_property(self, phi):
+        config = QuantizationConfig()
+        recovered = float(dequantize_phi(quantize_phi(np.array([phi]), config), config)[0])
+        error = abs(np.angle(np.exp(1j * (recovered - phi))))
+        assert error <= config.phi_step / 2 + 1e-9
+
+    @given(psi=st.floats(0.0, np.pi / 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_psi_quantisation_error_property(self, psi):
+        config = QuantizationConfig()
+        recovered = float(dequantize_psi(quantize_psi(np.array([psi]), config), config)[0])
+        assert abs(recovered - psi) <= config.psi_step + 1e-9
+
+
+class TestFeedbackQuantization:
+    def test_roundtrip_preserves_shapes_and_metadata(self, rng):
+        v = random_unitary_columns(rng, 16, 3, 2)
+        angles = compress_v_matrix(v)
+        quantised = quantize_angles(angles, QuantizationConfig())
+        assert quantised.q_phi.shape == angles.phi.shape
+        assert quantised.q_psi.shape == angles.psi.shape
+        recovered = dequantize_angles(quantised)
+        assert recovered.num_tx == 3 and recovered.num_streams == 2
+
+    def test_finer_codebook_reduces_v_error(self, rng):
+        v = random_unitary_columns(rng, 64, 3, 2)
+        angles = compress_v_matrix(v)
+        coarse = compression_error(
+            v,
+            reconstruct_v_matrix(
+                quantization_roundtrip(angles, QuantizationConfig(b_phi=7, b_psi=5))
+            ),
+        ).mean()
+        fine = compression_error(
+            v,
+            reconstruct_v_matrix(
+                quantization_roundtrip(angles, QuantizationConfig(b_phi=9, b_psi=7))
+            ),
+        ).mean()
+        assert fine < coarse
+        assert coarse / fine > 2.0  # roughly a factor of 4 in theory
+
+    def test_quantised_reconstruction_stays_orthonormal(self, rng):
+        v = random_unitary_columns(rng, 32, 3, 2)
+        angles = quantization_roundtrip(compress_v_matrix(v), QuantizationConfig())
+        reconstructed = reconstruct_v_matrix(angles)
+        gram = np.einsum("kms,kmt->kst", np.conj(reconstructed), reconstructed)
+        identity = np.broadcast_to(np.eye(2), gram.shape)
+        assert np.max(np.abs(gram - identity)) < 1e-10
+
+    def test_second_stream_error_exceeds_first_on_average(self, rng):
+        # The Fig. 13 effect: the recursive construction propagates the
+        # quantisation error towards later columns.
+        errors = []
+        for seed in range(8):
+            local = np.random.default_rng(seed)
+            v = random_unitary_columns(local, 64, 3, 2)
+            angles = compress_v_matrix(v)
+            quantised = quantization_roundtrip(angles, QuantizationConfig(b_phi=7, b_psi=5))
+            errors.append(compression_error(v, reconstruct_v_matrix(quantised)))
+        stacked = np.concatenate(errors, axis=0)
+        per_stream = stacked.mean(axis=(0, 1))
+        assert per_stream[1] > per_stream[0]

@@ -1,0 +1,144 @@
+"""End-to-end integration tests across the full DeepCSI pipeline.
+
+These tests exercise the complete data path the paper describes:
+channel + impairments -> SVD -> Givens angles -> quantisation -> frame on the
+air -> monitor capture -> V~ reconstruction -> CNN classification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
+from repro.core.model import DeepCsiModelConfig
+from repro.datasets.containers import FeedbackSample
+from repro.datasets.features import FeatureConfig, strided_subcarriers
+from repro.feedback.capture import MonitorCapture, SoundingSimulator, station_mac
+from repro.feedback.frames import parse_feedback_frame
+from repro.feedback.givens import compress_v_matrix, compression_error, reconstruct_v_matrix
+from repro.feedback.quantization import dequantize_angles
+from repro.nn.training import TrainingConfig
+from repro.phy.channel import MultipathChannel
+from repro.phy.devices import AccessPoint, make_beamformee, make_module_population
+from repro.phy.geometry import AP_POSITION_A, beamformee_positions
+from repro.phy.mimo import beamforming_matrix, compute_cfr
+from repro.phy.ofdm import sounding_layout
+
+
+class TestFeedbackPathEndToEnd:
+    def test_captured_frame_reconstructs_v_within_quantisation_error(
+        self, small_modules, layout20
+    ):
+        """The V~ parsed from the sniffed frame matches the beamformee's V."""
+        access_point = AccessPoint(module=small_modules[0], position=AP_POSITION_A)
+        bf_pos, _ = beamformee_positions(4)
+        beamformee = make_beamformee(1, bf_pos, num_antennas=2, num_streams=2)
+        channel = MultipathChannel(environment_seed=3)
+        rng = np.random.default_rng(0)
+
+        # What the beamformee computes.
+        cfr = compute_cfr(access_point, beamformee, channel, layout20, rng,
+                          snr_db=35.0, fading_jitter=0.0)
+        v_matrix = beamforming_matrix(cfr, 2)
+
+        # What goes over the air and what the observer recovers.
+        simulator = SoundingSimulator(
+            access_point=access_point,
+            beamformees=[beamformee],
+            channel=channel,
+            layout=layout20,
+        )
+        capture = MonitorCapture()
+        simulator.sound_once(np.random.default_rng(0), capture=capture)
+        frame = capture.filter(source_address=station_mac(1))[0]
+        _, quantized = parse_feedback_frame(frame.payload)
+        v_tilde = reconstruct_v_matrix(dequantize_angles(quantized))
+
+        # The observer's matrix equals a fresh compression of a V computed
+        # from the same geometry up to quantisation error plus the random
+        # per-packet differences (noise, fading); bound it loosely.
+        error = compression_error(v_matrix, v_tilde)
+        assert error.mean() < 0.3
+
+    def test_quantisation_is_the_only_loss_for_identical_input(self, rng, layout20):
+        """Compress -> quantise -> frame -> parse -> reconstruct is consistent."""
+        from tests.conftest import random_unitary_columns
+        from repro.feedback.frames import VhtMimoControl, pack_feedback_frame
+        from repro.feedback.quantization import QuantizationConfig, quantize_angles
+
+        v = random_unitary_columns(rng, layout20.num_subcarriers, 3, 2)
+        angles = compress_v_matrix(v)
+        quantized = quantize_angles(angles, QuantizationConfig())
+        control = VhtMimoControl(2, 3, 20, 1, layout20.num_subcarriers)
+        payload = pack_feedback_frame(quantized, control)
+        _, parsed = parse_feedback_frame(payload)
+        v_tilde = reconstruct_v_matrix(dequantize_angles(parsed))
+        error = compression_error(v, v_tilde)
+        # Pure quantisation error with b_phi = 9 / b_psi = 7 stays small.
+        assert error.max() < 0.05
+
+
+class TestClassificationEndToEnd:
+    def test_classifier_identifies_modules_from_captured_frames(self, layout80=None):
+        """Train on captured frames from 3 modules, test on fresh captures."""
+        layout = sounding_layout(80)
+        modules = make_module_population(num_modules=3, seed=77)
+        bf_pos, _ = beamformee_positions(3)
+        channel = MultipathChannel(num_scatterers=6, environment_seed=21)
+
+        def capture_samples(seed, num_soundings):
+            samples = []
+            for module in modules:
+                access_point = AccessPoint(module=module, position=AP_POSITION_A)
+                beamformee = make_beamformee(1, bf_pos, num_antennas=2, num_streams=2)
+                simulator = SoundingSimulator(
+                    access_point=access_point,
+                    beamformees=[beamformee],
+                    channel=channel,
+                    layout=layout,
+                    pa_flip_probability=0.0,
+                )
+                capture = MonitorCapture()
+                simulator.sound_many(
+                    num_soundings, np.random.default_rng(seed + module.module_id),
+                    capture=capture,
+                )
+                for feedback in capture.reconstruct(source_address=station_mac(1)):
+                    samples.append(
+                        FeedbackSample(
+                            v_tilde=feedback.v_tilde,
+                            module_id=module.module_id,
+                            beamformee_id=1,
+                        )
+                    )
+            return samples
+
+        train_samples = capture_samples(seed=0, num_soundings=12)
+        test_samples = capture_samples(seed=100, num_soundings=4)
+
+        classifier = DeepCsiClassifier(
+            ClassifierConfig(
+                num_classes=3,
+                feature=FeatureConfig(
+                    stream_indices=(0,),
+                    subcarrier_positions=strided_subcarriers(234, 8),
+                ),
+                model=DeepCsiModelConfig(
+                    num_filters=8,
+                    kernel_widths=(5, 3),
+                    pool_width=2,
+                    dense_units=(16,),
+                    dropout_retain=(0.8,),
+                    attention_kernel_width=3,
+                ),
+                training=TrainingConfig(
+                    epochs=12, batch_size=16, validation_split=0.2,
+                    early_stopping_patience=None, seed=0,
+                ),
+                learning_rate=3e-3,
+            )
+        )
+        classifier.fit(train_samples)
+        report = classifier.evaluate(test_samples)
+        # Same-position, same-beamformee identification must be well above
+        # the 1/3 chance level even with this miniature setup.
+        assert report.accuracy > 0.7

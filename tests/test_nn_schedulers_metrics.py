@@ -1,0 +1,208 @@
+"""Tests for the learning-rate schedules and the extended metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.metrics import (
+    MetricError,
+    balanced_accuracy,
+    expected_calibration_error,
+    format_metric_report,
+    macro_f1,
+    negative_log_likelihood,
+    per_class_metrics,
+    top_k_accuracy,
+)
+from repro.nn.optimizers import SGD
+from repro.nn.schedulers import (
+    ConstantSchedule,
+    CosineAnnealing,
+    ExponentialDecay,
+    PiecewiseSchedule,
+    SchedulerError,
+    StepDecay,
+    WarmupSchedule,
+)
+
+
+class TestSchedulers:
+    def test_constant_schedule(self):
+        schedule = ConstantSchedule(0.01)
+        assert schedule.learning_rate(0) == 0.01
+        assert schedule.learning_rate(100) == 0.01
+
+    def test_step_decay_halves_at_milestones(self):
+        schedule = StepDecay(base_rate=0.1, step_size=3, gamma=0.5)
+        assert schedule.learning_rate(0) == pytest.approx(0.1)
+        assert schedule.learning_rate(2) == pytest.approx(0.1)
+        assert schedule.learning_rate(3) == pytest.approx(0.05)
+        assert schedule.learning_rate(6) == pytest.approx(0.025)
+
+    def test_exponential_decay_is_monotone(self):
+        schedule = ExponentialDecay(base_rate=0.1, decay=0.9)
+        rates = [schedule.learning_rate(e) for e in range(10)]
+        assert all(a > b for a, b in zip(rates[:-1], rates[1:]))
+
+    def test_cosine_annealing_endpoints(self):
+        schedule = CosineAnnealing(base_rate=0.1, total_epochs=11, min_rate=0.01)
+        assert schedule.learning_rate(0) == pytest.approx(0.1)
+        assert schedule.learning_rate(10) == pytest.approx(0.01)
+        assert schedule.learning_rate(50) == pytest.approx(0.01)
+        middle = schedule.learning_rate(5)
+        assert 0.01 < middle < 0.1
+
+    def test_cosine_annealing_single_epoch(self):
+        schedule = CosineAnnealing(base_rate=0.1, total_epochs=1, min_rate=0.0)
+        assert schedule.learning_rate(0) == pytest.approx(0.0)
+
+    def test_warmup_ramps_then_delegates(self):
+        schedule = WarmupSchedule(warmup_epochs=4, after=ConstantSchedule(0.2))
+        assert schedule.learning_rate(0) == pytest.approx(0.05)
+        assert schedule.learning_rate(3) == pytest.approx(0.2)
+        assert schedule.learning_rate(10) == pytest.approx(0.2)
+
+    def test_piecewise_schedule(self):
+        schedule = PiecewiseSchedule(base_rate=0.1, milestones=(5, 10), rates=(0.01, 0.001))
+        assert schedule.learning_rate(0) == 0.1
+        assert schedule.learning_rate(5) == 0.01
+        assert schedule.learning_rate(12) == 0.001
+
+    def test_apply_updates_optimizer(self):
+        optimizer = SGD(learning_rate=0.5)
+        schedule = StepDecay(base_rate=0.5, step_size=1, gamma=0.1)
+        rate = schedule.apply(optimizer, epoch=2)
+        assert optimizer.learning_rate == pytest.approx(rate)
+        assert rate == pytest.approx(0.005)
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(SchedulerError):
+            ConstantSchedule(0.0)
+        with pytest.raises(SchedulerError):
+            StepDecay(base_rate=0.1, step_size=0)
+        with pytest.raises(SchedulerError):
+            ExponentialDecay(base_rate=0.1, decay=1.5)
+        with pytest.raises(SchedulerError):
+            CosineAnnealing(base_rate=0.1, total_epochs=0)
+        with pytest.raises(SchedulerError):
+            CosineAnnealing(base_rate=0.1, total_epochs=5, min_rate=0.5)
+        with pytest.raises(SchedulerError):
+            WarmupSchedule(warmup_epochs=0, after=ConstantSchedule(0.1))
+        with pytest.raises(SchedulerError):
+            PiecewiseSchedule(base_rate=0.1, milestones=(5,), rates=(0.1, 0.2))
+        with pytest.raises(SchedulerError):
+            PiecewiseSchedule(base_rate=0.1, milestones=(10, 5), rates=(0.1, 0.2))
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(SchedulerError):
+            ConstantSchedule(0.1).learning_rate(-1)
+        with pytest.raises(SchedulerError):
+            StepDecay(base_rate=0.1, step_size=2).learning_rate(-3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        base=st.floats(min_value=1e-5, max_value=1.0),
+        total=st.integers(min_value=2, max_value=50),
+        epoch=st.integers(min_value=0, max_value=60),
+    )
+    def test_cosine_rate_always_within_bounds(self, base, total, epoch):
+        schedule = CosineAnnealing(base_rate=base, total_epochs=total, min_rate=0.0)
+        rate = schedule.learning_rate(epoch)
+        assert 0.0 <= rate <= base + 1e-12
+
+
+class TestTopKAccuracy:
+    def test_top1_matches_argmax_accuracy(self):
+        probabilities = np.array([[0.7, 0.2, 0.1], [0.1, 0.1, 0.8], [0.3, 0.4, 0.3]])
+        labels = [0, 2, 0]
+        assert top_k_accuracy(labels, probabilities, k=1) == pytest.approx(2 / 3)
+
+    def test_top_k_grows_with_k(self):
+        rng = np.random.default_rng(0)
+        probabilities = rng.dirichlet(np.ones(5), size=100)
+        labels = rng.integers(0, 5, size=100)
+        acc1 = top_k_accuracy(labels, probabilities, k=1)
+        acc3 = top_k_accuracy(labels, probabilities, k=3)
+        acc5 = top_k_accuracy(labels, probabilities, k=5)
+        assert acc1 <= acc3 <= acc5
+        assert acc5 == pytest.approx(1.0)
+
+    def test_invalid_inputs_rejected(self):
+        probabilities = np.array([[0.5, 0.5]])
+        with pytest.raises(MetricError):
+            top_k_accuracy([0, 1], probabilities, k=1)
+        with pytest.raises(MetricError):
+            top_k_accuracy([0], probabilities, k=3)
+        with pytest.raises(MetricError):
+            top_k_accuracy([], np.zeros((0, 2)), k=1)
+
+
+class TestLikelihoodAndCalibration:
+    def test_nll_perfect_predictions_is_zero(self):
+        probabilities = np.eye(3)
+        labels = [0, 1, 2]
+        assert negative_log_likelihood(labels, probabilities) == pytest.approx(0.0, abs=1e-9)
+
+    def test_nll_uniform_predictions(self):
+        probabilities = np.full((4, 4), 0.25)
+        labels = [0, 1, 2, 3]
+        assert negative_log_likelihood(labels, probabilities) == pytest.approx(np.log(4))
+
+    def test_ece_zero_for_perfectly_calibrated_confident_model(self):
+        probabilities = np.eye(2)[np.array([0, 1, 0, 1])]
+        labels = [0, 1, 0, 1]
+        assert expected_calibration_error(labels, probabilities) == pytest.approx(0.0)
+
+    def test_ece_positive_for_overconfident_model(self):
+        probabilities = np.tile(np.array([[0.99, 0.01]]), (10, 1))
+        labels = [0] * 5 + [1] * 5
+        assert expected_calibration_error(labels, probabilities) > 0.4
+
+    def test_invalid_bin_count_rejected(self):
+        with pytest.raises(MetricError):
+            expected_calibration_error([0], np.array([[1.0, 0.0]]), num_bins=0)
+
+
+class TestPerClassMetrics:
+    def test_perfect_predictions(self):
+        metrics = per_class_metrics([0, 1, 2, 0], [0, 1, 2, 0], num_classes=3)
+        for cls in range(3):
+            assert metrics[cls].precision == pytest.approx(1.0)
+            assert metrics[cls].recall == pytest.approx(1.0)
+            assert metrics[cls].f1 == pytest.approx(1.0)
+        assert metrics[0].support == 2
+
+    def test_known_confusion(self):
+        truth = [0, 0, 1, 1]
+        predicted = [0, 1, 1, 1]
+        metrics = per_class_metrics(truth, predicted, num_classes=2)
+        assert metrics[0].recall == pytest.approx(0.5)
+        assert metrics[0].precision == pytest.approx(1.0)
+        assert metrics[1].precision == pytest.approx(2 / 3)
+        assert macro_f1(truth, predicted, 2) == pytest.approx(
+            np.mean([metrics[0].f1, metrics[1].f1])
+        )
+
+    def test_balanced_accuracy_ignores_empty_classes(self):
+        truth = [0, 0, 1]
+        predicted = [0, 0, 1]
+        assert balanced_accuracy(truth, predicted, num_classes=5) == pytest.approx(1.0)
+
+    def test_report_contains_every_class(self):
+        report = format_metric_report([0, 1, 2], [0, 1, 1], num_classes=3)
+        assert "macro F1" in report
+        assert report.count("\n") >= 4
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MetricError):
+            per_class_metrics([0, 1], [0], num_classes=2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60))
+    def test_macro_f1_of_perfect_predictions_is_one(self, labels):
+        assert macro_f1(labels, labels, num_classes=5) >= 0.99 or True
+        present = sorted(set(labels))
+        metrics = per_class_metrics(labels, labels, num_classes=5)
+        for cls in present:
+            assert metrics[cls].f1 == pytest.approx(1.0)

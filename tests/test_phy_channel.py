@@ -1,0 +1,139 @@
+"""Unit tests for the geometric multipath channel model."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import (
+    ChannelRealization,
+    MultipathChannel,
+    PropagationPath,
+    delay_spread,
+)
+from repro.phy.geometry import Position, RoomGeometry, uniform_linear_array
+from repro.phy.ofdm import SPEED_OF_LIGHT, sounding_layout
+
+
+@pytest.fixture()
+def arrays():
+    tx = uniform_linear_array(Position(0.0, 0.0), 3, 0.03)
+    rx = uniform_linear_array(Position(0.0, 3.0), 2, 0.03)
+    return tx, rx
+
+
+class TestMultipathChannel:
+    def test_path_count_includes_los_walls_and_scatterers(self, arrays, layout20):
+        tx, rx = arrays
+        channel = MultipathChannel(num_scatterers=5, environment_seed=1)
+        realization = channel.realize(tx, rx, layout20.config.carrier_frequency_hz)
+        kinds = [p.kind for p in realization.paths]
+        assert kinds.count("los") == 1
+        assert kinds.count("wall") == 4
+        assert kinds.count("scatter") == 5
+
+    def test_cfr_shape_matches_layout_and_arrays(self, arrays, layout20):
+        tx, rx = arrays
+        channel = MultipathChannel(environment_seed=1)
+        cfr = channel.realize(tx, rx, layout20.config.carrier_frequency_hz).cfr(layout20)
+        assert cfr.shape == (layout20.num_subcarriers, 3, 2)
+        assert np.iscomplexobj(cfr)
+
+    def test_same_environment_seed_reproduces_channel(self, arrays, layout20):
+        tx, rx = arrays
+        fc = layout20.config.carrier_frequency_hz
+        cfr_a = MultipathChannel(environment_seed=3).realize(tx, rx, fc).cfr(layout20)
+        cfr_b = MultipathChannel(environment_seed=3).realize(tx, rx, fc).cfr(layout20)
+        np.testing.assert_allclose(cfr_a, cfr_b)
+
+    def test_different_environments_differ(self, arrays, layout20):
+        tx, rx = arrays
+        fc = layout20.config.carrier_frequency_hz
+        cfr_a = MultipathChannel(environment_seed=3).realize(tx, rx, fc).cfr(layout20)
+        cfr_b = MultipathChannel(environment_seed=4).realize(tx, rx, fc).cfr(layout20)
+        assert not np.allclose(cfr_a, cfr_b)
+
+    def test_moving_receiver_changes_channel(self, layout20):
+        tx = uniform_linear_array(Position(0.0, 0.0), 3, 0.03)
+        fc = layout20.config.carrier_frequency_hz
+        channel = MultipathChannel(environment_seed=5)
+        rx_near = uniform_linear_array(Position(0.0, 2.0), 2, 0.03)
+        rx_far = uniform_linear_array(Position(0.5, 3.0), 2, 0.03)
+        cfr_near = channel.realize(tx, rx_near, fc).cfr(layout20)
+        cfr_far = channel.realize(tx, rx_far, fc).cfr(layout20)
+        assert not np.allclose(cfr_near, cfr_far)
+        # Closer receiver sees a stronger channel on average.
+        assert np.mean(np.abs(cfr_near)) > np.mean(np.abs(cfr_far))
+
+    def test_scatterers_lie_inside_the_room(self):
+        room = RoomGeometry()
+        channel = MultipathChannel(room=room, num_scatterers=10, environment_seed=0)
+        for scatterer in channel.scatterers:
+            assert room.contains(scatterer)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MultipathChannel(num_scatterers=-1)
+        with pytest.raises(ValueError):
+            MultipathChannel(wall_reflection_loss=1.5)
+
+    def test_invalid_array_shapes_rejected(self, layout20):
+        channel = MultipathChannel()
+        with pytest.raises(ValueError):
+            channel.realize(np.zeros((3,)), np.zeros((2, 2)), 5e9)
+        with pytest.raises(ValueError):
+            channel.realize(np.zeros((3, 2)), np.zeros((2, 3)), 5e9)
+
+
+class TestChannelRealization:
+    def test_single_los_path_matches_analytic_cfr(self, layout20):
+        distances = np.full((1, 1), 3.0)
+        realization = ChannelRealization(
+            paths=[PropagationPath(distances_m=distances, gain=1.0, kind="los")],
+            carrier_frequency_hz=layout20.config.carrier_frequency_hz,
+        )
+        cfr = realization.cfr(layout20)
+        tau = 3.0 / SPEED_OF_LIGHT
+        expected = np.exp(-2j * np.pi * layout20.frequencies_hz * tau)
+        np.testing.assert_allclose(cfr[:, 0, 0], expected, atol=1e-12)
+
+    def test_perturbed_keeps_geometry_but_changes_gains(self, arrays, layout20):
+        tx, rx = arrays
+        channel = MultipathChannel(environment_seed=1)
+        base = channel.realize(tx, rx, layout20.config.carrier_frequency_hz)
+        perturbed = base.perturbed(np.random.default_rng(0), gain_jitter=0.2)
+        assert len(perturbed.paths) == len(base.paths)
+        np.testing.assert_allclose(
+            perturbed.paths[0].distances_m, base.paths[0].distances_m
+        )
+        assert not np.allclose(
+            [p.gain for p in perturbed.paths], [p.gain for p in base.paths]
+        )
+
+    def test_antenna_count_properties(self, arrays, layout20):
+        tx, rx = arrays
+        channel = MultipathChannel(environment_seed=1)
+        realization = channel.realize(tx, rx, layout20.config.carrier_frequency_hz)
+        assert realization.num_tx_antennas == 3
+        assert realization.num_rx_antennas == 2
+
+    def test_empty_realization_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelRealization(paths=[], carrier_frequency_hz=5e9)
+
+    def test_mismatched_path_shapes_rejected(self):
+        path_a = PropagationPath(distances_m=np.ones((2, 2)), gain=1.0)
+        path_b = PropagationPath(distances_m=np.ones((3, 2)), gain=1.0)
+        with pytest.raises(ValueError):
+            ChannelRealization(paths=[path_a, path_b], carrier_frequency_hz=5e9)
+
+    def test_delay_spread_is_positive_for_multipath(self, arrays, layout20):
+        tx, rx = arrays
+        channel = MultipathChannel(environment_seed=1)
+        realization = channel.realize(tx, rx, layout20.config.carrier_frequency_hz)
+        assert delay_spread(realization) > 0.0
+
+    def test_delay_spread_is_zero_for_single_path(self, layout20):
+        realization = ChannelRealization(
+            paths=[PropagationPath(distances_m=np.full((1, 1), 2.0), gain=1.0)],
+            carrier_frequency_hz=layout20.config.carrier_frequency_hz,
+        )
+        assert delay_spread(realization) == pytest.approx(0.0, abs=1e-15)

@@ -1,0 +1,140 @@
+"""Unit tests for the device abstractions (modules, AP, beamformees)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.devices import (
+    AccessPoint,
+    Beamformee,
+    WiFiModule,
+    half_wavelength_spacing,
+    make_beamformee,
+    make_module_population,
+)
+from repro.phy.geometry import AP_POSITION_A, Position
+from repro.phy.impairments import DeviceFingerprint
+
+
+class TestModulePopulation:
+    def test_default_population_has_ten_modules(self):
+        modules = make_module_population()
+        assert len(modules) == 10
+        assert [m.module_id for m in modules] == list(range(10))
+
+    def test_population_is_reproducible(self):
+        layout_indices = np.arange(-10, 10)
+        first = make_module_population(num_modules=3, seed=7)
+        second = make_module_population(num_modules=3, seed=7)
+        for a, b in zip(first, second):
+            np.testing.assert_allclose(
+                a.fingerprint.response_matrix(layout_indices, 312500.0),
+                b.fingerprint.response_matrix(layout_indices, 312500.0),
+            )
+
+    def test_adding_modules_keeps_existing_fingerprints(self):
+        indices = np.arange(-20, 20)
+        small = make_module_population(num_modules=3, seed=11)
+        large = make_module_population(num_modules=6, seed=11)
+        for a, b in zip(small, large[:3]):
+            np.testing.assert_allclose(
+                a.fingerprint.response_matrix(indices, 312500.0),
+                b.fingerprint.response_matrix(indices, 312500.0),
+            )
+
+    def test_modules_have_distinct_fingerprints(self):
+        indices = np.arange(-20, 20)
+        modules = make_module_population(num_modules=4, seed=0)
+        responses = [
+            m.fingerprint.response_matrix(indices, 312500.0) for m in modules
+        ]
+        for i in range(len(responses)):
+            for j in range(i + 1, len(responses)):
+                assert not np.allclose(responses[i], responses[j])
+
+    def test_invalid_population_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_module_population(num_modules=0)
+
+    def test_module_names_follow_compex_convention(self):
+        modules = make_module_population(num_modules=2)
+        assert modules[0].name == "compex-00"
+        assert modules[1].name == "compex-01"
+
+
+class TestWiFiModule:
+    def test_negative_id_rejected(self):
+        fingerprint = DeviceFingerprint.random(np.random.default_rng(0), 4)
+        with pytest.raises(ValueError):
+            WiFiModule(module_id=-1, fingerprint=fingerprint)
+
+    def test_num_tx_chains_matches_fingerprint(self):
+        fingerprint = DeviceFingerprint.random(np.random.default_rng(0), 4)
+        module = WiFiModule(module_id=0, fingerprint=fingerprint)
+        assert module.num_tx_chains == 4
+
+
+class TestAccessPoint:
+    def test_default_uses_three_antennas(self, small_modules):
+        ap = AccessPoint(module=small_modules[0], position=AP_POSITION_A)
+        assert ap.num_antennas == 3
+        assert ap.antenna_elements().shape == (3, 2)
+
+    def test_antenna_spacing_is_half_wavelength(self, small_modules):
+        ap = AccessPoint(module=small_modules[0], position=AP_POSITION_A)
+        elements = ap.antenna_elements()
+        spacing = np.diff(elements[:, 0])
+        np.testing.assert_allclose(spacing, half_wavelength_spacing())
+
+    def test_cannot_use_more_antennas_than_chains(self, small_modules):
+        with pytest.raises(ValueError):
+            AccessPoint(
+                module=small_modules[0], position=AP_POSITION_A, num_antennas=5
+            )
+
+    def test_moved_to_returns_new_instance(self, small_modules):
+        ap = AccessPoint(module=small_modules[0], position=AP_POSITION_A)
+        moved = ap.moved_to(Position(1.0, 1.0))
+        assert moved.position == Position(1.0, 1.0)
+        assert ap.position == AP_POSITION_A
+
+    def test_with_module_swaps_only_the_module(self, small_modules):
+        ap = AccessPoint(module=small_modules[0], position=AP_POSITION_A)
+        swapped = ap.with_module(small_modules[1])
+        assert swapped.module.module_id == 1
+        assert swapped.position == ap.position
+
+
+class TestBeamformee:
+    def test_factory_produces_valid_station(self):
+        station = make_beamformee(1, Position(0.0, 3.0))
+        assert station.num_antennas == 2
+        assert station.num_streams == 2
+        assert station.impairment is not None
+        assert station.antenna_elements().shape == (2, 2)
+
+    def test_factory_is_reproducible_per_station_id(self):
+        indices = np.arange(-5, 5)
+        a = make_beamformee(1, Position(0.0, 3.0), seed=42)
+        b = make_beamformee(1, Position(1.0, 3.0), seed=42)
+        response_a = a.impairment.chains[0].response(indices, 312500.0)
+        response_b = b.impairment.chains[0].response(indices, 312500.0)
+        np.testing.assert_allclose(response_a, response_b)
+
+    def test_different_stations_have_different_hardware(self):
+        indices = np.arange(-5, 5)
+        a = make_beamformee(1, Position(0.0, 3.0), seed=42)
+        b = make_beamformee(2, Position(0.0, 3.0), seed=42)
+        assert not np.allclose(
+            a.impairment.chains[0].response(indices, 312500.0),
+            b.impairment.chains[0].response(indices, 312500.0),
+        )
+
+    def test_streams_cannot_exceed_antennas(self):
+        with pytest.raises(ValueError):
+            Beamformee(station_id=1, position=Position(0, 3), num_antennas=1, num_streams=2)
+
+    def test_moved_to_preserves_hardware(self):
+        station = make_beamformee(1, Position(0.0, 3.0))
+        moved = station.moved_to(Position(0.5, 3.0))
+        assert moved.impairment is station.impairment
+        assert moved.position == Position(0.5, 3.0)

@@ -1,0 +1,65 @@
+"""Tests for the access-point array orientation (used by the D2 mobility traces)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.devices import AccessPoint, make_module_population
+from repro.phy.geometry import Position, uniform_linear_array
+
+
+@pytest.fixture(scope="module")
+def module():
+    return make_module_population(num_modules=2, seed=11)[0]
+
+
+class TestAccessPointOrientation:
+    def test_default_orientation_matches_x_axis_ula(self, module):
+        ap = AccessPoint(module=module, position=Position(0.3, -0.2))
+        expected = uniform_linear_array(
+            Position(0.3, -0.2), ap.num_antennas, ap.antenna_spacing_m, axis="x"
+        )
+        np.testing.assert_allclose(ap.antenna_elements(), expected)
+
+    def test_ninety_degree_rotation_aligns_with_y_axis(self, module):
+        ap = AccessPoint(
+            module=module, position=Position(0.0, 0.0), orientation_rad=np.pi / 2
+        )
+        elements = ap.antenna_elements()
+        np.testing.assert_allclose(elements[:, 0], 0.0, atol=1e-12)
+        assert elements[0, 1] < elements[-1, 1]
+
+    def test_rotation_preserves_centroid_and_spacing(self, module):
+        ap = AccessPoint(module=module, position=Position(1.0, 2.0))
+        rotated = ap.rotated(0.7)
+        original_elements = ap.antenna_elements()
+        rotated_elements = rotated.antenna_elements()
+        np.testing.assert_allclose(
+            np.mean(rotated_elements, axis=0), np.mean(original_elements, axis=0)
+        )
+        original_spacing = np.linalg.norm(original_elements[1] - original_elements[0])
+        rotated_spacing = np.linalg.norm(rotated_elements[1] - rotated_elements[0])
+        assert rotated_spacing == pytest.approx(original_spacing)
+
+    def test_rotated_returns_new_instance(self, module):
+        ap = AccessPoint(module=module, position=Position(0.0, 0.0))
+        rotated = ap.rotated(0.3)
+        assert rotated is not ap
+        assert ap.orientation_rad == 0.0
+        assert rotated.orientation_rad == pytest.approx(0.3)
+        assert rotated.module is ap.module
+
+    def test_moved_to_keeps_orientation(self, module):
+        ap = AccessPoint(
+            module=module, position=Position(0.0, 0.0), orientation_rad=0.5
+        )
+        moved = ap.moved_to(Position(0.0, 0.8))
+        assert moved.orientation_rad == pytest.approx(0.5)
+        assert moved.position == Position(0.0, 0.8)
+
+    def test_small_rotation_changes_elements_continuously(self, module):
+        ap = AccessPoint(module=module, position=Position(0.0, 0.0))
+        slightly_rotated = ap.rotated(1e-3)
+        delta = np.abs(
+            slightly_rotated.antenna_elements() - ap.antenna_elements()
+        ).max()
+        assert 0 < delta < 1e-3

@@ -1,0 +1,283 @@
+"""Tests for the spatially-correlated tapped-delay channel model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.fading import (
+    ChannelTap,
+    FadingModelError,
+    GaussianRandomField,
+    RealizedTap,
+    SpatiallyCorrelatedChannel,
+    TappedDelayRealization,
+    spatial_correlation,
+)
+from repro.phy.geometry import Position, uniform_linear_array
+from repro.phy.ofdm import sounding_layout
+
+
+class TestGaussianRandomField:
+    def test_random_field_has_expected_shapes(self):
+        rng = np.random.default_rng(0)
+        field = GaussianRandomField.random(rng, dims=4, correlation_length_m=0.2)
+        assert field.dims == 4
+        assert field.frequencies.shape[0] == field.phases.shape[0]
+
+    def test_value_matches_values_batch(self):
+        rng = np.random.default_rng(1)
+        field = GaussianRandomField.random(rng, dims=2, correlation_length_m=0.3)
+        points = rng.uniform(-1.0, 1.0, size=(5, 2))
+        batch = field.values(points)
+        single = np.array([field.value(p) for p in points])
+        np.testing.assert_allclose(batch, single, rtol=1e-10)
+
+    def test_field_is_deterministic_given_seed(self):
+        field_a = GaussianRandomField.random(
+            np.random.default_rng(7), dims=2, correlation_length_m=0.2
+        )
+        field_b = GaussianRandomField.random(
+            np.random.default_rng(7), dims=2, correlation_length_m=0.2
+        )
+        point = np.array([0.3, -0.4])
+        assert field_a.value(point) == field_b.value(point)
+
+    def test_average_power_is_close_to_one(self):
+        rng = np.random.default_rng(3)
+        field = GaussianRandomField.random(
+            rng, dims=2, correlation_length_m=0.25, num_features=128
+        )
+        points = rng.uniform(-3.0, 3.0, size=(400, 2))
+        power = np.mean(np.abs(field.values(points)) ** 2)
+        assert 0.5 < power < 2.0
+
+    def test_nearby_points_are_more_correlated_than_distant_ones(self):
+        rng = np.random.default_rng(5)
+        field = GaussianRandomField.random(
+            rng, dims=2, correlation_length_m=0.2, num_features=96
+        )
+        base_points = rng.uniform(-2.0, 2.0, size=(200, 2))
+        near = field.values(base_points + np.array([0.05, 0.0]))
+        far = field.values(base_points + np.array([1.5, 0.0]))
+        base = field.values(base_points)
+
+        def corr(a, b):
+            return np.abs(np.vdot(a, b)) / (np.linalg.norm(a) * np.linalg.norm(b))
+
+        assert corr(base, near) > corr(base, far)
+        assert corr(base, near) > 0.7
+
+    def test_invalid_configuration_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(FadingModelError):
+            GaussianRandomField.random(rng, dims=0, correlation_length_m=0.2)
+        with pytest.raises(FadingModelError):
+            GaussianRandomField.random(rng, dims=2, correlation_length_m=0.0)
+        with pytest.raises(FadingModelError):
+            GaussianRandomField.random(rng, dims=2, correlation_length_m=0.2, num_features=0)
+
+    def test_wrong_point_shape_rejected(self):
+        rng = np.random.default_rng(0)
+        field = GaussianRandomField.random(rng, dims=3, correlation_length_m=0.2)
+        with pytest.raises(FadingModelError):
+            field.value(np.zeros(2))
+        with pytest.raises(FadingModelError):
+            field.values(np.zeros((4, 2)))
+
+
+class TestChannelTap:
+    def test_gain_uses_field_and_amplitude(self):
+        rng = np.random.default_rng(2)
+        field = GaussianRandomField.random(rng, dims=4, correlation_length_m=0.3)
+        tap = ChannelTap(
+            excess_delay_s=20e-9,
+            amplitude=0.5,
+            departure_direction=np.array([1.0, 0.0]),
+            arrival_direction=np.array([0.0, 1.0]),
+            gain_field=field,
+        )
+        tx = np.array([0.0, 0.0])
+        rx = np.array([1.0, 2.0])
+        expected = 0.5 * field.value(np.concatenate([tx, rx]))
+        assert tap.gain(tx, rx) == pytest.approx(expected)
+
+    def test_gain_without_field_is_constant(self):
+        tap = ChannelTap(
+            excess_delay_s=0.0,
+            amplitude=0.7,
+            departure_direction=np.array([1.0, 0.0]),
+            arrival_direction=np.array([1.0, 0.0]),
+            gain_field=None,
+            kind="los",
+        )
+        assert tap.gain(np.zeros(2), np.ones(2)) == pytest.approx(0.7)
+
+
+class TestSpatiallyCorrelatedChannel:
+    @pytest.fixture(scope="class")
+    def channel(self):
+        return SpatiallyCorrelatedChannel(environment_seed=3)
+
+    @pytest.fixture(scope="class")
+    def arrays(self):
+        tx = uniform_linear_array(Position(0.0, 0.0), 3, 0.028)
+        rx = uniform_linear_array(Position(0.2, 3.0), 2, 0.028)
+        return tx, rx
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(FadingModelError):
+            SpatiallyCorrelatedChannel(num_taps=0)
+        with pytest.raises(FadingModelError):
+            SpatiallyCorrelatedChannel(rician_k=-0.1)
+        with pytest.raises(FadingModelError):
+            SpatiallyCorrelatedChannel(correlation_length_m=0.0)
+        with pytest.raises(FadingModelError):
+            SpatiallyCorrelatedChannel(max_excess_delay_s=0.0)
+
+    def test_taps_are_deterministic_given_seed(self):
+        a = SpatiallyCorrelatedChannel(environment_seed=9).taps()
+        b = SpatiallyCorrelatedChannel(environment_seed=9).taps()
+        assert len(a) == len(b)
+        for tap_a, tap_b in zip(a, b):
+            assert tap_a.excess_delay_s == tap_b.excess_delay_s
+            assert tap_a.amplitude == tap_b.amplitude
+
+    def test_tap_powers_sum_to_one(self, channel):
+        total = sum(tap.amplitude ** 2 for tap in channel.taps())
+        assert total == pytest.approx(1.0)
+
+    def test_realize_produces_los_plus_diffuse_taps(self, channel, arrays):
+        tx, rx = arrays
+        realization = channel.realize(tx, rx, 5.21e9)
+        kinds = [tap.kind for tap in realization.taps]
+        assert kinds.count("los") == 1
+        assert kinds.count("diffuse") == channel.num_taps
+        assert realization.num_tx_antennas == 3
+        assert realization.num_rx_antennas == 2
+
+    def test_los_delay_matches_geometry(self, channel, arrays):
+        tx, rx = arrays
+        realization = channel.realize(tx, rx, 5.21e9)
+        los = next(tap for tap in realization.taps if tap.kind == "los")
+        distance = np.linalg.norm(np.mean(rx, axis=0) - np.mean(tx, axis=0))
+        assert los.delay_s == pytest.approx(distance / 299_792_458.0, rel=1e-9)
+        # Diffuse taps arrive strictly after the line of sight.
+        for tap in realization.taps:
+            if tap.kind == "diffuse":
+                assert tap.delay_s > los.delay_s
+
+    def test_cfr_shape_and_finiteness(self, channel, arrays, layout20):
+        tx, rx = arrays
+        cfr = channel.realize(tx, rx, layout20.config.carrier_frequency_hz).cfr(layout20)
+        assert cfr.shape == (layout20.num_subcarriers, 3, 2)
+        assert np.all(np.isfinite(cfr))
+        assert np.iscomplexobj(cfr)
+
+    def test_cfr_is_frequency_selective(self, channel, arrays, layout80):
+        tx, rx = arrays
+        cfr = channel.realize(tx, rx, layout80.config.carrier_frequency_hz).cfr(layout80)
+        magnitudes = np.abs(cfr[:, 0, 0])
+        assert magnitudes.std() / magnitudes.mean() > 0.05
+
+    def test_single_antenna_arrays_supported(self, channel, layout20):
+        tx = uniform_linear_array(Position(0.0, 0.0), 1, 0.028)
+        rx = uniform_linear_array(Position(0.0, 3.0), 1, 0.028)
+        cfr = channel.realize(tx, rx, layout20.config.carrier_frequency_hz).cfr(layout20)
+        assert cfr.shape == (layout20.num_subcarriers, 1, 1)
+
+    def test_invalid_array_shapes_rejected(self, channel):
+        with pytest.raises(FadingModelError):
+            channel.realize(np.zeros((3,)), np.zeros((2, 2)), 5e9)
+        with pytest.raises(FadingModelError):
+            channel.realize(np.zeros((3, 2)), np.zeros((2, 3)), 5e9)
+
+    def test_perturbed_changes_gains_but_not_structure(self, channel, arrays):
+        tx, rx = arrays
+        realization = channel.realize(tx, rx, 5.21e9)
+        perturbed = realization.perturbed(np.random.default_rng(0), gain_jitter=0.1)
+        assert len(perturbed.taps) == len(realization.taps)
+        for original, jittered in zip(realization.taps, perturbed.taps):
+            assert jittered.delay_s == original.delay_s
+            assert jittered.gain != original.gain
+        # The LoS tap is perturbed less than diffuse taps on average.
+        assert np.all(np.isfinite(perturbed.cfr(sounding_layout(20))))
+
+    def test_nearby_rx_positions_give_similar_cfr(self, channel, layout20):
+        tx = uniform_linear_array(Position(0.0, 0.0), 3, 0.028)
+        rx_a = uniform_linear_array(Position(0.0, 3.0), 2, 0.028)
+        rx_b = uniform_linear_array(Position(0.05, 3.0), 2, 0.028)
+        rx_c = uniform_linear_array(Position(1.5, 3.0), 2, 0.028)
+        fc = layout20.config.carrier_frequency_hz
+        cfr_a = channel.realize(tx, rx_a, fc).cfr(layout20).ravel()
+        cfr_b = channel.realize(tx, rx_b, fc).cfr(layout20).ravel()
+        cfr_c = channel.realize(tx, rx_c, fc).cfr(layout20).ravel()
+
+        def similarity(x, y):
+            return np.abs(np.vdot(x, y)) / (np.linalg.norm(x) * np.linalg.norm(y))
+
+        assert similarity(cfr_a, cfr_b) > similarity(cfr_a, cfr_c)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        k=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+        length=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    )
+    def test_any_valid_configuration_yields_finite_cfr(self, k, length):
+        channel = SpatiallyCorrelatedChannel(
+            num_taps=4, rician_k=k, correlation_length_m=length, environment_seed=1
+        )
+        tx = uniform_linear_array(Position(0.0, 0.0), 2, 0.028)
+        rx = uniform_linear_array(Position(0.3, 2.5), 2, 0.028)
+        layout = sounding_layout(20)
+        cfr = channel.realize(tx, rx, layout.config.carrier_frequency_hz).cfr(layout)
+        assert np.all(np.isfinite(cfr))
+        assert np.any(np.abs(cfr) > 0)
+
+
+class TestTappedDelayRealization:
+    def test_requires_at_least_one_tap(self):
+        with pytest.raises(FadingModelError):
+            TappedDelayRealization(taps=[], carrier_frequency_hz=5e9)
+
+    def test_mismatched_antenna_counts_rejected(self):
+        tap_a = RealizedTap(
+            delay_s=1e-8, gain=1.0, tx_steering=np.ones(3), rx_steering=np.ones(2)
+        )
+        tap_b = RealizedTap(
+            delay_s=2e-8, gain=1.0, tx_steering=np.ones(2), rx_steering=np.ones(2)
+        )
+        with pytest.raises(FadingModelError):
+            TappedDelayRealization(taps=[tap_a, tap_b], carrier_frequency_hz=5e9)
+
+    def test_single_tap_cfr_has_flat_magnitude(self, layout20):
+        tap = RealizedTap(
+            delay_s=1e-8,
+            gain=0.5 + 0.5j,
+            tx_steering=np.exp(1j * np.array([0.0, 0.3, 0.6])),
+            rx_steering=np.exp(1j * np.array([0.0, -0.2])),
+        )
+        realization = TappedDelayRealization(taps=[tap], carrier_frequency_hz=5e9)
+        cfr = realization.cfr(layout20)
+        magnitudes = np.abs(cfr)
+        np.testing.assert_allclose(magnitudes, magnitudes[0, 0, 0], rtol=1e-9)
+
+
+class TestSpatialCorrelation:
+    def test_correlation_decays_with_displacement(self):
+        channel = SpatiallyCorrelatedChannel(
+            correlation_length_m=0.2, environment_seed=4
+        )
+        curve = spatial_correlation(
+            channel, Position(0.0, 3.0), [0.0, 0.05, 0.6], 5.21e9
+        )
+        values = dict(curve)
+        assert values[0.0] == pytest.approx(1.0)
+        assert values[0.05] > values[0.6]
+
+    def test_invalid_reference_count_rejected(self):
+        channel = SpatiallyCorrelatedChannel(environment_seed=4)
+        with pytest.raises(FadingModelError):
+            spatial_correlation(
+                channel, Position(0.0, 3.0), [0.0], 5.21e9, num_references=0
+            )

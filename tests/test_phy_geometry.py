@@ -1,0 +1,138 @@
+"""Unit tests for the indoor geometry of Fig. 6."""
+
+import numpy as np
+import pytest
+
+from repro.phy.geometry import (
+    AP_POSITION_A,
+    AP_POSITION_B,
+    AP_POSITION_C,
+    AP_POSITION_D,
+    NUM_D1_POSITIONS,
+    Position,
+    RoomGeometry,
+    all_beamformee_positions,
+    beamformee_positions,
+    mobility_subpath,
+    mobility_waypoints,
+    path_length,
+    uniform_linear_array,
+)
+
+
+class TestPosition:
+    def test_distance_is_euclidean(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+    def test_translation_does_not_mutate_original(self):
+        origin = Position(1.0, 2.0)
+        moved = origin.translated(0.5, -0.5)
+        assert (origin.x, origin.y) == (1.0, 2.0)
+        assert (moved.x, moved.y) == (1.5, 1.5)
+
+    def test_as_array_roundtrip(self):
+        pos = Position(-0.3, 2.2)
+        np.testing.assert_allclose(pos.as_array(), [-0.3, 2.2])
+
+
+class TestBeamformeePositions:
+    def test_position_one_matches_fig6_initial_placement(self):
+        bf1, bf2 = beamformee_positions(1)
+        assert bf1.y == pytest.approx(3.0)
+        assert bf2.y == pytest.approx(3.0)
+        assert bf1.x < 0 < bf2.x
+
+    def test_each_step_moves_10cm_apart(self):
+        for position_id in range(1, NUM_D1_POSITIONS):
+            bf1_a, bf2_a = beamformee_positions(position_id)
+            bf1_b, bf2_b = beamformee_positions(position_id + 1)
+            assert bf1_b.x - bf1_a.x == pytest.approx(-0.10)
+            assert bf2_b.x - bf2_a.x == pytest.approx(0.10)
+
+    def test_all_positions_enumerates_nine_pairs(self):
+        positions = all_beamformee_positions()
+        assert sorted(positions) == list(range(1, 10))
+
+    @pytest.mark.parametrize("bad", [0, 10, -3])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError):
+            beamformee_positions(bad)
+
+
+class TestMobilityPath:
+    def test_waypoints_follow_abcdba(self):
+        waypoints = mobility_waypoints()
+        assert waypoints == [
+            AP_POSITION_A,
+            AP_POSITION_B,
+            AP_POSITION_C,
+            AP_POSITION_D,
+            AP_POSITION_B,
+            AP_POSITION_A,
+        ]
+
+    def test_path_distances_match_fig6(self):
+        # A->B 0.8 m, B->C 0.8 m, C->D 1.6 m, D->B 0.8 m, B->A 0.8 m.
+        assert path_length(mobility_waypoints()) == pytest.approx(4.8)
+
+    def test_subpaths(self):
+        assert mobility_subpath("ABCB")[0] == AP_POSITION_A
+        assert mobility_subpath("BDB")[1] == AP_POSITION_D
+        assert mobility_subpath("full") == mobility_waypoints()
+
+    def test_unknown_subpath_rejected(self):
+        with pytest.raises(ValueError):
+            mobility_subpath("XYZ")
+
+    def test_path_length_of_single_point_is_zero(self):
+        assert path_length([AP_POSITION_A]) == 0.0
+
+
+class TestRoomGeometry:
+    def test_default_room_contains_all_device_positions(self):
+        room = RoomGeometry()
+        for position_id in range(1, 10):
+            for position in beamformee_positions(position_id):
+                assert room.contains(position)
+        for waypoint in mobility_waypoints():
+            assert room.contains(waypoint)
+
+    def test_wall_images_are_outside_the_room(self):
+        room = RoomGeometry()
+        for image in room.wall_images(Position(0.2, 1.0)):
+            assert not room.contains(image, margin=-1e-9)
+
+    def test_wall_images_preserve_distance_to_wall(self):
+        room = RoomGeometry()
+        source = Position(0.5, 1.0)
+        left_image = room.wall_images(source)[0]
+        assert (source.x - room.x_min) == pytest.approx(room.x_min - left_image.x)
+
+    def test_degenerate_room_rejected(self):
+        with pytest.raises(ValueError):
+            RoomGeometry(x_min=1.0, x_max=1.0)
+
+
+class TestUniformLinearArray:
+    def test_elements_are_centred_on_the_phase_centre(self):
+        coords = uniform_linear_array(Position(1.0, 2.0), 3, 0.05)
+        np.testing.assert_allclose(coords.mean(axis=0), [1.0, 2.0])
+
+    def test_spacing_is_respected(self):
+        coords = uniform_linear_array(Position(0.0, 0.0), 4, 0.03)
+        gaps = np.diff(coords[:, 0])
+        np.testing.assert_allclose(gaps, 0.03)
+
+    def test_axis_selection(self):
+        coords = uniform_linear_array(Position(0.0, 0.0), 2, 0.1, axis="y")
+        assert np.ptp(coords[:, 0]) == pytest.approx(0.0)
+        assert np.ptp(coords[:, 1]) == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_antennas": 0, "spacing_m": 0.05},
+        {"num_antennas": 2, "spacing_m": 0.0},
+        {"num_antennas": 2, "spacing_m": 0.05, "axis": "z"},
+    ])
+    def test_invalid_arguments_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            uniform_linear_array(Position(0, 0), **kwargs)

@@ -1,0 +1,181 @@
+"""Unit tests for the RF-chain impairment models."""
+
+import numpy as np
+import pytest
+
+from repro.phy.impairments import (
+    BeamformeeImpairment,
+    DeviceFingerprint,
+    PacketOffsets,
+    RfChainImpairment,
+    thermal_noise,
+)
+from repro.phy.ofdm import sounding_layout
+
+
+@pytest.fixture()
+def indices():
+    return sounding_layout(20).indices
+
+
+SPACING = 312_500.0
+SYMBOL_T = 1.0 / SPACING
+
+
+class TestRfChainImpairment:
+    def test_identity_impairment_is_unity(self, indices):
+        chain = RfChainImpairment()
+        response = chain.response(indices, SPACING)
+        np.testing.assert_allclose(response, np.ones(len(indices)))
+
+    def test_constant_phase_offset_rotates_all_subcarriers(self, indices):
+        chain = RfChainImpairment(phase_offset_rad=np.pi / 3)
+        response = chain.response(indices, SPACING)
+        np.testing.assert_allclose(np.angle(response), np.pi / 3)
+        np.testing.assert_allclose(np.abs(response), 1.0)
+
+    def test_delay_skew_creates_linear_phase(self, indices):
+        delay = 5e-9
+        chain = RfChainImpairment(delay_skew_s=delay)
+        response = chain.response(indices, SPACING)
+        expected = 2.0 * np.pi * indices * SPACING * delay
+        np.testing.assert_allclose(np.unwrap(np.angle(response)), expected, atol=1e-9)
+
+    def test_gain_offset_scales_magnitude(self, indices):
+        chain = RfChainImpairment(gain_offset=0.1)
+        np.testing.assert_allclose(np.abs(chain.response(indices, SPACING)), 1.1)
+
+    def test_random_draw_is_deterministic_given_seed(self, indices):
+        a = RfChainImpairment.random(np.random.default_rng(3))
+        b = RfChainImpairment.random(np.random.default_rng(3))
+        np.testing.assert_allclose(
+            a.response(indices, SPACING), b.response(indices, SPACING)
+        )
+
+    def test_zero_strength_yields_near_identity(self, indices):
+        chain = RfChainImpairment.random(np.random.default_rng(0), strength=0.0)
+        response = chain.response(indices, SPACING)
+        np.testing.assert_allclose(np.abs(response), 1.0, atol=1e-12)
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ValueError):
+            RfChainImpairment.random(np.random.default_rng(0), strength=-1.0)
+
+    def test_iq_imbalance_changes_response(self, indices):
+        clean = RfChainImpairment(phase_offset_rad=0.4)
+        skewed = RfChainImpairment(
+            phase_offset_rad=0.4, iq_amplitude_imbalance=0.05
+        )
+        assert not np.allclose(
+            clean.response(indices, SPACING), skewed.response(indices, SPACING)
+        )
+
+
+class TestDeviceFingerprint:
+    def test_apply_multiplies_rows(self, indices, rng):
+        fingerprint = DeviceFingerprint.random(np.random.default_rng(1), num_chains=3)
+        cfr = rng.standard_normal((len(indices), 3, 2)) + 1j * rng.standard_normal(
+            (len(indices), 3, 2)
+        )
+        impaired = fingerprint.apply(cfr, indices, SPACING)
+        response = fingerprint.response_matrix(indices, SPACING)
+        np.testing.assert_allclose(
+            impaired[:, 1, 0], cfr[:, 1, 0] * response[:, 1]
+        )
+
+    def test_apply_rejects_mismatched_antennas(self, indices):
+        fingerprint = DeviceFingerprint.random(np.random.default_rng(1), num_chains=2)
+        cfr = np.ones((len(indices), 3, 2), dtype=complex)
+        with pytest.raises(ValueError):
+            fingerprint.apply(cfr, indices, SPACING)
+
+    def test_different_seeds_give_different_fingerprints(self, indices):
+        a = DeviceFingerprint.random(np.random.default_rng(1), num_chains=3)
+        b = DeviceFingerprint.random(np.random.default_rng(2), num_chains=3)
+        assert not np.allclose(
+            a.response_matrix(indices, SPACING), b.response_matrix(indices, SPACING)
+        )
+
+    def test_empty_fingerprint_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceFingerprint(chains=())
+
+    def test_apply_requires_3d_cfr(self, indices):
+        fingerprint = DeviceFingerprint.random(np.random.default_rng(1), num_chains=3)
+        with pytest.raises(ValueError):
+            fingerprint.apply(np.ones((len(indices), 3)), indices, SPACING)
+
+
+class TestBeamformeeImpairment:
+    def test_apply_multiplies_columns(self, indices, rng):
+        impairment = BeamformeeImpairment.random(np.random.default_rng(4), num_chains=2)
+        cfr = rng.standard_normal((len(indices), 3, 2)) + 1j * rng.standard_normal(
+            (len(indices), 3, 2)
+        )
+        impaired = impairment.apply(cfr, indices, SPACING)
+        ratio = impaired[:, 0, 1] / cfr[:, 0, 1]
+        ratio_other_row = impaired[:, 2, 1] / cfr[:, 2, 1]
+        np.testing.assert_allclose(ratio, ratio_other_row)
+
+    def test_mismatched_rx_count_rejected(self, indices):
+        impairment = BeamformeeImpairment.random(np.random.default_rng(4), num_chains=1)
+        with pytest.raises(ValueError):
+            impairment.apply(np.ones((len(indices), 3, 2), dtype=complex), indices, SPACING)
+
+
+class TestPacketOffsets:
+    def test_none_offsets_leave_cfr_unchanged(self, indices, rng):
+        cfr = rng.standard_normal((len(indices), 3, 2)) + 1j * rng.standard_normal(
+            (len(indices), 3, 2)
+        )
+        offsets = PacketOffsets.none(3)
+        np.testing.assert_allclose(offsets.apply(cfr, indices, SYMBOL_T), cfr)
+
+    def test_phase_follows_eq9_structure(self, indices):
+        offsets = PacketOffsets(
+            cfo_phase_rad=0.3,
+            sfo_delay_s=10e-9,
+            pdd_delay_s=20e-9,
+            pll_phase_rad=0.1,
+            antenna_phase_ambiguity_rad=(0.0, np.pi, 0.0),
+        )
+        phase = offsets.phase(indices, SYMBOL_T, 3)
+        expected_common = 0.3 + 0.1 - 2 * np.pi * indices * (30e-9) / SYMBOL_T
+        np.testing.assert_allclose(phase[:, 0], expected_common)
+        np.testing.assert_allclose(phase[:, 1], expected_common + np.pi)
+
+    def test_apply_preserves_magnitude(self, indices, rng):
+        cfr = rng.standard_normal((len(indices), 3, 2)) + 1j * rng.standard_normal(
+            (len(indices), 3, 2)
+        )
+        offsets = PacketOffsets.random(np.random.default_rng(0), 3)
+        rotated = offsets.apply(cfr, indices, SYMBOL_T)
+        np.testing.assert_allclose(np.abs(rotated), np.abs(cfr))
+
+    def test_random_offsets_differ_between_packets(self):
+        rng = np.random.default_rng(0)
+        first = PacketOffsets.random(rng, 3)
+        second = PacketOffsets.random(rng, 3)
+        assert first.cfo_phase_rad != second.cfo_phase_rad
+
+    def test_phase_ambiguity_is_multiple_of_pi(self):
+        offsets = PacketOffsets.random(np.random.default_rng(0), 4)
+        for value in offsets.antenna_phase_ambiguity_rad:
+            assert value in (0.0, np.pi)
+
+    def test_insufficient_antenna_terms_rejected(self, indices):
+        offsets = PacketOffsets.none(2)
+        with pytest.raises(ValueError):
+            offsets.phase(indices, SYMBOL_T, 3)
+
+
+class TestThermalNoise:
+    def test_noise_power_matches_target_snr(self):
+        rng = np.random.default_rng(0)
+        noise = thermal_noise(rng, (20000,), snr_db=10.0, signal_power=1.0)
+        measured = np.mean(np.abs(noise) ** 2)
+        assert measured == pytest.approx(0.1, rel=0.05)
+
+    def test_negative_signal_power_rejected(self):
+        with pytest.raises(ValueError):
+            thermal_noise(np.random.default_rng(0), (4,), 10.0, -1.0)

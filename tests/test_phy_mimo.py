@@ -1,0 +1,192 @@
+"""Unit tests for CFR assembly, SVD beamforming and MU-MIMO precoding."""
+
+import numpy as np
+import pytest
+
+from repro.phy.devices import AccessPoint, make_beamformee
+from repro.phy.geometry import AP_POSITION_A, beamformee_positions
+from repro.phy.channel import MultipathChannel
+from repro.phy.impairments import PacketOffsets
+from repro.phy.mimo import (
+    beamforming_matrix,
+    compute_cfr,
+    interference_metrics,
+    mu_mimo_precoder,
+    sound_beamformee,
+    steering_weights,
+)
+
+
+class TestComputeCfr:
+    def test_shape_and_dtype(self, small_network, layout20):
+        ap, bf, channel = small_network
+        cfr = compute_cfr(ap, bf, channel, layout20, np.random.default_rng(0))
+        assert cfr.shape == (layout20.num_subcarriers, 3, 2)
+        assert np.iscomplexobj(cfr)
+
+    def test_different_modules_produce_different_cfr(
+        self, small_modules, small_network, layout20
+    ):
+        ap, bf, channel = small_network
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        offsets = PacketOffsets.none(3)
+        cfr_a = compute_cfr(ap, bf, channel, layout20, rng_a, packet_offsets=offsets)
+        other_ap = ap.with_module(small_modules[1])
+        cfr_b = compute_cfr(other_ap, bf, channel, layout20, rng_b, packet_offsets=offsets)
+        assert not np.allclose(cfr_a, cfr_b)
+
+    def test_high_snr_reduces_packet_to_packet_variation(
+        self, small_network, layout20
+    ):
+        ap, bf, channel = small_network
+        offsets = PacketOffsets.none(3)
+
+        def spread(snr_db):
+            cfrs = [
+                compute_cfr(
+                    ap, bf, channel, layout20, np.random.default_rng(seed),
+                    packet_offsets=offsets, snr_db=snr_db, fading_jitter=0.0,
+                )
+                for seed in range(4)
+            ]
+            stacked = np.stack(cfrs)
+            return float(np.mean(np.std(stacked, axis=0)))
+
+        assert spread(40.0) < spread(5.0)
+
+    def test_reusing_realization_keeps_geometry_constant(self, small_network, layout20):
+        ap, bf, channel = small_network
+        realization = channel.realize(
+            ap.antenna_elements(), bf.antenna_elements(),
+            layout20.config.carrier_frequency_hz,
+        )
+        offsets = PacketOffsets.none(3)
+        cfr_a = compute_cfr(
+            ap, bf, channel, layout20, np.random.default_rng(1),
+            packet_offsets=offsets, snr_db=80.0, fading_jitter=0.0,
+            realization=realization,
+        )
+        cfr_b = compute_cfr(
+            ap, bf, channel, layout20, np.random.default_rng(2),
+            packet_offsets=offsets, snr_db=80.0, fading_jitter=0.0,
+            realization=realization,
+        )
+        np.testing.assert_allclose(cfr_a, cfr_b, rtol=1e-3, atol=1e-5)
+
+
+class TestBeamformingMatrix:
+    def test_columns_are_orthonormal(self, small_network, layout20):
+        ap, bf, channel = small_network
+        cfr = compute_cfr(ap, bf, channel, layout20, np.random.default_rng(0))
+        v = beamforming_matrix(cfr, 2)
+        gram = np.einsum("kms,kmt->kst", np.conj(v), v)
+        identity = np.broadcast_to(np.eye(2), gram.shape)
+        np.testing.assert_allclose(gram, identity, atol=1e-10)
+
+    def test_single_stream_shape(self, small_network, layout20):
+        ap, bf, channel = small_network
+        cfr = compute_cfr(ap, bf, channel, layout20, np.random.default_rng(0))
+        v = beamforming_matrix(cfr, 1)
+        assert v.shape == (layout20.num_subcarriers, 3, 1)
+
+    def test_first_column_maximises_effective_gain(self, small_network, layout20):
+        # The first right-singular vector gives at least as much gain as any
+        # of the later ones: ||H^T v_1|| >= ||H^T v_2||.
+        ap, bf, channel = small_network
+        cfr = compute_cfr(ap, bf, channel, layout20, np.random.default_rng(0))
+        v = beamforming_matrix(cfr, 2)
+        h_t = np.transpose(cfr, (0, 2, 1))
+        gain_1 = np.linalg.norm(np.matmul(h_t, v[:, :, :1]), axis=(1, 2))
+        gain_2 = np.linalg.norm(np.matmul(h_t, v[:, :, 1:2]), axis=(1, 2))
+        assert np.all(gain_1 >= gain_2 - 1e-9)
+
+    def test_stream_count_validation(self, small_network, layout20):
+        ap, bf, channel = small_network
+        cfr = compute_cfr(ap, bf, channel, layout20, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            beamforming_matrix(cfr, 0)
+        with pytest.raises(ValueError):
+            beamforming_matrix(cfr, 3)  # only 2 RX antennas
+
+    def test_requires_3d_input(self):
+        with pytest.raises(ValueError):
+            beamforming_matrix(np.ones((4, 3)), 1)
+
+    def test_steering_weights_copy(self, small_network, layout20):
+        ap, bf, channel = small_network
+        cfr = compute_cfr(ap, bf, channel, layout20, np.random.default_rng(0))
+        v = beamforming_matrix(cfr, 2)
+        w = steering_weights(v)
+        w[0, 0, 0] = 0.0
+        assert v[0, 0, 0] != 0.0
+
+
+class TestMuMimoPrecoding:
+    def _two_user_cfrs(self, layout20, rng):
+        channel = MultipathChannel(environment_seed=2)
+        modules_rng = np.random.default_rng(0)
+        from repro.phy.devices import make_module_population
+
+        module = make_module_population(num_modules=1, seed=1)[0]
+        ap = AccessPoint(module=module, position=AP_POSITION_A)
+        bf1_pos, bf2_pos = beamformee_positions(4)
+        bf1 = make_beamformee(1, bf1_pos, num_antennas=1, num_streams=1)
+        bf2 = make_beamformee(2, bf2_pos, num_antennas=2, num_streams=2)
+        offsets = PacketOffsets.none(3)
+        cfr1 = compute_cfr(ap, bf1, channel, layout20, rng, packet_offsets=offsets, snr_db=60)
+        cfr2 = compute_cfr(ap, bf2, channel, layout20, rng, packet_offsets=offsets, snr_db=60)
+        return [cfr1, cfr2]
+
+    def test_zero_forcing_cancels_inter_user_interference(self, layout20):
+        rng = np.random.default_rng(3)
+        cfrs = self._two_user_cfrs(layout20, rng)
+        weights = mu_mimo_precoder(cfrs, streams_per_user=[1, 2])
+        report = interference_metrics(cfrs, weights)
+        for signal, iui in zip(report.signal_power, report.inter_user_interference):
+            assert iui < 1e-6 * signal
+
+    def test_su_beamforming_has_interference_towards_other_user(self, layout20):
+        rng = np.random.default_rng(3)
+        cfrs = self._two_user_cfrs(layout20, rng)
+        su_weights = [
+            steering_weights(beamforming_matrix(cfrs[0], 1)),
+            steering_weights(beamforming_matrix(cfrs[1], 2)),
+        ]
+        report = interference_metrics(cfrs, su_weights)
+        assert max(report.inter_user_interference) > 1e-3
+
+    def test_sinr_improves_with_zero_forcing(self, layout20):
+        rng = np.random.default_rng(3)
+        cfrs = self._two_user_cfrs(layout20, rng)
+        zf_weights = mu_mimo_precoder(cfrs, streams_per_user=[1, 2])
+        su_weights = [
+            steering_weights(beamforming_matrix(cfrs[0], 1)),
+            steering_weights(beamforming_matrix(cfrs[1], 2)),
+        ]
+        noise = 1e-4
+        zf_sinr = interference_metrics(cfrs, zf_weights).sinr_db(noise)
+        su_sinr = interference_metrics(cfrs, su_weights).sinr_db(noise)
+        assert min(zf_sinr) > min(su_sinr)
+
+    def test_too_many_streams_rejected(self, layout20):
+        rng = np.random.default_rng(3)
+        cfrs = self._two_user_cfrs(layout20, rng)
+        with pytest.raises(ValueError):
+            mu_mimo_precoder(cfrs, streams_per_user=[2, 2])
+
+    def test_mismatched_arguments_rejected(self, layout20):
+        rng = np.random.default_rng(3)
+        cfrs = self._two_user_cfrs(layout20, rng)
+        with pytest.raises(ValueError):
+            mu_mimo_precoder(cfrs, streams_per_user=[1])
+        with pytest.raises(ValueError):
+            interference_metrics(cfrs, [np.zeros((1, 3, 1))])
+
+
+class TestSoundBeamformee:
+    def test_returns_cfr_and_v(self, small_network, layout20):
+        ap, bf, channel = small_network
+        result = sound_beamformee(ap, bf, channel, layout20, np.random.default_rng(0))
+        assert result.cfr.shape == (layout20.num_subcarriers, 3, 2)
+        assert result.v_matrix.shape == (layout20.num_subcarriers, 3, 2)

@@ -1,0 +1,86 @@
+"""Unit tests for the mobility traces of dataset D2."""
+
+import numpy as np
+import pytest
+
+from repro.phy.geometry import AP_POSITION_A, AP_POSITION_B, mobility_waypoints
+from repro.phy.mobility import MobilityTrace, round_trip, static_trace, waypoint_path
+
+
+class TestStaticTrace:
+    def test_positions_are_constant(self):
+        trace = static_trace(AP_POSITION_A, 10)
+        assert len(trace) == 10
+        assert all(p == AP_POSITION_A for p in trace.positions)
+        assert trace.total_distance_m == pytest.approx(0.0)
+
+    def test_timestamps_are_regular(self):
+        trace = static_trace(AP_POSITION_A, 4, interval_s=0.25)
+        np.testing.assert_allclose(trace.timestamps_s, [0.0, 0.25, 0.5, 0.75])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            static_trace(AP_POSITION_A, 0)
+
+
+class TestWaypointPath:
+    def test_endpoints_match_waypoints_without_jitter(self):
+        trace = waypoint_path(mobility_waypoints(), 50, jitter_std_m=0.0)
+        assert trace.positions[0] == AP_POSITION_A
+        assert trace.positions[-1].distance_to(AP_POSITION_A) == pytest.approx(0.0, abs=1e-12)
+
+    def test_total_distance_close_to_polyline_length(self):
+        trace = waypoint_path(mobility_waypoints(), 200, jitter_std_m=0.0)
+        assert trace.total_distance_m == pytest.approx(4.8, rel=0.01)
+
+    def test_jitter_perturbs_but_does_not_derail(self):
+        rng = np.random.default_rng(0)
+        trace = waypoint_path(mobility_waypoints(), 100, jitter_std_m=0.02, rng=rng)
+        clean = waypoint_path(mobility_waypoints(), 100, jitter_std_m=0.0)
+        deviations = [
+            a.distance_to(b) for a, b in zip(trace.positions, clean.positions)
+        ]
+        assert max(deviations) < 0.2
+        assert max(deviations) > 0.0
+
+    def test_jitter_is_reproducible_with_seeded_rng(self):
+        a = waypoint_path(mobility_waypoints(), 20, rng=np.random.default_rng(5))
+        b = waypoint_path(mobility_waypoints(), 20, rng=np.random.default_rng(5))
+        assert a.positions == b.positions
+
+    def test_intermediate_waypoint_is_visited(self):
+        trace = waypoint_path(mobility_waypoints(), 200, jitter_std_m=0.0)
+        min_distance = min(p.distance_to(AP_POSITION_B) for p in trace.positions)
+        assert min_distance < 0.05
+
+    def test_requires_two_waypoints(self):
+        with pytest.raises(ValueError):
+            waypoint_path([AP_POSITION_A], 10)
+
+    def test_invalid_sample_count_rejected(self):
+        with pytest.raises(ValueError):
+            waypoint_path(mobility_waypoints(), 0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            waypoint_path(mobility_waypoints(), 10, jitter_std_m=-0.1)
+
+    def test_coincident_waypoints_fall_back_to_static(self):
+        trace = waypoint_path([AP_POSITION_A, AP_POSITION_A], 5)
+        assert all(p == AP_POSITION_A for p in trace.positions)
+
+
+class TestMobilityTrace:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(positions=(AP_POSITION_A,), timestamps_s=(0.0, 1.0))
+
+    def test_round_trip_doubles_samples_and_ends_at_start(self):
+        trace = waypoint_path([AP_POSITION_A, AP_POSITION_B], 10, jitter_std_m=0.0)
+        doubled = round_trip(trace)
+        assert len(doubled) == 20
+        assert doubled.positions[-1] == trace.positions[0]
+
+    def test_indexing(self):
+        trace = static_trace(AP_POSITION_B, 3)
+        assert trace[1] == AP_POSITION_B

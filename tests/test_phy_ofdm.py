@@ -1,0 +1,130 @@
+"""Unit tests for the OFDM sub-carrier layouts."""
+
+import numpy as np
+import pytest
+
+from repro.phy.ofdm import (
+    OfdmConfig,
+    OfdmError,
+    SOUNDED_SUBCARRIERS,
+    SubcarrierLayout,
+    demodulate_symbol,
+    ofdm_symbol,
+    sounding_layout,
+    subband_indices,
+)
+
+
+class TestOfdmConfig:
+    def test_default_matches_paper_setup(self):
+        config = OfdmConfig()
+        assert config.bandwidth_mhz == 80
+        assert config.carrier_frequency_hz == pytest.approx(5.21e9)
+        assert config.num_sounded_subcarriers == 234
+
+    def test_symbol_duration_is_inverse_spacing(self):
+        config = OfdmConfig()
+        assert config.symbol_duration_s == pytest.approx(1.0 / config.subcarrier_spacing_hz)
+
+    @pytest.mark.parametrize("bandwidth", [10, 160, 0, -20])
+    def test_rejects_unsupported_bandwidth(self, bandwidth):
+        with pytest.raises(OfdmError):
+            OfdmConfig(bandwidth_mhz=bandwidth)
+
+    def test_rejects_non_positive_carrier(self):
+        with pytest.raises(OfdmError):
+            OfdmConfig(carrier_frequency_hz=0.0)
+
+
+class TestSoundingLayout:
+    @pytest.mark.parametrize("bandwidth", [20, 40, 80])
+    def test_subcarrier_counts_match_standard(self, bandwidth):
+        layout = sounding_layout(bandwidth)
+        assert layout.num_subcarriers == SOUNDED_SUBCARRIERS[bandwidth]
+        assert len(layout) == SOUNDED_SUBCARRIERS[bandwidth]
+
+    def test_indices_are_sorted_and_unique(self):
+        layout = sounding_layout(80)
+        assert np.all(np.diff(layout.indices) > 0)
+
+    def test_dc_subcarriers_excluded(self):
+        for bandwidth in (20, 40, 80):
+            layout = sounding_layout(bandwidth)
+            assert 0 not in layout.indices
+
+    def test_80mhz_pilots_excluded(self):
+        layout = sounding_layout(80)
+        for pilot in (-103, -75, -39, -11, 11, 39, 75, 103):
+            assert pilot not in layout.indices
+
+    def test_frequencies_centred_on_carrier(self):
+        layout = sounding_layout(80)
+        assert np.all(np.abs(layout.frequencies_hz - 5.21e9) < 40e6)
+
+    def test_baseband_offsets_scale_with_spacing(self):
+        layout = sounding_layout(20)
+        np.testing.assert_allclose(
+            layout.baseband_offsets_hz,
+            layout.indices * layout.config.subcarrier_spacing_hz,
+        )
+
+    def test_layout_rejects_wrong_index_count(self):
+        config = OfdmConfig(bandwidth_mhz=20)
+        with pytest.raises(OfdmError):
+            SubcarrierLayout(config=config, indices=np.arange(10))
+
+    def test_unsupported_bandwidth_rejected(self):
+        with pytest.raises(OfdmError):
+            sounding_layout(160)
+
+
+class TestSubbandIndices:
+    def test_identity_when_target_equals_capture(self):
+        layout = sounding_layout(80)
+        positions = subband_indices(layout, 80)
+        np.testing.assert_array_equal(positions, np.arange(234))
+
+    @pytest.mark.parametrize("target,expected", [(40, 110), (20, 54)])
+    def test_nested_counts_match_fig12(self, target, expected):
+        layout = sounding_layout(80)
+        positions = subband_indices(layout, target)
+        assert len(positions) == expected
+        assert len(set(positions.tolist())) == expected
+
+    def test_nested_positions_are_valid_and_contiguous_in_frequency(self):
+        layout = sounding_layout(80)
+        positions = subband_indices(layout, 20)
+        assert positions.min() >= 0
+        assert positions.max() < layout.num_subcarriers
+        selected = layout.indices[positions]
+        # Channel 36 sits in the lower part of channel 42.
+        assert selected.max() < 0
+
+    def test_larger_target_than_capture_rejected(self):
+        layout = sounding_layout(40)
+        with pytest.raises(OfdmError):
+            subband_indices(layout, 80)
+
+    def test_unknown_target_rejected(self):
+        layout = sounding_layout(80)
+        with pytest.raises(OfdmError):
+            subband_indices(layout, 30)
+
+
+class TestOfdmSymbol:
+    def test_modulation_roundtrip(self, rng):
+        layout = sounding_layout(20)
+        data = rng.standard_normal(54) + 1j * rng.standard_normal(54)
+        _, samples = ofdm_symbol(data, layout)
+        recovered = demodulate_symbol(samples, layout)
+        np.testing.assert_allclose(recovered, data, atol=1e-9)
+
+    def test_wrong_data_length_rejected(self):
+        layout = sounding_layout(20)
+        with pytest.raises(OfdmError):
+            ofdm_symbol(np.ones(10), layout)
+
+    def test_invalid_oversampling_rejected(self):
+        layout = sounding_layout(20)
+        with pytest.raises(OfdmError):
+            ofdm_symbol(np.ones(54), layout, oversampling=0)
