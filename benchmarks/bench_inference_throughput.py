@@ -1,0 +1,170 @@
+"""Throughput of the batched inference engine vs the per-frame loop.
+
+The acceptance gate of the streaming engine: classifying ``V~`` matrices in
+micro-batches of 64 through :class:`repro.core.engine.InferenceEngine` must
+be at least 5x faster (frames/sec) than calling
+``DeepCsiClassifier.predict_matrix`` once per frame.
+
+The default shapes are a realistic observer workload (the paper's 80 MHz
+sounding geometry with the usual stride-4 sub-carrier selection).  Set
+``REPRO_BENCH_SMOKE=1`` to shrink everything for a CI smoke run.
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/bench_inference_throughput.py
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
+from repro.core.engine import InferenceEngine
+from repro.core.model import DeepCsiModelConfig
+from repro.datasets.containers import FeedbackSample
+from repro.datasets.features import FeatureConfig, strided_subcarriers
+from repro.nn.training import TrainingConfig
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Workload geometry: (K, M, N_SS), sub-carrier stride, frames to classify.
+NUM_SUBCARRIERS = 32 if SMOKE else 234
+STRIDE = 4
+NUM_TX = 3
+NUM_STREAMS = 2
+NUM_FRAMES = 128 if SMOKE else 512
+BATCH_SIZE = 64
+REPEATS = 3
+
+BENCH_MODEL = DeepCsiModelConfig(
+    num_filters=16,
+    kernel_widths=(7, 5),
+    pool_width=2,
+    dense_units=(32,),
+    dropout_retain=(0.8,),
+    attention_kernel_width=3,
+)
+
+
+def _random_v_batch(rng, batch, num_subcarriers, num_tx, num_streams):
+    """Random matrices with orthonormal columns, shape (B, K, M, N_SS)."""
+    raw = rng.standard_normal(
+        (batch, num_subcarriers, num_tx, num_tx)
+    ) + 1j * rng.standard_normal((batch, num_subcarriers, num_tx, num_tx))
+    q, _ = np.linalg.qr(raw)
+    return q[..., :num_streams]
+
+
+@pytest.fixture(scope="module")
+def trained_classifier():
+    """A tiny classifier trained on synthetic V~ data (3 fake modules)."""
+    rng = np.random.default_rng(7)
+    samples = []
+    for module_id in range(3):
+        v_batch = _random_v_batch(rng, 24, NUM_SUBCARRIERS, NUM_TX, NUM_STREAMS)
+        # Give each fake module a distinguishable bias so training converges.
+        v_batch = v_batch + 0.1 * (module_id + 1)
+        samples.extend(
+            FeedbackSample(v_tilde=v, module_id=module_id, beamformee_id=1)
+            for v in v_batch
+        )
+    classifier = DeepCsiClassifier(
+        ClassifierConfig(
+            num_classes=3,
+            feature=FeatureConfig(
+                stream_indices=(0,),
+                subcarrier_positions=strided_subcarriers(NUM_SUBCARRIERS, STRIDE),
+            ),
+            model=BENCH_MODEL,
+            training=TrainingConfig(
+                epochs=2, batch_size=16, early_stopping_patience=None
+            ),
+        )
+    )
+    classifier.fit(samples)
+    return classifier
+
+
+@pytest.fixture(scope="module")
+def frame_stream():
+    rng = np.random.default_rng(11)
+    return list(
+        _random_v_batch(rng, NUM_FRAMES, NUM_SUBCARRIERS, NUM_TX, NUM_STREAMS)
+    )
+
+
+def _best_of(repeats, fn):
+    """Best wall-clock of ``repeats`` runs (least noisy point estimate)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_batched_engine_is_at_least_5x_faster(
+    trained_classifier, frame_stream, record
+):
+    """The tentpole acceptance criterion: >= 5x frames/sec at batch 64."""
+
+    def per_frame():
+        return [trained_classifier.predict_matrix(v) for v in frame_stream]
+
+    def batched():
+        engine = InferenceEngine(trained_classifier, batch_size=BATCH_SIZE)
+        return engine.drain(frame_stream)
+
+    scalar_seconds, scalar_results = _best_of(REPEATS, per_frame)
+    batched_seconds, batched_results = _best_of(REPEATS, batched)
+
+    assert len(batched_results) == len(scalar_results) == NUM_FRAMES
+    for (module_id, _), result in zip(scalar_results, batched_results):
+        assert result.predicted_module_id == module_id
+
+    scalar_fps = NUM_FRAMES / scalar_seconds
+    batched_fps = NUM_FRAMES / batched_seconds
+    speedup = batched_fps / scalar_fps
+    record(
+        "bench_inference_throughput",
+        "\n".join(
+            [
+                "Batched streaming inference engine vs per-frame loop",
+                f"  workload: {NUM_FRAMES} frames, "
+                f"(K, M, N_SS) = ({NUM_SUBCARRIERS}, {NUM_TX}, {NUM_STREAMS}), "
+                f"stride {STRIDE}, batch size {BATCH_SIZE}"
+                f"{' [smoke]' if SMOKE else ''}",
+                f"  per-frame loop:  {scalar_fps:10.1f} frames/s "
+                f"({1000.0 * scalar_seconds / NUM_FRAMES:.3f} ms/frame)",
+                f"  batched engine:  {batched_fps:10.1f} frames/s "
+                f"({1000.0 * batched_seconds / NUM_FRAMES:.3f} ms/frame)",
+                f"  speedup:         {speedup:10.2f}x",
+            ]
+        ),
+    )
+    assert speedup >= 5.0, (
+        f"batched engine is only {speedup:.2f}x faster than the per-frame "
+        f"loop (required: >= 5x)"
+    )
+
+
+def test_partial_batches_still_beat_per_frame(trained_classifier, frame_stream):
+    """Latency-bounded micro-batches (batch 16) must still win clearly."""
+    subset = frame_stream[: min(NUM_FRAMES, 128)]
+
+    def per_frame():
+        return [trained_classifier.predict_matrix(v) for v in subset]
+
+    def batched():
+        engine = InferenceEngine(
+            trained_classifier, batch_size=BATCH_SIZE, max_latency_frames=16
+        )
+        return engine.drain(subset)
+
+    scalar_seconds, _ = _best_of(REPEATS, per_frame)
+    batched_seconds, results = _best_of(REPEATS, batched)
+    assert len(results) == len(subset)
+    assert batched_seconds < scalar_seconds

@@ -1,14 +1,17 @@
 """Command-line interface of the DeepCSI reproduction.
 
-Five sub-commands cover the everyday workflow without writing Python:
+Six sub-commands cover the everyday workflow without writing Python:
 
 * ``repro-csi generate`` -- synthesise dataset D1 or D2 and store it as a
   compressed ``.npz`` archive.
 * ``repro-csi info`` -- summarise a stored dataset.
-* ``repro-csi train`` -- train a DeepCSI classifier on a Table-I/II split of
+* ``repro-csi train`` -- train a DeepCsiClassifier on a Table-I/II split of
   a stored dataset and persist the model.
 * ``repro-csi evaluate`` -- evaluate a stored model on a stored dataset split
   and print the confusion matrix.
+* ``repro-csi authenticate`` -- stream a dataset split through the batched
+  :class:`~repro.core.engine.InferenceEngine` (micro-batched hot path) and
+  report per-module verdicts plus throughput.
 * ``repro-csi probe`` -- run the cheap linear separability probe on a split
   (useful to sanity-check a dataset before paying for CNN training).
 
@@ -26,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.separability import linear_probe_accuracy
 from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
+from repro.core.engine import InferenceEngine
 from repro.core.model import FAST_MODEL_CONFIG, PAPER_MODEL_CONFIG
 from repro.datasets.containers import FeedbackDataset, FeedbackSample
 from repro.datasets.features import FeatureConfig, strided_subcarriers
@@ -155,6 +159,56 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_authenticate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset_path)
+    _, test = _apply_split(dataset, args.split, args.beamformee)
+    feature = _feature_config(test, args.stride, args.stream)
+    num_classes = max(s.module_id for s in test) + 1
+    config = ClassifierConfig(
+        num_classes=max(num_classes, args.num_classes),
+        feature=feature,
+        model=PAPER_MODEL_CONFIG if args.paper_model else FAST_MODEL_CONFIG,
+        seed=args.seed,
+    )
+    classifier = DeepCsiClassifier(config).load(args.model_dir)
+    engine = InferenceEngine(
+        classifier,
+        batch_size=args.batch_size,
+        max_latency_frames=args.max_latency_frames,
+        vote_window=args.window,
+    )
+    results = []
+    for sample in test:
+        results.extend(
+            engine.submit(sample, source=f"module-{sample.module_id:02d}")
+        )
+    results.extend(engine.flush())
+
+    labels = [sample.module_id for sample in test]
+    correct = sum(
+        result.predicted_module_id == labels[result.sequence] for result in results
+    )
+    stats = engine.stats
+    print(
+        f"authenticated {stats.frames_out} frames in {stats.batches} "
+        f"micro-batches (batch size {args.batch_size}, "
+        f"mean {stats.mean_batch_size:.1f})"
+    )
+    print(
+        f"  throughput: {stats.frames_per_second:.1f} frames/s "
+        f"({stats.inference_seconds * 1000.0:.1f} ms inference)"
+    )
+    print(f"  frame accuracy: {100.0 * correct / len(results):.2f}%")
+    for source in engine.sources:
+        verdict = engine.verdict(source)
+        print(
+            f"  {source}: verdict module {verdict.module_id} "
+            f"(confidence {verdict.confidence:.2f}, "
+            f"{verdict.num_votes}/{verdict.window_size} votes in window)"
+        )
+    return 0
+
+
 def _cmd_probe(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset_path)
     train, test = _apply_split(dataset, args.split, args.beamformee)
@@ -221,6 +275,34 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--num-classes", type=int, default=10)
     evaluate.add_argument("--paper-model", action="store_true")
     evaluate.set_defaults(handler=_cmd_evaluate)
+
+    authenticate = subparsers.add_parser(
+        "authenticate",
+        help="stream a dataset split through the batched inference engine",
+    )
+    _add_dataset_arguments(authenticate)
+    authenticate.add_argument("model_dir")
+    authenticate.add_argument("--num-classes", type=int, default=10)
+    authenticate.add_argument("--paper-model", action="store_true")
+    authenticate.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="micro-batch size of the inference engine",
+    )
+    authenticate.add_argument(
+        "--max-latency-frames",
+        type=int,
+        default=None,
+        help="force a partial batch after this many buffered frames",
+    )
+    authenticate.add_argument(
+        "--window",
+        type=int,
+        default=16,
+        help="per-source ring-buffer length for the windowed majority vote",
+    )
+    authenticate.set_defaults(handler=_cmd_authenticate)
 
     probe = subparsers.add_parser(
         "probe", help="linear separability probe on a dataset split"

@@ -8,6 +8,8 @@
   the paper compares against (Fig. 16).
 * :mod:`repro.core.evaluation` -- accuracy / confusion-matrix utilities and
   textual report rendering.
+* :mod:`repro.core.engine` -- the batched streaming inference engine every
+  consumer of per-frame classification routes through.
 * :mod:`repro.core.pipeline` -- an end-to-end authentication pipeline built
   on the monitor-mode capture path.
 """
@@ -22,6 +24,12 @@ from repro.core.evaluation import (
     ClassificationReport,
     evaluate_predictions,
     format_confusion_matrix,
+)
+from repro.core.engine import (
+    EngineResult,
+    EngineStats,
+    InferenceEngine,
+    MajorityVerdict,
 )
 from repro.core.pipeline import AuthenticationPipeline, AuthenticationResult
 from repro.core.openset import OpenSetAuthenticator, OpenSetMetrics, evaluate_open_set
@@ -41,6 +49,10 @@ __all__ = [
     "ClassificationReport",
     "evaluate_predictions",
     "format_confusion_matrix",
+    "EngineResult",
+    "EngineStats",
+    "InferenceEngine",
+    "MajorityVerdict",
     "AuthenticationPipeline",
     "AuthenticationResult",
     "OpenSetAuthenticator",

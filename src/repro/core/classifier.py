@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -41,6 +41,11 @@ from repro.nn.training import History, Trainer, TrainingConfig
 
 class ClassifierError(ValueError):
     """Raised for invalid classifier usage."""
+
+
+def _jsonify(value):
+    """Round-trip a config dict through JSON types (tuples become lists)."""
+    return json.loads(json.dumps(value))
 
 
 @dataclass(frozen=True)
@@ -157,14 +162,8 @@ class DeepCsiClassifier:
         self._check_labels(labels)
         features = apply_normalization(features, self._normalization)
         config = self.config.training
-        tuned_config = TrainingConfig(
-            epochs=epochs if epochs is not None else config.epochs,
-            batch_size=config.batch_size,
-            validation_split=config.validation_split,
-            shuffle=config.shuffle,
-            early_stopping_patience=config.early_stopping_patience,
-            verbose=config.verbose,
-            seed=config.seed,
+        tuned_config = replace(
+            config, epochs=epochs if epochs is not None else config.epochs
         )
         rate = (
             learning_rate
@@ -220,10 +219,36 @@ class DeepCsiClassifier:
         (module_id, confidence):
             The predicted module and its softmax probability.
         """
-        sample = FeedbackSample(v_tilde=v_tilde, module_id=0, beamformee_id=0)
-        probabilities = self.predict_proba([sample])[0]
-        winner = int(np.argmax(probabilities))
-        return winner, float(probabilities[winner])
+        ids, confidences = self.predict_matrices(np.asarray(v_tilde)[np.newaxis])
+        return int(ids[0]), float(confidences[0])
+
+    def predict_matrices(self, v_batch: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Classify a pre-stacked batch of reconstructed ``V~`` matrices.
+
+        This is the batched hot path of the streaming inference engine:
+        feature extraction, normalisation and the CNN forward all run once
+        over the whole ``(B, K, M, N_SS)`` batch.
+
+        Returns
+        -------
+        (module_ids, confidences):
+            Integer module identifiers, shape ``(B,)``, and the softmax
+            probability of each winner, shape ``(B,)``.
+        """
+        model = self._require_trained()
+        v_batch = np.asarray(v_batch)
+        if v_batch.ndim != 4:
+            raise ClassifierError("v_batch must have shape (B, K, M, N_SS)")
+        if v_batch.shape[0] == 0:
+            empty = np.zeros(0)
+            return empty.astype(int), empty
+        features = apply_normalization(
+            self.extractor.transform_matrices(v_batch), self._normalization
+        )
+        probabilities = SoftmaxCrossEntropy.softmax(model.predict(features))
+        winners = np.argmax(probabilities, axis=1)
+        confidences = probabilities[np.arange(probabilities.shape[0]), winners]
+        return winners.astype(int), confidences.astype(float)
 
     def evaluate(
         self, samples: Sequence[FeedbackSample], label: str = ""
@@ -251,6 +276,9 @@ class DeepCsiClassifier:
             "input_shape": list(self._input_shape),
             "seed": self.config.seed,
             "learning_rate": self.config.learning_rate,
+            "feature": _jsonify(asdict(self.config.feature)),
+            "model": _jsonify(asdict(self.config.model)),
+            "training": _jsonify(asdict(self.config.training)),
         }
         (directory / "metadata.json").write_text(json.dumps(metadata, indent=2))
         return directory
@@ -267,6 +295,13 @@ class DeepCsiClassifier:
             raise ClassifierError(
                 "stored model was trained with a different number of classes"
             )
+        for key, sub_config in (("feature", self.config.feature), ("model", self.config.model)):
+            stored = metadata.get(key)
+            if stored is not None and stored != _jsonify(asdict(sub_config)):
+                raise ClassifierError(
+                    f"stored model was trained with a different {key} "
+                    f"configuration: {stored} != {_jsonify(asdict(sub_config))}"
+                )
         self._input_shape = tuple(metadata["input_shape"])
         rng = np.random.default_rng(self.config.seed)
         self.model = build_deepcsi_model(

@@ -1,0 +1,385 @@
+"""Batched streaming inference engine (the observer's always-on hot path).
+
+The deployment scenario of Fig. 1/Fig. 3 is an always-on monitor-mode
+observer that authenticates *every* VHT compressed-beamforming frame it
+sniffs.  Classifying frames one at a time wastes almost all of the hardware:
+feature extraction, normalisation and the CNN forward are vectorised, so
+running them with batch size 1 pays the full Python/numpy dispatch overhead
+per frame.
+
+:class:`InferenceEngine` turns the per-frame API into a micro-batched
+streaming one:
+
+* observations (raw frames, parsed captures, samples or plain ``V~``
+  arrays) are buffered and classified in micro-batches of ``batch_size``;
+* ``max_latency_frames`` bounds how many frames may sit in the buffer
+  before a partial batch is forced out, trading throughput for latency;
+* raw :class:`~repro.feedback.frames.FeedbackFrame` payloads are parsed,
+  grouped by geometry/quantisation and de-quantised + reconstructed through
+  the *batched* Givens path
+  (:func:`repro.feedback.givens.reconstruct_v_matrices`);
+* every result is appended to a per-source ring buffer so a windowed
+  majority vote (:meth:`InferenceEngine.verdict`) is available at any time;
+* throughput counters (:class:`EngineStats`) expose frames/sec for the
+  benchmarks and the CLI.
+
+Every consumer of per-frame classification (the authentication pipeline,
+the CLI, the throughput benchmark) routes through this engine.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.classifier import DeepCsiClassifier
+from repro.datasets.containers import FeedbackSample
+from repro.feedback.capture import CapturedFeedback, reconstruct_quantized_batch
+from repro.feedback.frames import FeedbackFrame, parse_feedback_frame
+
+
+class EngineError(ValueError):
+    """Raised for invalid engine configurations or inputs."""
+
+
+#: Anything the engine can classify.
+Observation = Union[FeedbackFrame, CapturedFeedback, FeedbackSample, np.ndarray]
+
+#: Ring-buffer key used for observations without a source address.
+ANONYMOUS_SOURCE = ""
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Classification outcome for one streamed observation.
+
+    Attributes
+    ----------
+    predicted_module_id:
+        Module the classifier believes produced the transmission.
+    confidence:
+        Softmax probability of the predicted module.
+    source:
+        Source address the observation was attributed to
+        (:data:`ANONYMOUS_SOURCE` when unknown).
+    sequence:
+        Position of the observation in the engine's input order.
+    timestamp_s:
+        Capture timestamp when the observation carried one, else 0.
+    """
+
+    predicted_module_id: int
+    confidence: float
+    source: str = ANONYMOUS_SOURCE
+    sequence: int = 0
+    timestamp_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class MajorityVerdict:
+    """Windowed majority vote over one source's recent results.
+
+    Attributes
+    ----------
+    module_id:
+        The most frequent module in the window (ties broken by mean
+        confidence).
+    confidence:
+        Mean confidence of the frames voting for the winner.
+    num_votes:
+        Number of frames voting for the winner.
+    window_size:
+        Number of results currently in the window.
+    """
+
+    module_id: int
+    confidence: float
+    num_votes: int
+    window_size: int
+
+
+@dataclass
+class EngineStats:
+    """Throughput counters of one engine instance.
+
+    ``inference_seconds`` only accounts for time spent inside batch
+    processing (decode + feature extraction + CNN forward), not for the time
+    frames spent waiting in the buffer.
+    """
+
+    frames_in: int = 0
+    frames_out: int = 0
+    batches: int = 0
+    inference_seconds: float = 0.0
+
+    @property
+    def frames_per_second(self) -> float:
+        """Classified frames per second of inference time."""
+        if self.inference_seconds <= 0.0:
+            return 0.0
+        return self.frames_out / self.inference_seconds
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of frames per processed micro-batch."""
+        if self.batches == 0:
+            return 0.0
+        return self.frames_out / self.batches
+
+
+@dataclass
+class _PendingObservation:
+    """One buffered observation, normalised for batch processing."""
+
+    sequence: int
+    source: str
+    timestamp_s: float
+    # Exactly one of the two payloads is set: a parsed quantised feedback
+    # (for raw frames, decoded through the batched Givens path) or a ready
+    # ``V~`` matrix.
+    quantized: Optional[object] = None
+    v_tilde: Optional[np.ndarray] = None
+
+
+class InferenceEngine:
+    """Micro-batched streaming classification of beamforming feedback.
+
+    Parameters
+    ----------
+    classifier:
+        A trained (or loaded) :class:`~repro.core.classifier.DeepCsiClassifier`.
+    batch_size:
+        Target micro-batch size; a full buffer is classified immediately.
+    max_latency_frames:
+        Maximum number of frames allowed to sit in the buffer before a
+        partial batch is forced out (``None`` means only :meth:`flush` or a
+        full batch triggers processing).  Effectively caps the per-frame
+        queueing delay of a live stream at ``max_latency_frames`` arrivals.
+    vote_window:
+        Length of the per-source ring buffers used by :meth:`verdict`.
+    max_sources:
+        Maximum number of per-source ring buffers kept alive.  An always-on
+        observer sees an unbounded set of source addresses (spoofed MACs
+        included); beyond this many the least-recently-seen source's window
+        is evicted so memory stays bounded.
+    """
+
+    def __init__(
+        self,
+        classifier: DeepCsiClassifier,
+        batch_size: int = 64,
+        max_latency_frames: Optional[int] = None,
+        vote_window: int = 16,
+        max_sources: int = 1024,
+    ) -> None:
+        if batch_size < 1:
+            raise EngineError("batch_size must be >= 1")
+        if max_latency_frames is not None and max_latency_frames < 1:
+            raise EngineError("max_latency_frames must be >= 1 or None")
+        if vote_window < 1:
+            raise EngineError("vote_window must be >= 1")
+        if max_sources < 1:
+            raise EngineError("max_sources must be >= 1")
+        self.classifier = classifier
+        self.batch_size = batch_size
+        self.max_latency_frames = max_latency_frames
+        self.vote_window = vote_window
+        self.max_sources = max_sources
+        self.stats = EngineStats()
+        self._pending: List[_PendingObservation] = []
+        self._windows: Dict[str, Deque[EngineResult]] = {}
+        self._sequence = 0
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        observation: Observation,
+        source: Optional[str] = None,
+    ) -> List[EngineResult]:
+        """Buffer one observation; classify the buffer when it is due.
+
+        Frames and captured feedbacks carry their own source address, which
+        is used unless ``source`` overrides it.
+
+        Returns
+        -------
+        list of EngineResult
+            The results that became available because of this submission
+            (usually empty, or one full micro-batch).
+        """
+        self._pending.append(self._normalise(observation, source))
+        self.stats.frames_in += 1
+        threshold = self.batch_size
+        if self.max_latency_frames is not None:
+            threshold = min(threshold, self.max_latency_frames)
+        if len(self._pending) >= threshold:
+            return self._process_pending()
+        return []
+
+    def flush(self) -> List[EngineResult]:
+        """Classify whatever is buffered, regardless of the batch size."""
+        return self._process_pending()
+
+    def stream(
+        self,
+        observations: Iterable[Observation],
+        source: Optional[str] = None,
+    ) -> Iterator[EngineResult]:
+        """Drain an iterable of observations, yielding results as batches fill.
+
+        The final partial batch is flushed automatically when the iterable
+        is exhausted, so every submitted observation yields a result.
+        """
+        for observation in observations:
+            yield from self.submit(observation, source=source)
+        yield from self.flush()
+
+    def drain(
+        self,
+        observations: Iterable[Observation],
+        source: Optional[str] = None,
+    ) -> List[EngineResult]:
+        """Classify a whole iterable and return the results in input order."""
+        return list(self.stream(observations, source=source))
+
+    # ------------------------------------------------------------------ #
+    # Windowed majority voting
+    # ------------------------------------------------------------------ #
+    def verdict(self, source: Optional[str] = None) -> MajorityVerdict:
+        """Majority vote over the ring buffer of one source.
+
+        The predicted module is the most frequent one in the window; its
+        confidence is the mean confidence of the frames voting for it.
+        """
+        key = ANONYMOUS_SOURCE if source is None else source
+        window = self._windows.get(key)
+        if not window:
+            raise EngineError(f"no results recorded for source {key!r} yet")
+        votes: Dict[int, List[float]] = {}
+        for result in window:
+            votes.setdefault(result.predicted_module_id, []).append(
+                result.confidence
+            )
+        winner = max(
+            votes, key=lambda module: (len(votes[module]), np.mean(votes[module]))
+        )
+        return MajorityVerdict(
+            module_id=winner,
+            confidence=float(np.mean(votes[winner])),
+            num_votes=len(votes[winner]),
+            window_size=len(window),
+        )
+
+    @property
+    def sources(self) -> List[str]:
+        """Sources with at least one classified observation."""
+        return sorted(self._windows)
+
+    def reset(self) -> None:
+        """Drop buffered observations, ring buffers and counters."""
+        self._pending.clear()
+        self._windows.clear()
+        self._sequence = 0
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _normalise(
+        self, observation: Observation, source: Optional[str]
+    ) -> _PendingObservation:
+        sequence = self._sequence
+        self._sequence += 1
+        if isinstance(observation, FeedbackFrame):
+            _, quantized = parse_feedback_frame(observation.payload)
+            return _PendingObservation(
+                sequence=sequence,
+                source=source if source is not None else observation.source_address,
+                timestamp_s=observation.timestamp_s,
+                quantized=quantized,
+            )
+        if isinstance(observation, CapturedFeedback):
+            return _PendingObservation(
+                sequence=sequence,
+                source=source if source is not None else observation.source_address,
+                timestamp_s=observation.timestamp_s,
+                v_tilde=np.asarray(observation.v_tilde),
+            )
+        if isinstance(observation, FeedbackSample):
+            return _PendingObservation(
+                sequence=sequence,
+                source=source if source is not None else ANONYMOUS_SOURCE,
+                timestamp_s=observation.timestamp_s,
+                v_tilde=np.asarray(observation.v_tilde),
+            )
+        array = np.asarray(observation)
+        if array.ndim != 3:
+            raise EngineError(
+                "expected a FeedbackFrame, CapturedFeedback, FeedbackSample or "
+                "a (K, M, N_SS) array"
+            )
+        return _PendingObservation(
+            sequence=sequence,
+            source=source if source is not None else ANONYMOUS_SOURCE,
+            timestamp_s=0.0,
+            v_tilde=array,
+        )
+
+    def _process_pending(self) -> List[EngineResult]:
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        started = time.perf_counter()
+
+        # Decode raw frames through the batched Givens path.
+        frame_entries = [entry for entry in pending if entry.quantized is not None]
+        if frame_entries:
+            v_tildes = reconstruct_quantized_batch(
+                [entry.quantized for entry in frame_entries]
+            )
+            for entry, v_tilde in zip(frame_entries, v_tildes):
+                entry.v_tilde = v_tilde
+
+        # Classify, grouped by V~ geometry (mixed-geometry streams are
+        # classified per group but reported in input order).
+        shape_groups: Dict[Tuple[int, int, int], List[_PendingObservation]] = {}
+        for entry in pending:
+            shape_groups.setdefault(entry.v_tilde.shape, []).append(entry)
+        results: List[Optional[EngineResult]] = [None] * len(pending)
+        index_of = {id(entry): idx for idx, entry in enumerate(pending)}
+        for entries in shape_groups.values():
+            v_batch = np.stack([entry.v_tilde for entry in entries], axis=0)
+            ids, confidences = self.classifier.predict_matrices(v_batch)
+            for entry, module_id, confidence in zip(entries, ids, confidences):
+                results[index_of[id(entry)]] = EngineResult(
+                    predicted_module_id=int(module_id),
+                    confidence=float(confidence),
+                    source=entry.source,
+                    sequence=entry.sequence,
+                    timestamp_s=entry.timestamp_s,
+                )
+
+        elapsed = time.perf_counter() - started
+        self.stats.frames_out += len(pending)
+        self.stats.batches += 1
+        self.stats.inference_seconds += elapsed
+
+        ordered = [result for result in results if result is not None]
+        for result in ordered:
+            window = self._windows.pop(result.source, None)
+            if window is None:
+                window = deque(maxlen=self.vote_window)
+                while len(self._windows) >= self.max_sources:
+                    # Evict the least-recently-updated source (dicts keep
+                    # insertion order; updated windows are re-inserted last).
+                    self._windows.pop(next(iter(self._windows)))
+            # Re-insert so this source becomes the most recently updated.
+            self._windows[result.source] = window
+            window.append(result)
+        return ordered

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.classifier import DeepCsiClassifier
+from repro.core.engine import InferenceEngine
 from repro.datasets.containers import FeedbackSample
 from repro.feedback.capture import CapturedFeedback, MonitorCapture
 from repro.feedback.frames import FeedbackFrame, parse_feedback_frame
@@ -106,6 +107,15 @@ class AuthenticationPipeline:
         """
         v_tilde = self._to_v_tilde(observation)
         predicted, confidence = self.classifier.predict_matrix(v_tilde)
+        return self._decide(predicted, confidence, claimed_module_id)
+
+    def _decide(
+        self,
+        predicted: int,
+        confidence: float,
+        claimed_module_id: Optional[int],
+    ) -> AuthenticationResult:
+        """Turn one classification into an accept/reject decision."""
         confident = confidence >= self.confidence_threshold
         if claimed_module_id is None:
             accepted = confident
@@ -118,20 +128,44 @@ class AuthenticationPipeline:
             claimed_module_id=claimed_module_id,
         )
 
+    def authenticate_batch(
+        self,
+        observations: Sequence[
+            Union[FeedbackFrame, CapturedFeedback, FeedbackSample, np.ndarray]
+        ],
+        claimed_module_id: Optional[int] = None,
+        batch_size: int = 64,
+    ) -> List[AuthenticationResult]:
+        """Authenticate many observations through the batched engine."""
+        if not observations:
+            raise PipelineError("cannot authenticate an empty observation list")
+        engine = InferenceEngine(self.classifier, batch_size=batch_size)
+        return [
+            self._decide(
+                result.predicted_module_id, result.confidence, claimed_module_id
+            )
+            for result in engine.drain(observations)
+        ]
+
     def authenticate_capture(
         self,
         capture: MonitorCapture,
         source_address: Optional[str] = None,
         claimed_module_id: Optional[int] = None,
+        batch_size: int = 64,
     ) -> List[AuthenticationResult]:
-        """Authenticate every matching frame stored in a monitor capture."""
-        feedbacks = capture.reconstruct(source_address=source_address)
-        if not feedbacks:
+        """Authenticate every matching frame stored in a monitor capture.
+
+        The frames are decoded and classified in micro-batches of
+        ``batch_size`` through the :class:`~repro.core.engine.InferenceEngine`
+        hot path instead of one CNN forward per frame.
+        """
+        frames = capture.filter(source_address=source_address)
+        if not frames:
             raise PipelineError("the capture contains no matching feedback frames")
-        return [
-            self.authenticate(feedback, claimed_module_id=claimed_module_id)
-            for feedback in feedbacks
-        ]
+        return self.authenticate_batch(
+            frames, claimed_module_id=claimed_module_id, batch_size=batch_size
+        )
 
     def majority_vote(
         self, results: Sequence[AuthenticationResult]
@@ -143,12 +177,18 @@ class AuthenticationPipeline:
         """
         if not results:
             raise PipelineError("cannot vote over an empty result list")
+        claims = {result.claimed_module_id for result in results}
+        if len(claims) > 1:
+            raise PipelineError(
+                "cannot fuse results with inconsistent claimed identities: "
+                f"{sorted(claims, key=repr)}"
+            )
         votes: dict = {}
         for result in results:
             votes.setdefault(result.predicted_module_id, []).append(result.confidence)
         winner = max(votes, key=lambda module: (len(votes[module]), np.mean(votes[module])))
         confidence = float(np.mean(votes[winner]))
-        claimed = results[0].claimed_module_id
+        claimed = claims.pop()
         confident = confidence >= self.confidence_threshold
         accepted = confident and (claimed is None or winner == claimed)
         return AuthenticationResult(

@@ -139,17 +139,41 @@ class FeatureExtractor:
         v_tilde = np.asarray(v_tilde)
         if v_tilde.ndim != 3:
             raise FeatureError("v_tilde must have shape (K, M, N_SS)")
-        resolved = self.config.resolve(*v_tilde.shape)
+        return self.transform_matrices(v_tilde[np.newaxis])[0]
+
+    def transform_matrices(self, v_batch: np.ndarray) -> np.ndarray:
+        """Extract feature tensors from a pre-stacked batch of ``V~`` matrices.
+
+        This is the vectorised hot path used by the streaming inference
+        engine: all selections broadcast over the batch axis, so no
+        per-sample Python loop remains (the tiny loop over the selected
+        antennas builds the channel layout, not the data).
+
+        Parameters
+        ----------
+        v_batch:
+            Complex array of shape ``(B, K, M, N_SS)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Real tensor of shape ``(B, Nch, Nrow, Ncol)``.
+        """
+        v_batch = np.asarray(v_batch)
+        if v_batch.ndim != 4:
+            raise FeatureError("v_batch must have shape (B, K, M, N_SS)")
+        resolved = self.config.resolve(*v_batch.shape[1:])
         subcarriers = np.asarray(resolved.subcarriers)
+        streams = list(resolved.streams)
+        # (B, Ncol, M, Nrow) -> (B, M, Nrow, Ncol)
+        selected = v_batch[:, subcarriers][:, :, :, streams].transpose(0, 2, 3, 1)
         channels: List[np.ndarray] = []
         for antenna in resolved.antennas:
-            block = v_tilde[subcarriers][:, antenna, :][:, list(resolved.streams)]
-            # block has shape (Ncol, Nrow); transpose to (Nrow, Ncol).
-            block = block.T
+            block = selected[:, antenna]
             channels.append(np.real(block))
             if antenna != resolved.last_antenna:
                 channels.append(np.imag(block))
-        return np.stack(channels, axis=0).astype(float)
+        return np.stack(channels, axis=1).astype(float)
 
     def transform_samples(self, samples: Sequence[FeedbackSample]) -> Tuple[np.ndarray, np.ndarray]:
         """Extract features and labels from a list of samples.
@@ -162,8 +186,8 @@ class FeatureExtractor:
         """
         if not samples:
             raise FeatureError("cannot extract features from an empty sample list")
-        features = np.stack(
-            [self.transform_matrix(sample.v_tilde) for sample in samples], axis=0
+        features = self.transform_matrices(
+            np.stack([sample.v_tilde for sample in samples], axis=0)
         )
         labels = np.array([sample.module_id for sample in samples], dtype=int)
         return features, labels

@@ -18,12 +18,16 @@ from repro.feedback.givens import (
     FeedbackAngles,
     compress_v_matrix,
     reconstruct_v_matrix,
+    reconstruct_v_matrices,
+    stack_feedback_angles,
     angle_counts,
 )
 from repro.feedback.quantization import (
     QuantizationConfig,
     quantize_angles,
     dequantize_angles,
+    dequantize_angles_batch,
+    stack_quantized_angles,
     QuantizedAngles,
 )
 from repro.feedback.frames import (
@@ -39,10 +43,14 @@ __all__ = [
     "FeedbackAngles",
     "compress_v_matrix",
     "reconstruct_v_matrix",
+    "reconstruct_v_matrices",
+    "stack_feedback_angles",
     "angle_counts",
     "QuantizationConfig",
     "quantize_angles",
     "dequantize_angles",
+    "dequantize_angles_batch",
+    "stack_quantized_angles",
     "QuantizedAngles",
     "VhtMimoControl",
     "FeedbackFrame",

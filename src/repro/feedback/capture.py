@@ -27,11 +27,12 @@ from repro.feedback.frames import (
     pack_feedback_frame,
     parse_feedback_frame,
 )
-from repro.feedback.givens import compress_v_matrix, reconstruct_v_matrix
+from repro.feedback.givens import compress_v_matrix, reconstruct_v_matrices
 from repro.feedback.quantization import (
     QuantizationConfig,
-    dequantize_angles,
+    dequantize_angles_batch,
     quantize_angles,
+    stack_quantized_angles,
 )
 from repro.phy.channel import MultipathChannel
 from repro.phy.devices import AccessPoint, Beamformee
@@ -67,6 +68,42 @@ class CapturedFeedback:
     source_address: str
     destination_address: str
     timestamp_s: float
+
+
+def reconstruct_quantized_batch(parsed: Sequence) -> List[np.ndarray]:
+    """Rebuild ``V~`` for parsed feedbacks through the batched Givens path.
+
+    The :class:`~repro.feedback.quantization.QuantizedAngles` are grouped by
+    ``(K, M, N_SS)`` geometry and quantisation configuration, and each group
+    is de-quantised and reconstructed in one vectorised call.  The returned
+    matrices are in the input order.
+    """
+    groups: Dict[tuple, List[int]] = {}
+    for index, quantized in enumerate(parsed):
+        key = (
+            quantized.config,
+            quantized.num_tx,
+            quantized.num_streams,
+            quantized.num_subcarriers,
+        )
+        groups.setdefault(key, []).append(index)
+    v_tildes: List[Optional[np.ndarray]] = [None] * len(parsed)
+    for indices in groups.values():
+        q_phi, q_psi, config, num_tx, num_streams = stack_quantized_angles(
+            [parsed[index] for index in indices]
+        )
+        phi, psi = dequantize_angles_batch(q_phi, q_psi, config)
+        v_batch = reconstruct_v_matrices(phi, psi, num_tx, num_streams)
+        for position, index in enumerate(indices):
+            v_tildes[index] = v_batch[position]
+    return v_tildes
+
+
+def reconstruct_frame_batch(frames: Sequence[FeedbackFrame]) -> List[np.ndarray]:
+    """Parse and rebuild ``V~`` for every frame, in the input frame order."""
+    return reconstruct_quantized_batch(
+        [parse_feedback_frame(frame.payload)[1] for frame in frames]
+    )
 
 
 @dataclass
@@ -105,20 +142,23 @@ class MonitorCapture:
         source_address: Optional[str] = None,
         destination_address: Optional[str] = None,
     ) -> List[CapturedFeedback]:
-        """Parse and de-quantise every matching frame into ``V~`` matrices."""
-        captured = []
-        for frame in self.filter(source_address, destination_address):
-            _, quantized = parse_feedback_frame(frame.payload)
-            angles = dequantize_angles(quantized)
-            captured.append(
-                CapturedFeedback(
-                    v_tilde=reconstruct_v_matrix(angles),
-                    source_address=frame.source_address,
-                    destination_address=frame.destination_address,
-                    timestamp_s=frame.timestamp_s,
-                )
+        """Parse and de-quantise every matching frame into ``V~`` matrices.
+
+        The reconstruction runs through the batched Givens path: frames are
+        grouped by geometry and quantisation configuration and every group is
+        rebuilt in one vectorised call.
+        """
+        frames = self.filter(source_address, destination_address)
+        v_tildes = reconstruct_frame_batch(frames)
+        return [
+            CapturedFeedback(
+                v_tilde=v_tilde,
+                source_address=frame.source_address,
+                destination_address=frame.destination_address,
+                timestamp_s=frame.timestamp_s,
             )
-        return captured
+            for frame, v_tilde in zip(frames, v_tildes)
+        ]
 
     def clear(self) -> None:
         """Drop every stored frame."""

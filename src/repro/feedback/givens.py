@@ -20,7 +20,7 @@ OFDM sub-carriers, so one call compresses or reconstructs the full
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -166,6 +166,49 @@ def compress_v_matrix(v_matrix: np.ndarray) -> FeedbackAngles:
     )
 
 
+def _reconstruct_from_angles(
+    phi: np.ndarray, psi: np.ndarray, num_tx: int, num_streams: int
+) -> np.ndarray:
+    """Eq. (7) over arbitrary leading axes.
+
+    ``phi`` has shape ``(..., n_phi)`` and ``psi`` shape ``(..., n_psi)``;
+    the result has shape ``(..., M, N_SS)``.  The structural loop over the
+    ``(i, l)`` Givens indices is kept, but every operation inside it is a
+    single broadcast over all leading axes (batch and sub-carrier alike).
+    """
+    lead = phi.shape[:-1]
+    accumulator = np.broadcast_to(
+        np.eye(num_tx, dtype=complex), lead + (num_tx, num_tx)
+    ).copy()
+
+    phi_cursor = 0
+    psi_cursor = 0
+    limit = min(num_streams, num_tx - 1)
+    for i in range(limit):
+        # Multiply on the right by D_i (a diagonal matrix): scales columns
+        # i .. M-2 of the accumulator.
+        num_phi = num_tx - 1 - i
+        phis = phi[..., phi_cursor : phi_cursor + num_phi]  # (..., num_phi)
+        phi_cursor += num_phi
+        accumulator[..., :, i : num_tx - 1] = (
+            accumulator[..., :, i : num_tx - 1]
+            * np.exp(1j * phis)[..., np.newaxis, :]
+        )
+        # Multiply on the right by G_{l,i}^T for l = i+1 .. M-1 (0-based):
+        # mixes columns i and l of the accumulator.
+        for l in range(i + 1, num_tx):
+            psi_li = psi[..., psi_cursor]
+            psi_cursor += 1
+            cos_psi = np.cos(psi_li)[..., np.newaxis]
+            sin_psi = np.sin(psi_li)[..., np.newaxis]
+            col_i = accumulator[..., :, i].copy()
+            col_l = accumulator[..., :, l].copy()
+            accumulator[..., :, i] = cos_psi * col_i + sin_psi * col_l
+            accumulator[..., :, l] = -sin_psi * col_i + cos_psi * col_l
+
+    return accumulator[..., :, :num_streams]
+
+
 def reconstruct_v_matrix(angles: FeedbackAngles) -> np.ndarray:
     """Rebuild ``V~`` from the feedback angles (Eq. 7).
 
@@ -180,39 +223,77 @@ def reconstruct_v_matrix(angles: FeedbackAngles) -> np.ndarray:
         ``V~`` of shape ``(K, M, N_SS)``.  Its columns are orthonormal and
         its last row consists of non-negative real numbers.
     """
-    num_sub = angles.num_subcarriers
-    num_tx = angles.num_tx
-    num_streams = angles.num_streams
+    return _reconstruct_from_angles(
+        angles.phi, angles.psi, angles.num_tx, angles.num_streams
+    )
 
-    accumulator = np.broadcast_to(
-        np.eye(num_tx, dtype=complex), (num_sub, num_tx, num_tx)
-    ).copy()
 
-    phi_cursor = 0
-    psi_cursor = 0
-    limit = min(num_streams, num_tx - 1)
-    for i in range(limit):
-        # Multiply on the right by D_i (a diagonal matrix): scales columns
-        # i .. M-2 of the accumulator.
-        num_phi = num_tx - 1 - i
-        phis = angles.phi[:, phi_cursor : phi_cursor + num_phi]  # (K, num_phi)
-        phi_cursor += num_phi
-        accumulator[:, :, i : num_tx - 1] = (
-            accumulator[:, :, i : num_tx - 1] * np.exp(1j * phis)[:, np.newaxis, :]
-        )
-        # Multiply on the right by G_{l,i}^T for l = i+1 .. M-1 (0-based):
-        # mixes columns i and l of the accumulator.
-        for l in range(i + 1, num_tx):
-            psi = angles.psi[:, psi_cursor]
-            psi_cursor += 1
-            cos_psi = np.cos(psi)[:, np.newaxis]
-            sin_psi = np.sin(psi)[:, np.newaxis]
-            col_i = accumulator[:, :, i].copy()
-            col_l = accumulator[:, :, l].copy()
-            accumulator[:, :, i] = cos_psi * col_i + sin_psi * col_l
-            accumulator[:, :, l] = -sin_psi * col_i + cos_psi * col_l
+def reconstruct_v_matrices(
+    phi: np.ndarray, psi: np.ndarray, num_tx: int, num_streams: int
+) -> np.ndarray:
+    """Rebuild a whole batch of ``V~`` matrices from stacked angles (Eq. 7).
 
-    return accumulator[:, :, :num_streams]
+    This is the batched hot path of the streaming inference engine: the
+    Givens structure loop runs once while every arithmetic operation inside
+    it broadcasts over the ``(B, K)`` axes.
+
+    Parameters
+    ----------
+    phi / psi:
+        Stacked angle arrays of shape ``(B, K, n_phi)`` / ``(B, K, n_psi)``,
+        e.g. from :func:`repro.feedback.quantization.dequantize_angles_batch`.
+    num_tx / num_streams:
+        Dimensions ``M`` / ``N_SS`` shared by every feedback in the batch.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``V~`` batch of shape ``(B, K, M, N_SS)``, matching
+        :func:`reconstruct_v_matrix` applied per feedback.
+    """
+    phi = np.asarray(phi, dtype=float)
+    psi = np.asarray(psi, dtype=float)
+    n_phi, n_psi = angle_counts(num_tx, num_streams)
+    if phi.ndim != 3 or phi.shape[2] != n_phi:
+        raise GivensError(f"phi must have shape (B, K, {n_phi}), got {phi.shape}")
+    if psi.ndim != 3 or psi.shape[2] != n_psi:
+        raise GivensError(f"psi must have shape (B, K, {n_psi}), got {psi.shape}")
+    if phi.shape[:2] != psi.shape[:2]:
+        raise GivensError("phi and psi must cover the same batch and sub-carriers")
+    return _reconstruct_from_angles(phi, psi, num_tx, num_streams)
+
+
+def stack_feedback_angles(
+    angles: Sequence[FeedbackAngles],
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Stack per-feedback angles into ``(B, K, n_angles)`` batch arrays.
+
+    All feedbacks must share the same ``(K, M, N_SS)`` geometry; mixed
+    geometries must be grouped by the caller (see
+    :class:`repro.core.engine.InferenceEngine`).
+
+    Returns
+    -------
+    (phi, psi, num_tx, num_streams):
+        Stacked angle arrays plus the shared matrix dimensions, ready for
+        :func:`reconstruct_v_matrices`.
+    """
+    if not angles:
+        raise GivensError("cannot stack an empty list of feedback angles")
+    first = angles[0]
+    for item in angles[1:]:
+        if (
+            item.num_tx != first.num_tx
+            or item.num_streams != first.num_streams
+            or item.num_subcarriers != first.num_subcarriers
+        ):
+            raise GivensError(
+                "all feedbacks in a batch must share the same (K, M, N_SS) "
+                "geometry"
+            )
+    phi = np.stack([item.phi for item in angles], axis=0)
+    psi = np.stack([item.psi for item in angles], axis=0)
+    return phi, psi, first.num_tx, first.num_streams
 
 
 def compression_error(v_matrix: np.ndarray, reconstructed: np.ndarray) -> np.ndarray:

@@ -16,6 +16,7 @@ studied in Figs. 13-15 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -163,6 +164,57 @@ def dequantize_angles(quantized: QuantizedAngles) -> FeedbackAngles:
         num_tx=quantized.num_tx,
         num_streams=quantized.num_streams,
     )
+
+
+def stack_quantized_angles(
+    quantized: Sequence[QuantizedAngles],
+) -> Tuple[np.ndarray, np.ndarray, QuantizationConfig, int, int]:
+    """Stack per-feedback codewords into ``(B, K, n_angles)`` batch arrays.
+
+    All feedbacks must share the same quantisation configuration and the
+    same ``(K, M, N_SS)`` geometry; the streaming engine groups frames by
+    exactly this key before calling in here.
+
+    Returns
+    -------
+    (q_phi, q_psi, config, num_tx, num_streams):
+        Stacked codeword arrays plus the shared configuration and matrix
+        dimensions, ready for :func:`dequantize_angles_batch`.
+    """
+    if not quantized:
+        raise QuantizationError("cannot stack an empty list of quantised feedbacks")
+    first = quantized[0]
+    for item in quantized[1:]:
+        if item.config != first.config:
+            raise QuantizationError(
+                "all feedbacks in a batch must share the same quantisation "
+                "configuration"
+            )
+        if (
+            item.num_tx != first.num_tx
+            or item.num_streams != first.num_streams
+            or item.num_subcarriers != first.num_subcarriers
+        ):
+            raise QuantizationError(
+                "all feedbacks in a batch must share the same (K, M, N_SS) "
+                "geometry"
+            )
+    q_phi = np.stack([item.q_phi for item in quantized], axis=0)
+    q_psi = np.stack([item.q_psi for item in quantized], axis=0)
+    return q_phi, q_psi, first.config, first.num_tx, first.num_streams
+
+
+def dequantize_angles_batch(
+    q_phi: np.ndarray, q_psi: np.ndarray, config: QuantizationConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Recover stacked ``(B, K, n_angles)`` angle arrays from codewords (Eq. 8).
+
+    Eq. (8) is element-wise, so one vectorised evaluation covers the whole
+    batch; combine with
+    :func:`repro.feedback.givens.reconstruct_v_matrices` to rebuild the
+    ``(B, K, M, N_SS)`` beamforming tensor in a single shot.
+    """
+    return dequantize_phi(q_phi, config), dequantize_psi(q_psi, config)
 
 
 def quantization_roundtrip(

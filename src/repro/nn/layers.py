@@ -185,14 +185,13 @@ class Conv2D(Layer):
         self._input_shape = x.shape
         padded = self._pad(x)
         self._padded_input = padded
-        out_h = padded.shape[2] - kh + 1
-        out_w = padded.shape[3] - kw + 1
-        out = np.zeros((x.shape[0], self.weight.shape[0], out_h, out_w))
-        # Small kernels: accumulate one shifted tensordot per kernel tap.
-        for i in range(kh):
-            for j in range(kw):
-                patch = padded[:, :, i : i + out_h, j : j + out_w]
-                out += np.einsum("bchw,oc->bohw", patch, self.weight[:, :, i, j])
+        # im2col: gather every (kh, kw) window as a view, then contract the
+        # (channel, kh, kw) axes against the kernel in one BLAS matmul.
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, (kh, kw), axis=(2, 3)
+        )  # (batch, c, out_h, out_w, kh, kw)
+        out = np.tensordot(windows, self.weight, axes=([1, 4, 5], [1, 2, 3]))
+        out = np.ascontiguousarray(np.moveaxis(out, 3, 1))
         out += self.bias[np.newaxis, :, np.newaxis, np.newaxis]
         return out
 
@@ -249,7 +248,8 @@ class MaxPool2D(Layer):
             raise LayerError("pool dimensions must be >= 1")
         self.pool_size = (ph, pw)
         self.name = name
-        self._mask: Optional[np.ndarray] = None
+        self._windows: Optional[np.ndarray] = None
+        self._out: Optional[np.ndarray] = None
         self._input_shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -267,20 +267,19 @@ class MaxPool2D(Layer):
         cropped = x[:, :, : out_h * ph, : out_w * pw]
         windows = cropped.reshape(x.shape[0], x.shape[1], out_h, ph, out_w, pw)
         out = windows.max(axis=(3, 5))
-        # Mask of the (first) maximum within each window for the backward pass.
-        expanded = out[:, :, :, np.newaxis, :, np.newaxis]
-        mask = windows == expanded
-        # Keep only one winner per window so the gradient is not duplicated.
-        flat = mask.reshape(*mask.shape[:3], ph, out_w * pw)
-        self._mask = mask
-        self._window_shape = windows.shape
+        # The winner mask is only needed by backward; keep the (view-backed)
+        # windows and the output so it can be built lazily there instead of
+        # paying for the comparison on every inference forward.
+        self._windows = windows
+        self._out = out
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._mask is None or self._input_shape is None:
+        if self._windows is None or self._input_shape is None:
             raise LayerError(f"{self.name}: backward called before forward")
         ph, pw = self.pool_size
-        mask = self._mask
+        # Mask of the maxima within each window (ties normalised below).
+        mask = self._windows == self._out[:, :, :, np.newaxis, :, np.newaxis]
         # Normalise ties so the gradient sums to the output gradient.
         counts = mask.sum(axis=(3, 5), keepdims=True)
         weights = mask / counts

@@ -39,6 +39,7 @@ class TestParser:
             "info": ["data.npz"],
             "train": ["data.npz", "model-dir"],
             "evaluate": ["data.npz", "model-dir"],
+            "authenticate": ["data.npz", "model-dir"],
             "probe": ["data.npz"],
         }
         for command, extra in minimal_arguments.items():
@@ -124,6 +125,29 @@ class TestProbeTrainEvaluate:
         captured = capsys.readouterr().out
         assert code == 0
         assert "accuracy" in captured
+
+        code = main(
+            [
+                "authenticate",
+                str(generated_dataset),
+                str(model_dir),
+                "--split",
+                "S1",
+                "--stride",
+                "16",
+                "--num-classes",
+                "3",
+                "--batch-size",
+                "8",
+                "--window",
+                "4",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "micro-batches" in captured
+        assert "frames/s" in captured
+        assert "verdict module" in captured
 
     def test_unknown_split_is_reported_as_error(self, generated_dataset):
         with pytest.raises(SystemExit):

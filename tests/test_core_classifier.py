@@ -104,6 +104,73 @@ class TestDeepCsiClassifier:
         with pytest.raises(ClassifierError):
             wrong.load(tmp_path / "model")
 
+    def test_save_persists_the_full_configuration(self, d1_train_test, tmp_path):
+        import json
+
+        train, _ = d1_train_test
+        classifier = tiny_classifier()
+        classifier.fit(train)
+        classifier.save(tmp_path / "model")
+        metadata = json.loads((tmp_path / "model" / "metadata.json").read_text())
+        assert metadata["model"]["num_filters"] == TINY_MODEL.num_filters
+        assert tuple(metadata["model"]["kernel_widths"]) == TINY_MODEL.kernel_widths
+        assert metadata["feature"]["stream_indices"] == [0]
+        assert metadata["training"]["batch_size"] == 16
+
+    def test_load_with_wrong_architecture_rejected(self, d1_train_test, tmp_path):
+        train, _ = d1_train_test
+        classifier = tiny_classifier()
+        classifier.fit(train)
+        classifier.save(tmp_path / "model")
+
+        other_model = DeepCsiModelConfig(
+            num_filters=4,
+            kernel_widths=(3,),
+            pool_width=2,
+            dense_units=(8,),
+            dropout_retain=(0.9,),
+            attention_kernel_width=3,
+        )
+        wrong = DeepCsiClassifier(
+            ClassifierConfig(
+                num_classes=3,
+                feature=classifier.config.feature,
+                model=other_model,
+                training=classifier.config.training,
+            )
+        )
+        with pytest.raises(ClassifierError, match="model"):
+            wrong.load(tmp_path / "model")
+
+    def test_load_with_wrong_feature_selection_rejected(
+        self, d1_train_test, tmp_path
+    ):
+        train, _ = d1_train_test
+        classifier = tiny_classifier()
+        classifier.fit(train)
+        classifier.save(tmp_path / "model")
+
+        wrong = DeepCsiClassifier(
+            ClassifierConfig(
+                num_classes=3,
+                feature=FeatureConfig(
+                    stream_indices=(1,),
+                    subcarrier_positions=strided_subcarriers(234, 8),
+                ),
+                model=TINY_MODEL,
+                training=classifier.config.training,
+            )
+        )
+        with pytest.raises(ClassifierError, match="feature"):
+            wrong.load(tmp_path / "model")
+
+    def test_fine_tune_inherits_training_configuration(self, d1_train_test):
+        train, _ = d1_train_test
+        classifier = tiny_classifier(epochs=2)
+        classifier.fit(train)
+        history = classifier.fine_tune(train[:16], epochs=1)
+        assert history.num_epochs == 1
+
     def test_untrained_classifier_refuses_to_predict(self, d1_train_test):
         _, test = d1_train_test
         classifier = tiny_classifier()

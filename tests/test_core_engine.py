@@ -1,0 +1,240 @@
+"""Tests for the batched streaming inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
+from repro.core.engine import ANONYMOUS_SOURCE, EngineError, InferenceEngine
+from repro.core.model import DeepCsiModelConfig
+from repro.datasets.features import FeatureConfig, strided_subcarriers
+from repro.datasets.splits import D1_SPLITS, d1_split
+from repro.feedback.capture import MonitorCapture, SoundingSimulator, station_mac
+from repro.nn.training import TrainingConfig
+from repro.phy.channel import MultipathChannel
+from repro.phy.devices import AccessPoint, make_beamformee
+from repro.phy.geometry import AP_POSITION_A, beamformee_positions
+from repro.phy.ofdm import sounding_layout
+
+TINY_MODEL = DeepCsiModelConfig(
+    num_filters=8,
+    kernel_widths=(5, 3),
+    pool_width=2,
+    dense_units=(16,),
+    dropout_retain=(0.8,),
+    attention_kernel_width=3,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_classifier(tiny_d1):
+    train, _ = d1_split(tiny_d1, D1_SPLITS["S1"], beamformee_id=1)
+    classifier = DeepCsiClassifier(
+        ClassifierConfig(
+            num_classes=3,
+            feature=FeatureConfig(
+                stream_indices=(0,), subcarrier_positions=strided_subcarriers(234, 8)
+            ),
+            model=TINY_MODEL,
+            training=TrainingConfig(
+                epochs=4, batch_size=16, validation_split=0.2,
+                early_stopping_patience=None, seed=0,
+            ),
+            learning_rate=3e-3,
+        )
+    )
+    classifier.fit(train)
+    return classifier
+
+
+@pytest.fixture(scope="module")
+def test_samples(tiny_d1):
+    _, test = d1_split(tiny_d1, D1_SPLITS["S1"], beamformee_id=1)
+    return test
+
+
+class TestPredictMatrices:
+    def test_matches_looped_predict_matrix_exactly(
+        self, trained_classifier, test_samples
+    ):
+        subset = test_samples[:12]
+        v_batch = np.stack([sample.v_tilde for sample in subset], axis=0)
+        ids, confidences = trained_classifier.predict_matrices(v_batch)
+        assert ids.shape == (12,)
+        assert confidences.shape == (12,)
+        for index, sample in enumerate(subset):
+            module_id, confidence = trained_classifier.predict_matrix(sample.v_tilde)
+            assert ids[index] == module_id
+            assert confidences[index] == confidence
+
+    def test_empty_batch_gives_empty_results(self, trained_classifier):
+        ids, confidences = trained_classifier.predict_matrices(
+            np.zeros((0, 29, 3, 2), dtype=complex)
+        )
+        assert ids.shape == (0,)
+        assert confidences.shape == (0,)
+
+    def test_wrong_rank_rejected(self, trained_classifier, test_samples):
+        from repro.core.classifier import ClassifierError
+
+        with pytest.raises(ClassifierError):
+            trained_classifier.predict_matrices(test_samples[0].v_tilde)
+
+
+class TestEngineBatching:
+    def test_drain_matches_per_frame_results(self, trained_classifier, test_samples):
+        engine = InferenceEngine(trained_classifier, batch_size=5)
+        results = engine.drain(test_samples[:13])
+        assert len(results) == 13
+        assert [result.sequence for result in results] == list(range(13))
+        for result, sample in zip(results, test_samples[:13]):
+            module_id, confidence = trained_classifier.predict_matrix(sample.v_tilde)
+            assert result.predicted_module_id == module_id
+            assert result.confidence == confidence
+
+    def test_submit_buffers_until_batch_is_full(
+        self, trained_classifier, test_samples
+    ):
+        engine = InferenceEngine(trained_classifier, batch_size=4)
+        outputs = []
+        for sample in test_samples[:6]:
+            outputs.append(engine.submit(sample))
+        # The first three submissions buffer; the fourth releases the batch.
+        assert [len(batch) for batch in outputs] == [0, 0, 0, 4, 0, 0]
+        assert len(engine.flush()) == 2
+        assert engine.stats.frames_in == 6
+        assert engine.stats.frames_out == 6
+        assert engine.stats.batches == 2
+
+    def test_max_latency_forces_partial_batches(
+        self, trained_classifier, test_samples
+    ):
+        engine = InferenceEngine(
+            trained_classifier, batch_size=64, max_latency_frames=2
+        )
+        outputs = [engine.submit(sample) for sample in test_samples[:4]]
+        assert [len(batch) for batch in outputs] == [0, 2, 0, 2]
+
+    def test_stream_yields_every_result(self, trained_classifier, test_samples):
+        engine = InferenceEngine(trained_classifier, batch_size=4)
+        results = list(engine.stream(test_samples[:7]))
+        assert len(results) == 7
+        assert engine.stats.mean_batch_size == pytest.approx(3.5)
+        assert engine.stats.frames_per_second > 0.0
+
+    def test_mixed_geometries_keep_input_order(self, trained_classifier, test_samples):
+        # The classifier was trained on (K, M, N_SS) = (234, 3, 2) inputs;
+        # feed the same geometry through both the array and sample branches.
+        engine = InferenceEngine(trained_classifier, batch_size=8)
+        observations = [
+            test_samples[0],
+            np.asarray(test_samples[1].v_tilde),
+            test_samples[2],
+        ]
+        results = engine.drain(observations)
+        expected = [
+            trained_classifier.predict_matrix(test_samples[index].v_tilde)[0]
+            for index in range(3)
+        ]
+        assert [result.predicted_module_id for result in results] == expected
+
+    def test_invalid_configuration_rejected(self, trained_classifier):
+        with pytest.raises(EngineError):
+            InferenceEngine(trained_classifier, batch_size=0)
+        with pytest.raises(EngineError):
+            InferenceEngine(trained_classifier, max_latency_frames=0)
+        with pytest.raises(EngineError):
+            InferenceEngine(trained_classifier, vote_window=0)
+
+    def test_invalid_observation_rejected(self, trained_classifier):
+        engine = InferenceEngine(trained_classifier)
+        with pytest.raises(EngineError):
+            engine.submit(np.zeros((4, 4)))
+
+
+class TestEngineVoting:
+    def test_per_source_ring_buffers_and_verdicts(
+        self, trained_classifier, test_samples
+    ):
+        engine = InferenceEngine(trained_classifier, batch_size=4, vote_window=3)
+        for sample in test_samples[:6]:
+            engine.submit(sample, source="alice")
+        for sample in test_samples[6:10]:
+            engine.submit(sample, source="bob")
+        engine.flush()
+        assert engine.sources == ["alice", "bob"]
+        verdict = engine.verdict("alice")
+        # The window is capped at vote_window results.
+        assert verdict.window_size == 3
+        assert 1 <= verdict.num_votes <= 3
+        assert 0.0 <= verdict.confidence <= 1.0
+
+    def test_anonymous_observations_share_a_window(
+        self, trained_classifier, test_samples
+    ):
+        engine = InferenceEngine(trained_classifier, batch_size=2)
+        engine.drain(test_samples[:4])
+        verdict = engine.verdict()
+        assert verdict.window_size == 4
+        assert engine.sources == [ANONYMOUS_SOURCE]
+
+    def test_unknown_source_rejected(self, trained_classifier):
+        engine = InferenceEngine(trained_classifier)
+        with pytest.raises(EngineError):
+            engine.verdict("nobody")
+
+    def test_source_windows_are_bounded(self, trained_classifier, test_samples):
+        engine = InferenceEngine(trained_classifier, batch_size=1, max_sources=2)
+        for index in range(4):
+            engine.submit(test_samples[index], source=f"station-{index}")
+        # Only the two most recently seen sources keep a ring buffer.
+        assert engine.sources == ["station-2", "station-3"]
+        with pytest.raises(EngineError):
+            engine.verdict("station-0")
+        # A recently-updated source survives eviction over a stale one.
+        engine.submit(test_samples[0], source="station-2")
+        engine.submit(test_samples[1], source="station-4")
+        assert engine.sources == ["station-2", "station-4"]
+
+    def test_reset_clears_state(self, trained_classifier, test_samples):
+        engine = InferenceEngine(trained_classifier, batch_size=2)
+        engine.drain(test_samples[:4])
+        engine.reset()
+        assert engine.stats.frames_in == 0
+        assert engine.sources == []
+        results = engine.drain(test_samples[:2])
+        assert results[0].sequence == 0
+
+
+class TestEngineOnSniffedFrames:
+    def test_raw_frames_take_the_batched_givens_path(
+        self, trained_classifier, small_modules
+    ):
+        layout = sounding_layout(80)
+        access_point = AccessPoint(module=small_modules[0], position=AP_POSITION_A)
+        bf_pos, _ = beamformee_positions(3)
+        beamformee = make_beamformee(
+            1, bf_pos, num_antennas=2, num_streams=2, seed=5 + 10_000
+        )
+        simulator = SoundingSimulator(
+            access_point=access_point,
+            beamformees=[beamformee],
+            channel=MultipathChannel(num_scatterers=8, environment_seed=11),
+            layout=layout,
+        )
+        capture = MonitorCapture()
+        simulator.sound_many(5, np.random.default_rng(0), capture=capture)
+
+        engine = InferenceEngine(trained_classifier, batch_size=3)
+        results = engine.drain(capture.frames)
+        assert len(results) == 5
+        assert all(result.source == station_mac(1) for result in results)
+        # The batched frame decode must agree with the scalar capture path.
+        reconstructed = capture.reconstruct()
+        for result, feedback in zip(results, reconstructed):
+            module_id, confidence = trained_classifier.predict_matrix(
+                feedback.v_tilde
+            )
+            assert result.predicted_module_id == module_id
+            assert result.confidence == pytest.approx(confidence, abs=1e-12)
+        verdict = engine.verdict(station_mac(1))
+        assert verdict.window_size == 5

@@ -134,3 +134,60 @@ class TestCaptureAuthentication:
         verdict = trained_pipeline.majority_vote(results)
         assert verdict.predicted_module_id == 1
         assert verdict.confidence == pytest.approx(0.85)
+
+    def test_majority_vote_rejects_inconsistent_claims(self, trained_pipeline):
+        results = [
+            AuthenticationResult(
+                predicted_module_id=1, confidence=0.9, accepted=True,
+                claimed_module_id=1,
+            ),
+            AuthenticationResult(
+                predicted_module_id=1, confidence=0.8, accepted=False,
+                claimed_module_id=2,
+            ),
+        ]
+        with pytest.raises(PipelineError):
+            trained_pipeline.majority_vote(results)
+
+    def test_majority_vote_rejects_mixed_open_and_claimed(self, trained_pipeline):
+        results = [
+            AuthenticationResult(
+                predicted_module_id=1, confidence=0.9, accepted=True,
+                claimed_module_id=1,
+            ),
+            AuthenticationResult(
+                predicted_module_id=1, confidence=0.8, accepted=True,
+            ),
+        ]
+        with pytest.raises(PipelineError):
+            trained_pipeline.majority_vote(results)
+
+    def test_majority_vote_keeps_consistent_claim(self, trained_pipeline):
+        results = [
+            AuthenticationResult(
+                predicted_module_id=2, confidence=0.9, accepted=True,
+                claimed_module_id=2,
+            ),
+            AuthenticationResult(
+                predicted_module_id=2, confidence=0.7, accepted=True,
+                claimed_module_id=2,
+            ),
+        ]
+        verdict = trained_pipeline.majority_vote(results)
+        assert verdict.claimed_module_id == 2
+        assert verdict.accepted
+
+    def test_authenticate_batch_matches_per_frame_path(
+        self, trained_pipeline, test_samples
+    ):
+        subset = test_samples[:9]
+        batched = trained_pipeline.authenticate_batch(subset, batch_size=4)
+        for sample, result in zip(subset, batched):
+            single = trained_pipeline.authenticate(sample)
+            assert result.predicted_module_id == single.predicted_module_id
+            assert result.confidence == pytest.approx(single.confidence, abs=1e-12)
+            assert result.accepted == single.accepted
+
+    def test_authenticate_batch_rejects_empty_input(self, trained_pipeline):
+        with pytest.raises(PipelineError):
+            trained_pipeline.authenticate_batch([])
