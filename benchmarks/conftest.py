@@ -14,6 +14,7 @@ The profile is selected with the ``REPRO_PROFILE`` environment variable
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -40,9 +41,16 @@ def record():
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
+    smoke = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
     def _record(name: str, text: str) -> None:
         print()
         print(text)
+        if smoke:
+            # Smoke shapes (CI) prove the gate logic, not the numbers; never
+            # let them overwrite the committed full-workload artifacts that
+            # README/EXPERIMENTS cite.
+            return
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _record

@@ -1,0 +1,95 @@
+"""Link- and rot-checker for the repository documentation.
+
+Three checks, all offline:
+
+1. every relative markdown link in ``README.md`` / ``docs/*.md`` resolves to
+   an existing file or directory;
+2. every backticked repository path (a token containing ``/`` and ending in
+   ``.py``/``.md``/``.txt``) in those documents exists;
+3. ``docs/EXPERIMENTS.md`` mentions every ``src/repro/experiments/fig*.py``
+   module and every ``benchmarks/bench_fig*.py`` gate, so adding a figure
+   without documenting it fails CI.
+
+Run from the repository root (CI does)::
+
+    python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` markdown links.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+#: Backticked tokens that look like repository paths.
+PATH_PATTERN = re.compile(r"`([^`\s]+/[^`\s]+\.(?:py|md|txt))`")
+#: Link schemes that are not file references.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _documents() -> list[Path]:
+    return [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+
+def _check_links(document: Path, errors: list[str]) -> None:
+    text = document.read_text()
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1).strip()
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (document.parent / path).resolve()
+        if not resolved.exists():
+            errors.append(f"{document.relative_to(REPO_ROOT)}: broken link {target!r}")
+    for match in PATH_PATTERN.finditer(text):
+        token = match.group(1)
+        if any(marker in token for marker in ("<", ">", "*", "…")):
+            continue
+        if not (REPO_ROOT / token).exists():
+            errors.append(
+                f"{document.relative_to(REPO_ROOT)}: dangling path reference "
+                f"`{token}`"
+            )
+
+
+def _check_experiment_coverage(errors: list[str]) -> None:
+    experiments_doc = REPO_ROOT / "docs" / "EXPERIMENTS.md"
+    if not experiments_doc.exists():
+        errors.append("docs/EXPERIMENTS.md is missing")
+        return
+    text = experiments_doc.read_text()
+    required = sorted(
+        str(path.relative_to(REPO_ROOT))
+        for pattern in ("src/repro/experiments/fig*.py", "benchmarks/bench_fig*.py")
+        for path in REPO_ROOT.glob(pattern)
+    )
+    for path in required:
+        if path not in text:
+            errors.append(f"docs/EXPERIMENTS.md: does not mention {path}")
+
+
+def main() -> int:
+    errors: list[str] = []
+    for document in _documents():
+        if not document.exists():
+            errors.append(f"missing document: {document.relative_to(REPO_ROOT)}")
+            continue
+        _check_links(document, errors)
+    _check_experiment_coverage(errors)
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    documents = ", ".join(str(d.relative_to(REPO_ROOT)) for d in _documents())
+    print(f"doc links ok: {documents}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface of the DeepCSI reproduction.
 
-Six sub-commands cover the everyday workflow without writing Python:
+Seven sub-commands cover the everyday workflow without writing Python:
 
 * ``repro-csi generate`` -- synthesise dataset D1 or D2 and store it as a
   compressed ``.npz`` archive.
@@ -12,6 +12,10 @@ Six sub-commands cover the everyday workflow without writing Python:
 * ``repro-csi authenticate`` -- stream a dataset split through the batched
   :class:`~repro.core.engine.InferenceEngine` (micro-batched hot path) and
   report per-module verdicts plus throughput.
+* ``repro-csi serve`` -- emulate the always-on observer: interleave the
+  split's modules into one multi-source stream and push it through the
+  sharded :class:`~repro.core.service.StreamingService` worker pool
+  (async ingestion, periodic stats dumps, per-source verdicts).
 * ``repro-csi probe`` -- run the cheap linear separability probe on a split
   (useful to sanity-check a dataset before paying for CNN training).
 
@@ -30,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.separability import linear_probe_accuracy
 from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
 from repro.core.engine import InferenceEngine
+from repro.core.service import ServiceError, StreamingService
 from repro.core.model import FAST_MODEL_CONFIG, PAPER_MODEL_CONFIG
 from repro.datasets.containers import FeedbackDataset, FeedbackSample
 from repro.datasets.features import FeatureConfig, strided_subcarriers
@@ -142,18 +147,25 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_evaluate(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset_path)
-    _, test = _apply_split(dataset, args.split, args.beamformee)
-    feature = _feature_config(test, args.stride, args.stream)
-    num_classes = max(s.module_id for s in test) + 1
+def _load_classifier(
+    args: argparse.Namespace, samples: Sequence[FeedbackSample]
+) -> DeepCsiClassifier:
+    """Restore the stored model for the geometry of ``samples``."""
+    feature = _feature_config(samples, args.stride, args.stream)
+    num_classes = max(s.module_id for s in samples) + 1
     config = ClassifierConfig(
         num_classes=max(num_classes, args.num_classes),
         feature=feature,
         model=PAPER_MODEL_CONFIG if args.paper_model else FAST_MODEL_CONFIG,
         seed=args.seed,
     )
-    classifier = DeepCsiClassifier(config).load(args.model_dir)
+    return DeepCsiClassifier(config).load(args.model_dir)
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset_path)
+    _, test = _apply_split(dataset, args.split, args.beamformee)
+    classifier = _load_classifier(args, test)
     report = classifier.evaluate(test, label=f"{args.split} / beamformee {args.beamformee}")
     print(report)
     return 0
@@ -162,15 +174,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_authenticate(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset_path)
     _, test = _apply_split(dataset, args.split, args.beamformee)
-    feature = _feature_config(test, args.stride, args.stream)
-    num_classes = max(s.module_id for s in test) + 1
-    config = ClassifierConfig(
-        num_classes=max(num_classes, args.num_classes),
-        feature=feature,
-        model=PAPER_MODEL_CONFIG if args.paper_model else FAST_MODEL_CONFIG,
-        seed=args.seed,
-    )
-    classifier = DeepCsiClassifier(config).load(args.model_dir)
+    classifier = _load_classifier(args, test)
     engine = InferenceEngine(
         classifier,
         batch_size=args.batch_size,
@@ -201,6 +205,103 @@ def _cmd_authenticate(args: argparse.Namespace) -> int:
     print(f"  frame accuracy: {100.0 * correct / len(results):.2f}%")
     for source in engine.sources:
         verdict = engine.verdict(source)
+        print(
+            f"  {source}: verdict module {verdict.module_id} "
+            f"(confidence {verdict.confidence:.2f}, "
+            f"{verdict.num_votes}/{verdict.window_size} votes in window)"
+        )
+    return 0
+
+
+def _interleave_by_module(
+    samples: Sequence[FeedbackSample],
+) -> List[Tuple[str, FeedbackSample]]:
+    """Round-robin the samples of every module into one multi-source stream.
+
+    Emulates the traffic an always-on observer sees: many beamformers sound
+    concurrently, so consecutive captured frames usually belong to different
+    sources.
+    """
+    groups: dict = {}
+    for sample in samples:
+        groups.setdefault(f"module-{sample.module_id:02d}", []).append(sample)
+    names = sorted(groups)
+    stream: List[Tuple[str, FeedbackSample]] = []
+    position = 0
+    while True:
+        row = [
+            (name, groups[name][position])
+            for name in names
+            if position < len(groups[name])
+        ]
+        if not row:
+            return stream
+        stream.extend(row)
+        position += 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.repeat < 1:
+        raise CliError("--repeat must be >= 1")
+    dataset = load_dataset(args.dataset_path)
+    _, test = _apply_split(dataset, args.split, args.beamformee)
+    classifier = _load_classifier(args, test)
+    stream = _interleave_by_module(test) * args.repeat
+    labels = [sample.module_id for _, sample in stream]
+    print(
+        f"serving {len(stream)} frames from "
+        f"{len({source for source, _ in stream})} sources through "
+        f"{args.workers} workers (queue depth {args.queue_depth}, "
+        f"batch size {args.batch_size})"
+    )
+    with StreamingService(
+        classifier,
+        num_workers=args.workers,
+        queue_depth=args.queue_depth,
+        batch_size=args.batch_size,
+        max_latency_frames=args.max_latency_frames,
+        vote_window=args.window,
+    ) as service:
+        results = []
+        for submitted, (source, sample) in enumerate(stream, start=1):
+            service.submit(sample, source=source)
+            results.extend(service.collect())
+            if args.stats_every and submitted % args.stats_every == 0:
+                stats = service.stats
+                print(
+                    f"[stats] in={stats.frames_in} out={stats.frames_out} "
+                    f"batches={stats.batches} "
+                    f"inference_fps={stats.frames_per_second:.1f} "
+                    f"wall_fps={stats.wall_frames_per_second:.1f} "
+                    f"queue_full_waits={stats.queue_full_waits}"
+                )
+        service.flush()
+        results.extend(service.collect())
+        stats = service.stats
+        sources = service.sources
+        verdicts = {source: service.verdict(source) for source in sources}
+
+    correct = sum(
+        result.predicted_module_id == labels[result.sequence] for result in results
+    )
+    print(
+        f"served {stats.frames_out} frames in {stats.batches} micro-batches "
+        f"across {stats.num_workers} workers "
+        f"(mean batch {stats.mean_batch_size:.1f})"
+    )
+    print(
+        f"  throughput: {stats.frames_per_second:.1f} frames/s inference, "
+        f"{stats.wall_frames_per_second:.1f} frames/s wall "
+        f"({stats.queue_full_waits} backpressure stalls)"
+    )
+    for index, worker in enumerate(stats.worker_stats):
+        print(
+            f"  worker {index}: {worker.frames_out} frames in "
+            f"{worker.batches} batches ({worker.frames_per_second:.1f} frames/s)"
+        )
+    print(f"  frame accuracy: {100.0 * correct / len(results):.2f}%")
+    for source in sources:
+        verdict = verdicts[source]
         print(
             f"  {source}: verdict module {verdict.module_id} "
             f"(confidence {verdict.confidence:.2f}, "
@@ -304,6 +405,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     authenticate.set_defaults(handler=_cmd_authenticate)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the sharded multi-worker streaming service on a split",
+    )
+    _add_dataset_arguments(serve)
+    serve.add_argument("model_dir")
+    serve.add_argument("--num-classes", type=int, default=10)
+    serve.add_argument("--paper-model", action="store_true")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="number of sharded inference workers",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        help="per-shard ingestion queue bound (backpressure beyond this)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="micro-batch size of every shard's inference engine",
+    )
+    serve.add_argument(
+        "--max-latency-frames",
+        type=int,
+        default=None,
+        help="force a partial batch after this many buffered frames per shard",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=16,
+        help="per-source ring-buffer length for the windowed majority vote",
+    )
+    serve.add_argument(
+        "--stats-every",
+        type=int,
+        default=0,
+        help="dump service stats every N submitted frames (0 disables)",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="loop the interleaved stream this many times (sustained load)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     probe = subparsers.add_parser(
         "probe", help="linear separability probe on a dataset split"
     )
@@ -319,7 +472,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (CliError, ValueError, FileNotFoundError) as error:
+    except (CliError, ServiceError, ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -10,8 +10,14 @@
   textual report rendering.
 * :mod:`repro.core.engine` -- the batched streaming inference engine every
   consumer of per-frame classification routes through.
+* :mod:`repro.core.service` -- the sharded multi-worker streaming service:
+  a pool of engines behind bounded async ingestion queues, with stable
+  source-to-shard routing and aggregated throughput counters.
 * :mod:`repro.core.pipeline` -- an end-to-end authentication pipeline built
   on the monitor-mode capture path.
+
+See ``docs/ARCHITECTURE.md`` for the layer diagram and the data flow from
+the PHY simulation down to the CLI.
 """
 
 from repro.core.model import DeepCsiModelConfig, build_deepcsi_model, PAPER_MODEL_CONFIG
@@ -30,6 +36,12 @@ from repro.core.engine import (
     EngineStats,
     InferenceEngine,
     MajorityVerdict,
+)
+from repro.core.service import (
+    ServiceError,
+    ServiceStats,
+    StreamingService,
+    shard_for_source,
 )
 from repro.core.pipeline import AuthenticationPipeline, AuthenticationResult
 from repro.core.openset import OpenSetAuthenticator, OpenSetMetrics, evaluate_open_set
@@ -53,6 +65,10 @@ __all__ = [
     "EngineStats",
     "InferenceEngine",
     "MajorityVerdict",
+    "ServiceError",
+    "ServiceStats",
+    "StreamingService",
+    "shard_for_source",
     "AuthenticationPipeline",
     "AuthenticationResult",
     "OpenSetAuthenticator",

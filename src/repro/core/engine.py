@@ -24,7 +24,10 @@ streaming one:
   benchmarks and the CLI.
 
 Every consumer of per-frame classification (the authentication pipeline,
-the CLI, the throughput benchmark) routes through this engine.
+the CLI, the throughput benchmark) routes through this engine.  The engine
+itself is single-threaded; :class:`repro.core.service.StreamingService`
+scales it out to a sharded multi-worker pool with asynchronous ingestion
+while preserving the per-source semantics defined here.
 """
 
 from __future__ import annotations
@@ -109,6 +112,10 @@ class EngineStats:
     ``inference_seconds`` only accounts for time spent inside batch
     processing (decode + feature extraction + CNN forward), not for the time
     frames spent waiting in the buffer.
+
+    The derived :attr:`frames_per_second` and :attr:`mean_batch_size` are
+    safe to read at any time: on a fresh or freshly-reset engine (no batch
+    processed yet) they return ``0.0`` instead of dividing by zero.
     """
 
     frames_in: int = 0
@@ -166,6 +173,18 @@ class InferenceEngine:
         observer sees an unbounded set of source addresses (spoofed MACs
         included); beyond this many the least-recently-seen source's window
         is evicted so memory stays bounded.
+
+    Example
+    -------
+    ::
+
+        engine = InferenceEngine(classifier, batch_size=64)
+        for frame in sniffer:                    # any Observation type
+            for result in engine.submit(frame):  # [] until a batch is due
+                handle(result)
+        engine.flush()                           # classify the partial batch
+        verdict = engine.verdict(source)         # windowed majority vote
+        print(engine.stats.frames_per_second)
     """
 
     def __init__(

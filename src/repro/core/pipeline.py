@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.classifier import DeepCsiClassifier
 from repro.core.engine import InferenceEngine
+from repro.core.service import StreamingService
 from repro.datasets.containers import FeedbackSample
 from repro.feedback.capture import CapturedFeedback, MonitorCapture
 from repro.feedback.frames import FeedbackFrame, parse_feedback_frame
@@ -135,16 +136,30 @@ class AuthenticationPipeline:
         ],
         claimed_module_id: Optional[int] = None,
         batch_size: int = 64,
+        workers: int = 1,
     ) -> List[AuthenticationResult]:
-        """Authenticate many observations through the batched engine."""
+        """Authenticate many observations through the batched engine.
+
+        With ``workers > 1`` the observations are routed through a sharded
+        :class:`~repro.core.service.StreamingService` (one engine per worker,
+        sources assigned to shards by stable hash); the per-frame decisions
+        are identical to the single-engine path and returned in input order.
+        """
         if not observations:
             raise PipelineError("cannot authenticate an empty observation list")
-        engine = InferenceEngine(self.classifier, batch_size=batch_size)
+        if workers > 1:
+            with StreamingService(
+                self.classifier, num_workers=workers, batch_size=batch_size
+            ) as service:
+                results = service.drain(observations)
+        else:
+            engine = InferenceEngine(self.classifier, batch_size=batch_size)
+            results = engine.drain(observations)
         return [
             self._decide(
                 result.predicted_module_id, result.confidence, claimed_module_id
             )
-            for result in engine.drain(observations)
+            for result in results
         ]
 
     def authenticate_capture(
@@ -153,18 +168,24 @@ class AuthenticationPipeline:
         source_address: Optional[str] = None,
         claimed_module_id: Optional[int] = None,
         batch_size: int = 64,
+        workers: int = 1,
     ) -> List[AuthenticationResult]:
         """Authenticate every matching frame stored in a monitor capture.
 
         The frames are decoded and classified in micro-batches of
         ``batch_size`` through the :class:`~repro.core.engine.InferenceEngine`
-        hot path instead of one CNN forward per frame.
+        hot path instead of one CNN forward per frame.  ``workers > 1``
+        spreads the capture's sources over a sharded
+        :class:`~repro.core.service.StreamingService` worker pool.
         """
         frames = capture.filter(source_address=source_address)
         if not frames:
             raise PipelineError("the capture contains no matching feedback frames")
         return self.authenticate_batch(
-            frames, claimed_module_id=claimed_module_id, batch_size=batch_size
+            frames,
+            claimed_module_id=claimed_module_id,
+            batch_size=batch_size,
+            workers=workers,
         )
 
     def majority_vote(

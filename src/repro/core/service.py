@@ -1,0 +1,482 @@
+"""Sharded multi-worker streaming service on top of the inference engine.
+
+One :class:`~repro.core.engine.InferenceEngine` is a single-threaded hot
+path.  The deployment scenario of the paper (an always-on monitor-mode
+observer in a dense network) has to fingerprint the beamforming feedback of
+*many* concurrent beamformees, so :class:`StreamingService` scales the engine
+out:
+
+* the service owns a pool of ``num_workers`` shards, each with its own
+  private :class:`~repro.core.engine.InferenceEngine` (and its own deep copy
+  of the classifier, so forward-pass activation caches are never shared
+  between threads);
+* every observation is routed to a shard by a *stable hash* of its source
+  address (:func:`shard_for_source`).  One source never spans two shards,
+  which preserves the per-source ring-buffer and majority-verdict semantics
+  of the single engine exactly;
+* ingestion is asynchronous: :meth:`StreamingService.submit` enqueues the
+  observation into the shard's bounded queue and returns immediately.  When
+  a queue is full the submitter blocks (backpressure) instead of growing
+  memory without bound; the number of such stalls is counted in
+  :attr:`ServiceStats.queue_full_waits`;
+* frame parsing, Givens reconstruction, feature extraction and the CNN
+  forward all run on the worker threads, in micro-batches, exactly as in the
+  single engine;
+* :attr:`StreamingService.stats` aggregates the per-shard
+  :class:`~repro.core.engine.EngineStats` into service-level throughput and
+  latency counters.
+
+Because each shard batches the traffic of *all* the sources hashed to it,
+the service amortises the per-batch cost across sources: many low-rate
+beamformees together still produce full micro-batches.  On multi-core
+hardware the worker threads additionally overlap the BLAS-heavy CNN forwards
+of different shards.
+
+Typical usage::
+
+    with StreamingService(classifier, num_workers=4) as service:
+        for frame in sniffer:
+            service.submit(frame)          # returns immediately; workers batch
+        service.flush()                    # barrier: classify partial batches
+        for result in service.collect():   # completed EngineResults
+            ...
+        print(service.verdict(source))     # same semantics as the engine
+        print(service.stats.wall_frames_per_second)
+"""
+
+from __future__ import annotations
+
+import copy
+import queue
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.classifier import DeepCsiClassifier
+from repro.core.engine import (
+    ANONYMOUS_SOURCE,
+    EngineResult,
+    EngineStats,
+    InferenceEngine,
+    MajorityVerdict,
+    Observation,
+)
+from repro.feedback.capture import CapturedFeedback
+from repro.feedback.frames import FeedbackFrame
+
+
+class ServiceError(RuntimeError):
+    """Raised for invalid service usage or when a worker shard failed."""
+
+
+def shard_for_source(source: str, num_shards: int) -> int:
+    """Stable shard index of a source address.
+
+    The index is ``crc32(source) % num_shards``: deterministic across runs,
+    processes and platforms, so a given source address is always handled by
+    the same shard (the sharding invariant the per-source ring buffers rely
+    on).
+
+    >>> shard_for_source("02:00:00:00:00:01", 4) == shard_for_source("02:00:00:00:00:01", 4)
+    True
+    >>> all(0 <= shard_for_source(f"02:00:00:00:00:{i:02x}", 4) < 4 for i in range(256))
+    True
+    """
+    if num_shards < 1:
+        raise ServiceError("num_shards must be >= 1")
+    return zlib.crc32(source.encode("utf-8")) % num_shards
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregated throughput counters of one :class:`StreamingService`.
+
+    A snapshot: reading :attr:`StreamingService.stats` sums the per-shard
+    :class:`~repro.core.engine.EngineStats` at that instant.
+
+    Attributes
+    ----------
+    num_workers:
+        Number of worker shards.
+    frames_in:
+        Observations accepted by :meth:`StreamingService.submit`.
+    frames_out:
+        Observations classified by the worker engines so far.
+    batches:
+        Micro-batches processed across all shards.
+    inference_seconds:
+        Summed in-batch processing time of all shards (on multi-core
+        hardware this exceeds the wall-clock time because shards overlap).
+    queue_full_waits:
+        Number of times a submitter blocked on a full shard queue
+        (backpressure events).
+    wall_seconds:
+        Wall-clock seconds since the service started.
+    worker_stats:
+        Per-shard :class:`~repro.core.engine.EngineStats` snapshots.
+    """
+
+    num_workers: int
+    frames_in: int = 0
+    frames_out: int = 0
+    batches: int = 0
+    inference_seconds: float = 0.0
+    queue_full_waits: int = 0
+    wall_seconds: float = 0.0
+    worker_stats: Tuple[EngineStats, ...] = ()
+
+    @property
+    def frames_per_second(self) -> float:
+        """Classified frames per second of summed shard inference time."""
+        if self.inference_seconds <= 0.0:
+            return 0.0
+        return self.frames_out / self.inference_seconds
+
+    @property
+    def wall_frames_per_second(self) -> float:
+        """Classified frames per wall-clock second of service uptime."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.frames_out / self.wall_seconds
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average frames per micro-batch across all shards."""
+        if self.batches == 0:
+            return 0.0
+        return self.frames_out / self.batches
+
+
+@dataclass
+class _FlushRequest:
+    """Control token: flush the shard engine, then signal ``done``."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    stop: bool = False
+
+
+@dataclass
+class _Shard:
+    """One worker: a private engine, its queue and its bookkeeping."""
+
+    index: int
+    engine: InferenceEngine
+    queue: "queue.Queue"
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Global sequence numbers of the observations handed to the engine, in
+    #: order; popped as the engine emits their results.
+    sequences: Deque[int] = field(default_factory=deque)
+    thread: Optional[threading.Thread] = None
+
+
+class StreamingService:
+    """Sharded multi-worker streaming classification service.
+
+    Parameters
+    ----------
+    classifier:
+        A trained (or loaded) :class:`~repro.core.classifier.DeepCsiClassifier`.
+        Each shard works on a private deep copy, so results are bitwise
+        identical to the single-engine path while the threads never share
+        mutable model state.
+    num_workers:
+        Number of worker shards (and threads).
+    queue_depth:
+        Bound of each shard's ingestion queue.  A full queue blocks the
+        submitter (backpressure) instead of buffering without limit.
+    batch_size / max_latency_frames / vote_window / max_sources:
+        Forwarded to every shard's :class:`~repro.core.engine.InferenceEngine`.
+        ``max_sources`` bounds the ring buffers *per shard*, so the service
+        keeps at most ``num_workers * max_sources`` source windows alive.
+
+    Notes
+    -----
+    The service starts its worker threads on construction and is also a
+    context manager; leaving the ``with`` block calls :meth:`close`.
+
+    Results become available asynchronously: :meth:`collect` pops whatever
+    completed, :meth:`drain` is the synchronous convenience wrapper, and
+    :meth:`flush` is the barrier that forces partial batches through.
+    Completed results preserve the submission order *per source* (one source
+    never spans two shards); results of different sources may interleave in
+    any order.  :attr:`EngineResult.sequence` carries the service-wide
+    submission index, so a caller that needs the global order can sort on it
+    (:meth:`drain` already does).
+    """
+
+    def __init__(
+        self,
+        classifier: DeepCsiClassifier,
+        num_workers: int = 4,
+        queue_depth: int = 256,
+        batch_size: int = 64,
+        max_latency_frames: Optional[int] = None,
+        vote_window: int = 16,
+        max_sources: int = 1024,
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError("num_workers must be >= 1")
+        if queue_depth < 1:
+            raise ServiceError("queue_depth must be >= 1")
+        self.num_workers = num_workers
+        self.queue_depth = queue_depth
+        self._shards: List[_Shard] = []
+        self._completed: Deque[EngineResult] = deque()
+        self._failure: Optional[BaseException] = None
+        self._closed = False
+        self._frames_in = 0
+        self._queue_full_waits = 0
+        self._submit_lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        for index in range(num_workers):
+            engine = InferenceEngine(
+                copy.deepcopy(classifier),
+                batch_size=batch_size,
+                max_latency_frames=max_latency_frames,
+                vote_window=vote_window,
+                max_sources=max_sources,
+            )
+            shard = _Shard(
+                index=index, engine=engine, queue=queue.Queue(maxsize=queue_depth)
+            )
+            shard.thread = threading.Thread(
+                target=self._worker_loop,
+                args=(shard,),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            self._shards.append(shard)
+        for shard in self._shards:
+            shard.thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _source_key(observation: Observation, source: Optional[str]) -> str:
+        """Resolve the routing key exactly like the engine resolves sources."""
+        if source is not None:
+            return source
+        if isinstance(observation, (FeedbackFrame, CapturedFeedback)):
+            return observation.source_address
+        return ANONYMOUS_SOURCE
+
+    def submit(self, observation: Observation, source: Optional[str] = None) -> None:
+        """Enqueue one observation for asynchronous classification.
+
+        Routes by the stable hash of the source address (frames and captured
+        feedbacks carry their own, ``source`` overrides it) and returns as
+        soon as the observation sits in the shard's queue.  Blocks only when
+        that queue is full (backpressure).
+
+        Safe to call from several producer threads at once (the service-wide
+        sequence stamp is taken under a lock, and sources on the same shard
+        still serialise through that shard's queue).  :meth:`flush` and
+        :meth:`close` are barriers over *prior* submissions only, so don't
+        race them against in-flight :meth:`submit` calls.
+        """
+        self._check_usable()
+        key = self._source_key(observation, source)
+        shard = self._shards[shard_for_source(key, self.num_workers)]
+        with self._submit_lock:
+            item = (self._frames_in, observation, key)
+            self._frames_in += 1
+        try:
+            shard.queue.put_nowait(item)
+        except queue.Full:
+            with self._submit_lock:
+                self._queue_full_waits += 1
+            shard.queue.put(item)
+
+    def flush(self) -> None:
+        """Barrier: classify every queued observation, partial batches included.
+
+        Returns once every shard has processed everything submitted before
+        the call; the results are then available through :meth:`collect`.
+        """
+        self._check_usable()
+        requests = []
+        for shard in self._shards:
+            request = _FlushRequest()
+            shard.queue.put(request)
+            requests.append(request)
+        for request in requests:
+            request.done.wait()
+        self._check_failure()
+
+    def collect(self) -> List[EngineResult]:
+        """Pop every result completed so far (per-source submission order)."""
+        self._check_failure()
+        results: List[EngineResult] = []
+        while True:
+            try:
+                results.append(self._completed.popleft())
+            except IndexError:
+                return results
+
+    def stream(
+        self,
+        observations: Iterable[Observation],
+        source: Optional[str] = None,
+    ) -> Iterator[EngineResult]:
+        """Submit an iterable, yielding results as the workers complete them.
+
+        The final partial batches are flushed when the iterable is
+        exhausted, so every submitted observation yields a result.  Results
+        arrive in per-shard completion order; sort on
+        :attr:`EngineResult.sequence` for the global submission order.
+        """
+        for observation in observations:
+            self.submit(observation, source=source)
+            yield from self.collect()
+        self.flush()
+        yield from self.collect()
+
+    def drain(
+        self,
+        observations: Iterable[Observation],
+        source: Optional[str] = None,
+    ) -> List[EngineResult]:
+        """Classify a whole iterable and return results in submission order."""
+        results = list(self.stream(observations, source=source))
+        results.sort(key=lambda result: result.sequence)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Verdicts and introspection
+    # ------------------------------------------------------------------ #
+    def verdict(self, source: Optional[str] = None) -> MajorityVerdict:
+        """Windowed majority vote for one source (see the engine method).
+
+        The vote runs on the single shard that owns the source, so it is
+        identical to the verdict a single shared engine would produce for
+        the same per-source result stream.
+        """
+        key = ANONYMOUS_SOURCE if source is None else source
+        shard = self._shards[shard_for_source(key, self.num_workers)]
+        with shard.lock:
+            return shard.engine.verdict(key)
+
+    @property
+    def sources(self) -> List[str]:
+        """Sources with at least one classified observation, across shards."""
+        names: List[str] = []
+        for shard in self._shards:
+            with shard.lock:
+                names.extend(shard.engine.sources)
+        return sorted(names)
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Aggregated service-level counters (a point-in-time snapshot)."""
+        worker_stats = []
+        for shard in self._shards:
+            with shard.lock:
+                worker_stats.append(replace(shard.engine.stats))
+        return ServiceStats(
+            num_workers=self.num_workers,
+            frames_in=self._frames_in,
+            frames_out=sum(stats.frames_out for stats in worker_stats),
+            batches=sum(stats.batches for stats in worker_stats),
+            inference_seconds=sum(stats.inference_seconds for stats in worker_stats),
+            queue_full_waits=self._queue_full_waits,
+            wall_seconds=time.monotonic() - self._started_monotonic,
+            worker_stats=tuple(worker_stats),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Flush every shard, stop the worker threads and join them.
+
+        Idempotent; after closing, :meth:`submit` and :meth:`flush` raise
+        :class:`ServiceError`.  Completed results remain available through
+        :meth:`collect`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        requests = []
+        for shard in self._shards:
+            request = _FlushRequest(stop=True)
+            shard.queue.put(request)
+            requests.append(request)
+        for request in requests:
+            request.done.wait()
+        for shard in self._shards:
+            shard.thread.join()
+
+    def __enter__(self) -> "StreamingService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise ServiceError("the service is closed")
+        self._check_failure()
+
+    def _check_failure(self) -> None:
+        if self._failure is not None:
+            raise ServiceError(
+                f"a worker shard failed: {self._failure}"
+            ) from self._failure
+
+    def _worker_loop(self, shard: _Shard) -> None:
+        while True:
+            # Drain greedily: after the blocking get, grab everything already
+            # queued so one thread wake-up handles a whole run of items (far
+            # fewer queue handshakes and context switches per frame).
+            items = [shard.queue.get()]
+            while True:
+                try:
+                    items.append(shard.queue.get_nowait())
+                except queue.Empty:
+                    break
+            for item in items:
+                if self._handle(shard, item):
+                    return
+
+    def _handle(self, shard: _Shard, item: object) -> bool:
+        """Process one queued item; returns True when the worker must stop."""
+        if isinstance(item, _FlushRequest):
+            try:
+                if self._failure is None:
+                    with shard.lock:
+                        results = shard.engine.flush()
+                    self._emit(shard, results)
+            except BaseException as exc:  # noqa: BLE001 - reported at collect()
+                self._failure = exc
+                shard.sequences.clear()
+            finally:
+                item.done.set()
+            return item.stop
+        if self._failure is not None:
+            # A shard already failed: keep draining so submitters never
+            # deadlock on a full queue, but stop doing work.
+            return False
+        sequence, observation, source = item
+        try:
+            shard.sequences.append(sequence)
+            with shard.lock:
+                results = shard.engine.submit(observation, source=source)
+            self._emit(shard, results)
+        except BaseException as exc:  # noqa: BLE001 - reported at collect()
+            self._failure = exc
+            shard.sequences.clear()
+        return False
+
+    def _emit(self, shard: _Shard, results: List[EngineResult]) -> None:
+        """Re-stamp engine-local sequences with the service-wide ones."""
+        for result in results:
+            self._completed.append(
+                replace(result, sequence=shard.sequences.popleft())
+            )

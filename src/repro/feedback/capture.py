@@ -137,6 +137,14 @@ class MonitorCapture:
             result.append(frame)
         return result
 
+    def source_addresses(self) -> List[str]:
+        """Distinct source addresses seen in the capture, sorted.
+
+        One entry per beamformee that transmitted feedback; the streaming
+        service shards its workload by exactly these addresses.
+        """
+        return sorted({frame.source_address for frame in self.frames})
+
     def reconstruct(
         self,
         source_address: Optional[str] = None,

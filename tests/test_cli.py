@@ -40,6 +40,7 @@ class TestParser:
             "train": ["data.npz", "model-dir"],
             "evaluate": ["data.npz", "model-dir"],
             "authenticate": ["data.npz", "model-dir"],
+            "serve": ["data.npz", "model-dir"],
             "probe": ["data.npz"],
         }
         for command, extra in minimal_arguments.items():
@@ -148,6 +149,53 @@ class TestProbeTrainEvaluate:
         assert "micro-batches" in captured
         assert "frames/s" in captured
         assert "verdict module" in captured
+
+        code = main(
+            [
+                "serve",
+                str(generated_dataset),
+                str(model_dir),
+                "--split",
+                "S1",
+                "--stride",
+                "16",
+                "--num-classes",
+                "3",
+                "--workers",
+                "2",
+                "--queue-depth",
+                "16",
+                "--batch-size",
+                "8",
+                "--window",
+                "4",
+                "--stats-every",
+                "16",
+                "--repeat",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "workers (queue depth 16" in captured
+        assert "[stats]" in captured
+        assert "worker 0:" in captured
+        assert "worker 1:" in captured
+        assert "frame accuracy" in captured
+        assert "verdict module" in captured
+
+    def test_serve_rejects_invalid_repeat(self, generated_dataset, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                str(generated_dataset),
+                str(tmp_path / "missing-model"),
+                "--repeat",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_unknown_split_is_reported_as_error(self, generated_dataset):
         with pytest.raises(SystemExit):

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
-from repro.core.engine import ANONYMOUS_SOURCE, EngineError, InferenceEngine
+from repro.core.engine import (
+    ANONYMOUS_SOURCE,
+    EngineError,
+    EngineStats,
+    InferenceEngine,
+)
 from repro.core.model import DeepCsiModelConfig
 from repro.datasets.features import FeatureConfig, strided_subcarriers
 from repro.datasets.splits import D1_SPLITS, d1_split
@@ -203,6 +208,30 @@ class TestEngineVoting:
         assert engine.sources == []
         results = engine.drain(test_samples[:2])
         assert results[0].sequence == 0
+
+
+class TestEngineStatsGuards:
+    """Regression: the derived stats must not divide by zero when idle."""
+
+    def test_fresh_stats_report_zero_throughput(self):
+        stats = EngineStats()
+        assert stats.frames_per_second == 0.0
+        assert stats.mean_batch_size == 0.0
+
+    def test_fresh_engine_stats_are_safe_to_read(self, trained_classifier):
+        engine = InferenceEngine(trained_classifier)
+        assert engine.stats.frames_per_second == 0.0
+        assert engine.stats.mean_batch_size == 0.0
+
+    def test_reset_engine_stats_are_safe_to_read(
+        self, trained_classifier, test_samples
+    ):
+        engine = InferenceEngine(trained_classifier, batch_size=2)
+        engine.drain(test_samples[:4])
+        assert engine.stats.frames_per_second > 0.0
+        engine.reset()
+        assert engine.stats.frames_per_second == 0.0
+        assert engine.stats.mean_batch_size == 0.0
 
 
 class TestEngineOnSniffedFrames:

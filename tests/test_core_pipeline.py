@@ -191,3 +191,41 @@ class TestCaptureAuthentication:
     def test_authenticate_batch_rejects_empty_input(self, trained_pipeline):
         with pytest.raises(PipelineError):
             trained_pipeline.authenticate_batch([])
+
+    def test_authenticate_batch_with_workers_matches_single_engine(
+        self, trained_pipeline, test_samples
+    ):
+        subset = test_samples[:12]
+        single = trained_pipeline.authenticate_batch(subset, batch_size=4)
+        sharded = trained_pipeline.authenticate_batch(
+            subset, batch_size=4, workers=3
+        )
+        assert len(sharded) == len(single)
+        for got, want in zip(sharded, single):
+            assert got.predicted_module_id == want.predicted_module_id
+            assert got.confidence == pytest.approx(want.confidence, rel=1e-12)
+            assert got.accepted == want.accepted
+
+    def test_authenticate_capture_with_workers(self, trained_pipeline, small_modules):
+        layout = sounding_layout(80)
+        access_point = AccessPoint(module=small_modules[0], position=AP_POSITION_A)
+        bf1_pos, _ = beamformee_positions(3)
+        beamformee = make_beamformee(
+            1, bf1_pos, num_antennas=2, num_streams=2, seed=5 + 10_000
+        )
+        simulator = SoundingSimulator(
+            access_point=access_point,
+            beamformees=[beamformee],
+            channel=MultipathChannel(num_scatterers=8, environment_seed=11),
+            layout=layout,
+        )
+        capture = MonitorCapture()
+        simulator.sound_many(4, np.random.default_rng(0), capture=capture)
+        assert capture.source_addresses() == [station_mac(1)]
+
+        single = trained_pipeline.authenticate_capture(capture)
+        sharded = trained_pipeline.authenticate_capture(capture, workers=2)
+        assert len(sharded) == len(single) == 4
+        for got, want in zip(sharded, single):
+            assert got.predicted_module_id == want.predicted_module_id
+            assert got.confidence == pytest.approx(want.confidence, rel=1e-12)

@@ -1,0 +1,269 @@
+"""Tests for the sharded multi-worker streaming service."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
+from repro.core.engine import InferenceEngine
+from repro.core.model import DeepCsiModelConfig
+from repro.core.service import (
+    ServiceError,
+    ServiceStats,
+    StreamingService,
+    shard_for_source,
+)
+from repro.datasets.features import FeatureConfig, strided_subcarriers
+from repro.datasets.splits import D1_SPLITS, d1_split
+from repro.feedback.capture import station_mac
+from repro.nn.training import TrainingConfig
+
+TINY_MODEL = DeepCsiModelConfig(
+    num_filters=8,
+    kernel_widths=(5, 3),
+    pool_width=2,
+    dense_units=(16,),
+    dropout_retain=(0.8,),
+    attention_kernel_width=3,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_classifier(tiny_d1):
+    train, _ = d1_split(tiny_d1, D1_SPLITS["S1"], beamformee_id=1)
+    classifier = DeepCsiClassifier(
+        ClassifierConfig(
+            num_classes=3,
+            feature=FeatureConfig(
+                stream_indices=(0,), subcarrier_positions=strided_subcarriers(234, 8)
+            ),
+            model=TINY_MODEL,
+            training=TrainingConfig(
+                epochs=4, batch_size=16, validation_split=0.2,
+                early_stopping_patience=None, seed=0,
+            ),
+            learning_rate=3e-3,
+        )
+    )
+    classifier.fit(train)
+    return classifier
+
+
+@pytest.fixture(scope="module")
+def test_samples(tiny_d1):
+    _, test = d1_split(tiny_d1, D1_SPLITS["S1"], beamformee_id=1)
+    return test
+
+
+@pytest.fixture(scope="module")
+def multi_source_stream(test_samples):
+    """(source, sample) pairs: 6 sources, round-robin interleaved."""
+    sources = [station_mac(index) for index in range(6)]
+    return [
+        (sources[index % len(sources)], sample)
+        for index, sample in enumerate(test_samples[:24])
+    ]
+
+
+class TestShardRouting:
+    def test_routing_is_stable_and_in_range(self):
+        for num_shards in (1, 2, 4, 7):
+            for index in range(64):
+                source = station_mac(index)
+                shard = shard_for_source(source, num_shards)
+                assert 0 <= shard < num_shards
+                assert shard == shard_for_source(source, num_shards)
+
+    def test_many_sources_cover_every_shard(self):
+        shards = {shard_for_source(station_mac(index), 4) for index in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ServiceError):
+            shard_for_source("02:00:00:00:00:01", 0)
+
+    def test_one_source_never_spans_two_shards(
+        self, trained_classifier, test_samples
+    ):
+        with StreamingService(trained_classifier, num_workers=4) as service:
+            service.drain(test_samples[:8], source="alice")
+            owners = [
+                index
+                for index, shard in enumerate(service._shards)
+                if shard.engine.sources
+            ]
+        assert owners == [shard_for_source("alice", 4)]
+
+
+class TestServiceResults:
+    def test_drain_matches_single_engine_bitwise(
+        self, trained_classifier, multi_source_stream
+    ):
+        engine = InferenceEngine(trained_classifier, batch_size=5)
+        expected = []
+        for source, sample in multi_source_stream:
+            expected.extend(engine.submit(sample, source=source))
+        expected.extend(engine.flush())
+        expected.sort(key=lambda result: result.sequence)
+
+        with StreamingService(
+            trained_classifier, num_workers=3, batch_size=5
+        ) as service:
+            for source, sample in multi_source_stream:
+                service.submit(sample, source=source)
+            service.flush()
+            actual = sorted(service.collect(), key=lambda result: result.sequence)
+
+        assert [result.sequence for result in actual] == list(
+            range(len(multi_source_stream))
+        )
+        for got, want in zip(actual, expected):
+            assert got.source == want.source
+            assert got.predicted_module_id == want.predicted_module_id
+            assert got.confidence == pytest.approx(want.confidence, rel=1e-12)
+
+    def test_verdicts_match_single_engine(
+        self, trained_classifier, multi_source_stream
+    ):
+        engine = InferenceEngine(trained_classifier, batch_size=4, vote_window=8)
+        for source, sample in multi_source_stream:
+            engine.submit(sample, source=source)
+        engine.flush()
+
+        with StreamingService(
+            trained_classifier, num_workers=4, batch_size=4, vote_window=8
+        ) as service:
+            for source, sample in multi_source_stream:
+                service.submit(sample, source=source)
+            service.flush()
+            assert service.sources == engine.sources
+            for source in engine.sources:
+                got = service.verdict(source)
+                want = engine.verdict(source)
+                assert got.module_id == want.module_id
+                assert got.num_votes == want.num_votes
+                assert got.window_size == want.window_size
+                assert got.confidence == pytest.approx(want.confidence, rel=1e-12)
+
+    def test_drain_returns_submission_order(self, trained_classifier, test_samples):
+        with StreamingService(
+            trained_classifier, num_workers=2, batch_size=4
+        ) as service:
+            results = service.drain(test_samples[:10])
+        assert [result.sequence for result in results] == list(range(10))
+
+    def test_stream_yields_every_result(self, trained_classifier, test_samples):
+        with StreamingService(
+            trained_classifier, num_workers=2, batch_size=4
+        ) as service:
+            results = list(service.stream(test_samples[:7]))
+        assert len(results) == 7
+
+    def test_unknown_source_verdict_rejected(self, trained_classifier):
+        from repro.core.engine import EngineError
+
+        with StreamingService(trained_classifier, num_workers=2) as service:
+            with pytest.raises(EngineError):
+                service.verdict("nobody")
+
+
+class TestConcurrentProducers:
+    def test_parallel_submitters_get_unique_sequences(
+        self, trained_classifier, test_samples
+    ):
+        """Regression: the service-wide sequence stamp must not race."""
+        import threading
+
+        sources = [station_mac(index) for index in range(4)]
+        per_producer = 8
+        with StreamingService(
+            trained_classifier, num_workers=2, batch_size=4
+        ) as service:
+            def produce(source):
+                for sample in test_samples[:per_producer]:
+                    service.submit(sample, source=source)
+
+            threads = [
+                threading.Thread(target=produce, args=(source,))
+                for source in sources
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            service.flush()
+            results = service.collect()
+
+        sequences = sorted(result.sequence for result in results)
+        assert sequences == list(range(len(sources) * per_producer))
+
+
+class TestBackpressureAndLifecycle:
+    def test_bounded_queue_loses_no_frames(self, trained_classifier, test_samples):
+        with StreamingService(
+            trained_classifier, num_workers=2, queue_depth=1, batch_size=4
+        ) as service:
+            results = service.drain(test_samples[:20])
+            stats = service.stats
+        assert len(results) == 20
+        assert stats.frames_in == stats.frames_out == 20
+        assert stats.queue_full_waits >= 0
+
+    def test_invalid_observation_surfaces_as_service_error(
+        self, trained_classifier, test_samples
+    ):
+        with StreamingService(trained_classifier, num_workers=2) as service:
+            service.submit(np.zeros((4, 4)))
+            with pytest.raises(ServiceError):
+                service.flush()
+
+    def test_closed_service_rejects_submissions(
+        self, trained_classifier, test_samples
+    ):
+        service = StreamingService(trained_classifier, num_workers=2)
+        service.drain(test_samples[:2])
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(ServiceError):
+            service.submit(test_samples[0])
+        with pytest.raises(ServiceError):
+            service.flush()
+
+    def test_invalid_configuration_rejected(self, trained_classifier):
+        with pytest.raises(ServiceError):
+            StreamingService(trained_classifier, num_workers=0)
+        with pytest.raises(ServiceError):
+            StreamingService(trained_classifier, queue_depth=0)
+
+
+class TestServiceStats:
+    def test_counters_aggregate_worker_stats(
+        self, trained_classifier, multi_source_stream
+    ):
+        with StreamingService(
+            trained_classifier, num_workers=3, batch_size=4
+        ) as service:
+            for source, sample in multi_source_stream:
+                service.submit(sample, source=source)
+            service.flush()
+            stats = service.stats
+        assert stats.num_workers == 3
+        assert stats.frames_out == len(multi_source_stream)
+        assert stats.batches == sum(w.batches for w in stats.worker_stats)
+        assert stats.inference_seconds == pytest.approx(
+            sum(w.inference_seconds for w in stats.worker_stats)
+        )
+        assert stats.frames_per_second > 0.0
+        assert stats.wall_frames_per_second > 0.0
+        assert stats.mean_batch_size > 0.0
+
+    def test_fresh_service_stats_guard_zero_division(self, trained_classifier):
+        with StreamingService(trained_classifier, num_workers=2) as service:
+            stats = service.stats
+        assert stats.frames_per_second == 0.0
+        assert stats.mean_batch_size == 0.0
+
+    def test_stats_without_wall_time_guard_zero_division(self):
+        stats = ServiceStats(num_workers=1)
+        assert stats.frames_per_second == 0.0
+        assert stats.wall_frames_per_second == 0.0
+        assert stats.mean_batch_size == 0.0
