@@ -57,7 +57,16 @@ def test_ablation_correlation_length(benchmark, profile, record):
             "easier, so the S3 accuracy must not decrease",
         ]
     )
-    record("ablation_correlation_length", report)
+    record(
+        "ablation_correlation_length",
+        report,
+        data={
+            "accuracy": {
+                f"short_{SHORT_CORRELATION_M:.2f}m": results["short"].accuracy,
+                f"long_{LONG_CORRELATION_M:.2f}m": results["long"].accuracy,
+            },
+        },
+    )
 
     assert results["long"].accuracy >= results["short"].accuracy - 0.05, (
         "a longer channel correlation length must not make the unseen-position "

@@ -55,7 +55,20 @@ def test_ablation_spatial_attention(benchmark, profile, record):
             f"({without_attention.num_parameters} params)",
         ]
     )
-    record("ablation_attention", report)
+    record(
+        "ablation_attention",
+        report,
+        data={
+            "accuracy": {
+                "with_attention": with_attention.accuracy,
+                "without_attention": without_attention.accuracy,
+            },
+            "num_parameters": {
+                "with_attention": with_attention.num_parameters,
+                "without_attention": without_attention.num_parameters,
+            },
+        },
+    )
 
     # The attention block should not hurt, and both variants must solve the
     # task well above chance.
@@ -95,7 +108,16 @@ def test_ablation_quantization_codebook(benchmark, profile, record):
             f"  b_phi=7, b_psi=5:         {100.0 * results['coarse'].accuracy:6.2f}%",
         ]
     )
-    record("ablation_quantization", report)
+    record(
+        "ablation_quantization",
+        report,
+        data={
+            "accuracy": {
+                "fine_b_phi9_b_psi7": results["fine"].accuracy,
+                "coarse_b_phi7_b_psi5": results["coarse"].accuracy,
+            },
+        },
+    )
 
     # Both codebooks carry the fingerprint for the S2 split, and the finer
     # codebook should not be worse than the coarse one by a wide margin.

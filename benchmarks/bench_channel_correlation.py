@@ -42,7 +42,16 @@ def test_channel_spatial_decorrelation(benchmark, profile, record):
         "position step, low beyond ~3 correlation lengths"
     )
     report = "\n".join(lines)
-    record("channel_spatial_correlation", report)
+    record(
+        "channel_spatial_correlation",
+        report,
+        data={
+            "correlation_length_m": config.correlation_length_m,
+            "correlation_vs_displacement": {
+                f"{displacement:.2f}": value for displacement, value in curve
+            },
+        },
+    )
 
     values = dict(curve)
     assert np.isclose(values[0.0], 1.0, atol=1e-6)

@@ -12,17 +12,33 @@ def test_fig07_hyperparameter_sweeps(benchmark, profile, record):
     result = benchmark.pedantic(
         lambda: fig07_hyperparams.run(profile), rounds=1, iterations=1
     )
-    record("fig07_hyperparams", fig07_hyperparams.format_report(result))
+    layer_accuracies = [p.test_accuracy for p in result.layer_sweep]
+    filter_points = list(result.filter_sweep)
+    params = [p.num_parameters for p in filter_points]
+    record(
+        "fig07_hyperparams",
+        fig07_hyperparams.format_report(result),
+        data={
+            "layer_sweep_accuracy": layer_accuracies,
+            "filter_sweep_accuracy": [p.test_accuracy for p in filter_points],
+            "filter_sweep_parameters": params,
+            "gate": {
+                "min_layer_accuracy_above": 0.85,
+                "passed": min(layer_accuracies) > 0.85
+                and max(layer_accuracies) - min(layer_accuracies) < 0.15
+                and filter_points[-1].test_accuracy
+                >= filter_points[0].test_accuracy - 0.02
+                and params == sorted(params),
+            },
+        },
+    )
 
     # Fig. 7a shape: accuracy stays high regardless of the layer count.
-    layer_accuracies = [p.test_accuracy for p in result.layer_sweep]
     assert min(layer_accuracies) > 0.85
     assert max(layer_accuracies) - min(layer_accuracies) < 0.15
 
     # Fig. 7b shape: more filters never costs much accuracy and the largest
     # model is at least as good as the smallest one.
-    filter_points = list(result.filter_sweep)
     assert filter_points[-1].test_accuracy >= filter_points[0].test_accuracy - 0.02
     # Parameter counts grow with the filter count.
-    params = [p.num_parameters for p in filter_points]
     assert params == sorted(params)

@@ -12,9 +12,19 @@ def test_fig08_static_splits(benchmark, profile, record):
     result = benchmark.pedantic(
         lambda: fig08_static_splits.run(profile), rounds=1, iterations=1
     )
-    record("fig08_static_splits", fig08_static_splits.format_report(result))
-
     s1, s2, s3 = (result.accuracy(name) for name in ("S1", "S2", "S3"))
+    record(
+        "fig08_static_splits",
+        fig08_static_splits.format_report(result),
+        data={
+            "accuracy": {"S1": s1, "S2": s2, "S3": s3},
+            "gate": {
+                "s1_above": 0.9,
+                "s3_below": 0.8,
+                "passed": s1 > 0.9 and s1 > s2 > s3 and s3 < 0.8,
+            },
+        },
+    )
     assert s1 > 0.9, "S1 (same positions) should be close to perfect"
     assert s1 > s2 > s3, "accuracy must degrade from S1 to S3"
     assert s3 < 0.8, "S3 (disjoint positions) must be clearly degraded"

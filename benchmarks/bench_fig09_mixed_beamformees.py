@@ -10,8 +10,14 @@ def test_fig09_mixed_beamformees(benchmark, profile, record):
     result = benchmark.pedantic(
         lambda: fig09_mixed_beamformees.run(profile), rounds=1, iterations=1
     )
-    record("fig09_mixed_beamformees", fig09_mixed_beamformees.format_report(result))
-
     s1, s2, s3 = (result.accuracy(name) for name in ("S1", "S2", "S3"))
+    record(
+        "fig09_mixed_beamformees",
+        fig09_mixed_beamformees.format_report(result),
+        data={
+            "accuracy": {"S1": s1, "S2": s2, "S3": s3},
+            "gate": {"s1_above": 0.9, "passed": s1 > 0.9 and s1 > s2 > s3},
+        },
+    )
     assert s1 > 0.9
     assert s1 > s2 > s3

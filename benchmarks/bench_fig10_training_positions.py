@@ -11,9 +11,22 @@ def test_fig10_training_positions(benchmark, profile, record):
     result = benchmark.pedantic(
         lambda: fig10_training_positions.run(profile), rounds=1, iterations=1
     )
+    curves = {
+        split: list(result.accuracies(split)) for split in ("S1", "S2", "S3")
+    }
     record(
         "fig10_training_positions",
         fig10_training_positions.format_report(result),
+        data={
+            "accuracy_vs_positions": curves,
+            "gate": {
+                "s3_above_chance": 0.2,
+                "passed": all(
+                    curves[split][-1] > curves[split][0] for split in ("S1", "S2")
+                )
+                and max(curves["S3"]) > 0.2,
+            },
+        },
     )
 
     # Using every available position must beat using a single position on the

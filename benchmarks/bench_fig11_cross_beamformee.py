@@ -13,10 +13,19 @@ def test_fig11_cross_beamformee(benchmark, profile, record):
     result = benchmark.pedantic(
         lambda: fig11_cross_beamformee.run(profile), rounds=1, iterations=1
     )
-    record("fig11_cross_beamformee", fig11_cross_beamformee.format_report(result))
-
     forward = result.accuracy("train bf1 / test bf2")
     backward = result.accuracy("train bf2 / test bf1")
+    record(
+        "fig11_cross_beamformee",
+        fig11_cross_beamformee.format_report(result),
+        data={
+            "accuracy": {"train_bf1_test_bf2": forward, "train_bf2_test_bf1": backward},
+            "gate": {
+                "both_below": 0.5,
+                "passed": forward < 0.5 and backward < 0.5,
+            },
+        },
+    )
     # Far below the >90 % same-beamformee accuracy: the fingerprint does not
     # transfer across beamformees.
     assert forward < 0.5

@@ -12,7 +12,19 @@ def test_fig12_bandwidth_and_antennas(benchmark, profile, record):
     result = benchmark.pedantic(
         lambda: fig12_phy_parameters.run(profile), rounds=1, iterations=1
     )
-    record("fig12_phy_parameters", fig12_phy_parameters.format_report(result))
+    bandwidth = {
+        f"{split}_{bw}MHz": accuracy
+        for (split, bw), accuracy in result.bandwidth_accuracy.items()
+    }
+    antennas = {
+        f"{split}_{count}tx": accuracy
+        for (split, count), accuracy in result.antenna_accuracy.items()
+    }
+    record(
+        "fig12_phy_parameters",
+        fig12_phy_parameters.format_report(result),
+        data={"bandwidth_accuracy": bandwidth, "antenna_accuracy": antennas},
+    )
 
     # Fig. 12a shape: the full 80 MHz input is at least as good as the
     # narrowest 20 MHz input.  The synthetic channel substitution reproduces

@@ -15,13 +15,17 @@ def test_fig13_quantization_error(benchmark, profile, record):
     result = benchmark.pedantic(
         lambda: fig13_quantization_error.run(profile), rounds=1, iterations=1
     )
+    fine = result.mean_error(7, 9)
+    coarse = result.mean_error(5, 7)
     record(
         "fig13_quantization_error",
         fig13_quantization_error.format_report(result),
+        data={
+            "mean_error_fine_7_9": fine.tolist(),
+            "mean_error_coarse_5_7": coarse.tolist(),
+            "coarse_to_fine_ratio": float(np.mean(coarse / fine)),
+        },
     )
-
-    fine = result.mean_error(7, 9)
-    coarse = result.mean_error(5, 7)
 
     # Coarser quantisation increases the error for every (antenna, stream).
     assert np.all(coarse > fine)

@@ -11,7 +11,14 @@ def test_fig14_v_time_evolution(benchmark, profile, record):
     result = benchmark.pedantic(
         lambda: fig14_v_time_evolution.run(profile), rounds=1, iterations=1
     )
-    record("fig14_v_time_evolution", fig14_v_time_evolution.format_report(result))
+    record(
+        "fig14_v_time_evolution",
+        fig14_v_time_evolution.format_report(result),
+        data={
+            "temporal_std": result.temporal_std.tolist(),
+            "temporal_correlation": result.temporal_correlation.tolist(),
+        },
+    )
 
     # One panel per (antenna, stream) pair, as in the paper's 3 x 2 grid.
     assert set(result.magnitude_maps) == {(a, s) for a in range(3) for s in range(2)}

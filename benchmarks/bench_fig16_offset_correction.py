@@ -12,7 +12,21 @@ def test_fig16_offset_correction(benchmark, profile, record):
     result = benchmark.pedantic(
         lambda: fig16_offset_correction.run(profile), rounds=1, iterations=1
     )
-    record("fig16_offset_correction", fig16_offset_correction.format_report(result))
+    record(
+        "fig16_offset_correction",
+        fig16_offset_correction.format_report(result),
+        data={
+            "raw_accuracy": {
+                name: result.raw[name].accuracy for name in result.raw
+            },
+            "corrected_accuracy": {
+                name: result.corrected[name].accuracy for name in result.corrected
+            },
+            "accuracy_gap": {
+                name: result.accuracy_gap(name) for name in result.raw
+            },
+        },
+    )
 
     # Raw DeepCSI wins on every split; the margin is the reproduction target,
     # not its absolute value.

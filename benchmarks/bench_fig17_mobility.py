@@ -11,12 +11,29 @@ def test_fig17_mobility(benchmark, profile, record):
     result = benchmark.pedantic(
         lambda: fig17_mobility.run(profile), rounds=1, iterations=1
     )
-    record("fig17_mobility", fig17_mobility.format_report(result))
-
     full_path = result.accuracy("S4 full path")
     sub_paths = result.accuracy("S4 sub-paths")
     static_to_mobile = result.accuracy("S5 static->mobile")
     mobile_to_static = result.accuracy("S6 mobile->static")
+    record(
+        "fig17_mobility",
+        fig17_mobility.format_report(result),
+        data={
+            "accuracy": {
+                "S4_full_path": full_path,
+                "S4_sub_paths": sub_paths,
+                "S5_static_to_mobile": static_to_mobile,
+                "S6_mobile_to_static": mobile_to_static,
+            },
+            "gate": {
+                "full_path_above": 0.7,
+                "passed": full_path > 0.7
+                and sub_paths < full_path
+                and static_to_mobile < 0.6
+                and mobile_to_static > 0.7,
+            },
+        },
+    )
 
     # Training and testing on the same mobility path works.
     assert full_path > 0.7

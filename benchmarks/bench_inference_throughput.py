@@ -144,6 +144,17 @@ def test_batched_engine_is_at_least_5x_faster(
                 f"  speedup:         {speedup:10.2f}x",
             ]
         ),
+        data={
+            "smoke": SMOKE,
+            "num_frames": NUM_FRAMES,
+            "batch_size": BATCH_SIZE,
+            "frames_per_second": {
+                "per_frame_loop": scalar_fps,
+                "batched_engine": batched_fps,
+            },
+            "speedup_vs_per_frame": speedup,
+            "gate": {"threshold": 5.0, "enforced": True, "passed": speedup >= 5.0},
+        },
     )
     assert speedup >= 5.0, (
         f"batched engine is only {speedup:.2f}x faster than the per-frame "

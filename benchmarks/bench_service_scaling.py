@@ -190,10 +190,15 @@ def _single_engine_per_shard_substream(classifier, stream, num_workers):
     return verdicts
 
 
-def _service(classifier, stream, num_workers):
-    """The sharded service, ``num_workers`` worker threads."""
+def _service(classifier, stream, num_workers, backend="threads"):
+    """The sharded service: ``num_workers`` shards on the given backend.
+
+    Worker startup (thread spawn / process fork + shm setup) happens before
+    the clock starts: the service is a long-lived observer, so the gate
+    measures steady-state serving throughput.
+    """
     with StreamingService(
-        classifier, num_workers=num_workers, batch_size=BATCH_SIZE
+        classifier, num_workers=num_workers, batch_size=BATCH_SIZE, backend=backend
     ) as service:
         started = time.perf_counter()
         for source, frame in stream:
@@ -276,11 +281,151 @@ def test_sharded_service_scales_multi_source_traffic(
                 f"(gate: >= 2x; {os.cpu_count()} CPU core(s))",
             ]
         ),
+        data={
+            "backend": "threads",
+            "workers": NUM_WORKERS,
+            "cpu_cores": os.cpu_count(),
+            "smoke": SMOKE,
+            "num_frames": num_frames,
+            "frames_per_second": {
+                "engine_per_source": baseline_fps,
+                "shared_engine": shared_fps,
+                "service_1_worker": one_worker_fps,
+                f"service_{NUM_WORKERS}_workers": service_fps,
+            },
+            "speedup_vs_baseline": speedup,
+            "gate": {"threshold": 2.0, "enforced": True, "passed": speedup >= 2.0},
+        },
     )
     assert speedup >= 2.0, (
         f"4-worker service is only {speedup:.2f}x faster than the "
         f"per-source single-engine path (required: >= 2x)"
     )
+
+
+#: Multi-core gate of the process backend: 2 process workers must serve at
+#: least this multiple of the 1-process-worker throughput.
+PROCESS_WORKERS = 2
+PROCESS_SPEEDUP_GATE = 1.6
+
+
+def test_process_backend_scales_on_multi_core(trained_classifier, traffic, record):
+    """Process shards break the GIL ceiling: >= 1.6x frames/s at 2 workers.
+
+    Thread shards only overlap inside BLAS calls; process shards run the
+    whole hot path (feature extraction, Givens reconstruction, NumPy
+    dispatch) in parallel, fed through shared-memory ring buffers.  The
+    near-linear gate is only meaningful when the host actually has a second
+    core - on single-core runners (CI smoke included) the verdict-parity
+    assertions still run and the skipped gate is recorded in the report.
+    """
+    _, stream = traffic
+    num_frames = len(stream)
+    cores = os.cpu_count() or 1
+    multi_core = cores >= 2
+
+    (
+        (one_proc_seconds, one_proc_verdicts),
+        (two_proc_seconds, two_proc_verdicts),
+    ) = _best_of_interleaved(
+        REPEATS,
+        [
+            lambda: _service(trained_classifier, stream, 1, backend="processes"),
+            lambda: _service(
+                trained_classifier, stream, PROCESS_WORKERS, backend="processes"
+            ),
+        ],
+    )
+
+    # Bitwise verdict parity against single engines fed the same routed
+    # sub-streams - the invariant holds on any host, gate or no gate.
+    assert two_proc_verdicts == _single_engine_per_shard_substream(
+        trained_classifier, stream, PROCESS_WORKERS
+    )
+    assert one_proc_verdicts == _single_engine_per_shard_substream(
+        trained_classifier, stream, 1
+    )
+
+    one_proc_fps = num_frames / one_proc_seconds
+    two_proc_fps = num_frames / two_proc_seconds
+    speedup = two_proc_fps / one_proc_fps
+    gate_note = (
+        f"gate: >= {PROCESS_SPEEDUP_GATE}x"
+        if multi_core
+        else f"gate >= {PROCESS_SPEEDUP_GATE}x SKIPPED: single-core host"
+    )
+    record(
+        "bench_service_scaling_processes",
+        "\n".join(
+            [
+                "Process-backend scaling (shared-memory frame transport)",
+                f"  workload: {NUM_SOURCES} sources x {FRAMES_PER_SOURCE} "
+                f"frames, (K, M, N_SS) = "
+                f"({NUM_SUBCARRIERS}, {NUM_TX}, {NUM_STREAMS}), "
+                f"stride {STRIDE}, batch size {BATCH_SIZE}"
+                f"{' [smoke]' if SMOKE else ''}",
+                f"  service, 1 process:    {one_proc_fps:10.1f} frames/s",
+                f"  service, {PROCESS_WORKERS} processes:   "
+                f"{two_proc_fps:10.1f} frames/s",
+                f"  speedup:               {speedup:10.2f}x "
+                f"({gate_note}; {cores} CPU core(s))",
+                "  verdicts: bitwise identical to single engines fed the "
+                "routed sub-streams",
+            ]
+        ),
+        data={
+            "backend": "processes",
+            "workers": PROCESS_WORKERS,
+            "cpu_cores": cores,
+            "smoke": SMOKE,
+            "num_frames": num_frames,
+            "frames_per_second": {
+                "service_1_process": one_proc_fps,
+                f"service_{PROCESS_WORKERS}_processes": two_proc_fps,
+            },
+            "speedup_vs_1_process": speedup,
+            "gate": {
+                "threshold": PROCESS_SPEEDUP_GATE,
+                "enforced": multi_core,
+                "passed": speedup >= PROCESS_SPEEDUP_GATE if multi_core else None,
+            },
+        },
+    )
+    if multi_core:
+        assert speedup >= PROCESS_SPEEDUP_GATE, (
+            f"{PROCESS_WORKERS} process workers are only {speedup:.2f}x faster "
+            f"than 1 on a {cores}-core host "
+            f"(required: >= {PROCESS_SPEEDUP_GATE}x)"
+        )
+
+
+def test_process_backend_results_match_threads(trained_classifier, traffic):
+    """Both backends produce bitwise-identical results on identical traffic."""
+    _, stream = traffic
+    subset = stream[: min(len(stream), 96)]
+
+    def run(backend):
+        with StreamingService(
+            trained_classifier,
+            num_workers=PROCESS_WORKERS,
+            batch_size=BATCH_SIZE,
+            backend=backend,
+        ) as service:
+            for source, frame in subset:
+                service.submit(frame, source=source)
+            service.flush()
+            return sorted(service.collect(), key=lambda result: result.sequence)
+
+    threaded = run("threads")
+    processed = run("processes")
+    assert len(threaded) == len(processed) == len(subset)
+    for thread_result, process_result in zip(threaded, processed):
+        assert thread_result.sequence == process_result.sequence
+        assert thread_result.source == process_result.source
+        assert (
+            thread_result.predicted_module_id == process_result.predicted_module_id
+        )
+        assert thread_result.confidence == process_result.confidence  # bitwise
 
 
 def test_service_results_match_single_engine_bitwise(trained_classifier, traffic):

@@ -72,7 +72,16 @@ def test_table1_and_table2_splits(benchmark, profile, record):
         f"{counts['S4 sub-paths'][1]} test samples"
     )
     report = "\n".join(lines)
-    record("table1_table2_splits", report)
+    record(
+        "table1_table2_splits",
+        report,
+        data={
+            "sample_counts": {
+                name: {"train": train_count, "test": test_count}
+                for name, (train_count, test_count) in counts.items()
+            },
+        },
+    )
 
     # Structural sanity: every split must produce both sets, S1 shares
     # positions between train and test (time split) while S2/S3 do not.

@@ -4,9 +4,12 @@ Every benchmark regenerates one table/figure of the paper's evaluation
 section through :mod:`repro.experiments` and
 
 * prints the same rows/series the paper reports (run with ``-s`` to see them
-  inline), and
+  inline),
 * appends the report to ``benchmarks/results/<name>.txt`` so the numbers can
-  be collected into ``EXPERIMENTS.md``.
+  be collected into ``EXPERIMENTS.md``, and
+* stores a machine-readable ``benchmarks/results/<name>.json`` next to it
+  when the benchmark passes structured ``data`` (throughput, speedups, gate
+  thresholds, pass/fail, worker/backend configuration).
 
 The profile is selected with the ``REPRO_PROFILE`` environment variable
 (``fast`` by default, ``full`` for paper-scale runs).
@@ -14,6 +17,7 @@ The profile is selected with the ``REPRO_PROFILE`` environment variable
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -37,13 +41,19 @@ def profile():
 
 @pytest.fixture(scope="session")
 def record():
-    """Callable that prints a report and stores it under ``benchmarks/results``."""
+    """Callable that prints a report and stores it under ``benchmarks/results``.
+
+    ``record(name, text)`` writes ``results/<name>.txt``; passing ``data``
+    additionally writes ``results/<name>.json`` with the same payload plus
+    the rendered report, so scripts can consume the gate results without
+    parsing text.
+    """
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
     smoke = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
-    def _record(name: str, text: str) -> None:
+    def _record(name: str, text: str, data: dict | None = None) -> None:
         print()
         print(text)
         if smoke:
@@ -52,5 +62,10 @@ def record():
             # README/EXPERIMENTS cite.
             return
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            payload = {"benchmark": name, **data, "report": text}
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(payload, indent=2, sort_keys=False) + "\n"
+            )
 
     return _record

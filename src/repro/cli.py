@@ -32,9 +32,10 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.separability import linear_probe_accuracy
+from repro.core.backends import BACKEND_NAMES
 from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
 from repro.core.engine import InferenceEngine
-from repro.core.service import ServiceError, StreamingService
+from repro.core.service import ServiceError, StreamingService, resolve_num_workers
 from repro.core.model import FAST_MODEL_CONFIG, PAPER_MODEL_CONFIG
 from repro.datasets.containers import FeedbackDataset, FeedbackSample
 from repro.datasets.features import FeatureConfig, strided_subcarriers
@@ -248,19 +249,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     classifier = _load_classifier(args, test)
     stream = _interleave_by_module(test) * args.repeat
     labels = [sample.module_id for _, sample in stream]
+    workers = resolve_num_workers(args.workers, args.backend)
     print(
         f"serving {len(stream)} frames from "
         f"{len({source for source, _ in stream})} sources through "
-        f"{args.workers} workers (queue depth {args.queue_depth}, "
-        f"batch size {args.batch_size})"
+        f"{workers} workers on the {args.backend} backend "
+        f"(queue depth {args.queue_depth}, batch size {args.batch_size})"
     )
     with StreamingService(
         classifier,
-        num_workers=args.workers,
+        num_workers=workers,
         queue_depth=args.queue_depth,
         batch_size=args.batch_size,
         max_latency_frames=args.max_latency_frames,
         vote_window=args.window,
+        backend=args.backend,
     ) as service:
         results = []
         for submitted, (source, sample) in enumerate(stream, start=1):
@@ -286,8 +289,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(
         f"served {stats.frames_out} frames in {stats.batches} micro-batches "
-        f"across {stats.num_workers} workers "
-        f"(mean batch {stats.mean_batch_size:.1f})"
+        f"across {stats.num_workers} workers ({stats.backend} backend, "
+        f"mean batch {stats.mean_batch_size:.1f})"
     )
     print(
         f"  throughput: {stats.frames_per_second:.1f} frames/s inference, "
@@ -416,8 +419,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers",
         type=int,
-        default=4,
-        help="number of sharded inference workers",
+        default=None,
+        help="number of sharded inference workers (default: auto - 1 on a "
+        "single core, up to 4 on multi-core hosts)",
+    )
+    serve.add_argument(
+        "--backend",
+        default="threads",
+        choices=BACKEND_NAMES,
+        help="execution backend of the worker shards: in-process threads, or "
+        "processes fed through shared-memory ring buffers (multi-core)",
     )
     serve.add_argument(
         "--queue-depth",

@@ -13,6 +13,9 @@
 * :mod:`repro.core.service` -- the sharded multi-worker streaming service:
   a pool of engines behind bounded async ingestion queues, with stable
   source-to-shard routing and aggregated throughput counters.
+* :mod:`repro.core.backends` -- the pluggable execution backends of the
+  service: in-process worker threads, or worker processes fed through
+  shared-memory ring buffers (:mod:`repro.core.transport`).
 * :mod:`repro.core.pipeline` -- an end-to-end authentication pipeline built
   on the monitor-mode capture path.
 
@@ -37,10 +40,12 @@ from repro.core.engine import (
     InferenceEngine,
     MajorityVerdict,
 )
+from repro.core.backends import BACKEND_NAMES
 from repro.core.service import (
     ServiceError,
     ServiceStats,
     StreamingService,
+    resolve_num_workers,
     shard_for_source,
 )
 from repro.core.pipeline import AuthenticationPipeline, AuthenticationResult
@@ -65,9 +70,11 @@ __all__ = [
     "EngineStats",
     "InferenceEngine",
     "MajorityVerdict",
+    "BACKEND_NAMES",
     "ServiceError",
     "ServiceStats",
     "StreamingService",
+    "resolve_num_workers",
     "shard_for_source",
     "AuthenticationPipeline",
     "AuthenticationResult",

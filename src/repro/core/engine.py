@@ -32,9 +32,10 @@ while preserving the per-source semantics defined here.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
@@ -116,6 +117,12 @@ class EngineStats:
     The derived :attr:`frames_per_second` and :attr:`mean_batch_size` are
     safe to read at any time: on a fresh or freshly-reset engine (no batch
     processed yet) they return ``0.0`` instead of dividing by zero.
+
+    :attr:`InferenceEngine.stats` returns a private *consistent* snapshot:
+    the engine updates every counter of a processed batch under one lock, so
+    a snapshot taken mid-drain (from a monitoring thread, or shipped to the
+    service from a worker process) never shows a batch's ``frames_out``
+    without its ``batches`` and ``inference_seconds``.
     """
 
     frames_in: int = 0
@@ -136,6 +143,74 @@ class EngineStats:
         if self.batches == 0:
             return 0.0
         return self.frames_out / self.batches
+
+
+class SourceWindows:
+    """Bounded per-source ring buffers feeding the windowed majority vote.
+
+    The book keeps one ``deque(maxlen=vote_window)`` per source and at most
+    ``max_sources`` of them alive, evicting the least-recently-updated
+    source beyond that.  It is factored out of the engine so the streaming
+    service's *process* backend can replay the per-shard result streams into
+    an identical book on the parent side: verdicts answered from the replica
+    are exactly the verdicts the worker's engine would produce, without a
+    cross-process round trip per :meth:`verdict` call.
+    """
+
+    def __init__(self, vote_window: int, max_sources: int) -> None:
+        if vote_window < 1:
+            raise EngineError("vote_window must be >= 1")
+        if max_sources < 1:
+            raise EngineError("max_sources must be >= 1")
+        self.vote_window = vote_window
+        self.max_sources = max_sources
+        self._windows: Dict[str, Deque[EngineResult]] = {}
+
+    def append(self, result: EngineResult) -> None:
+        """Record one classified result in its source's window."""
+        window = self._windows.pop(result.source, None)
+        if window is None:
+            window = deque(maxlen=self.vote_window)
+            while len(self._windows) >= self.max_sources:
+                # Evict the least-recently-updated source (dicts keep
+                # insertion order; updated windows are re-inserted last).
+                self._windows.pop(next(iter(self._windows)))
+        # Re-insert so this source becomes the most recently updated.
+        self._windows[result.source] = window
+        window.append(result)
+
+    def verdict(self, source: Optional[str] = None) -> MajorityVerdict:
+        """Majority vote over the ring buffer of one source.
+
+        The predicted module is the most frequent one in the window; its
+        confidence is the mean confidence of the frames voting for it.
+        """
+        key = ANONYMOUS_SOURCE if source is None else source
+        window = self._windows.get(key)
+        if not window:
+            raise EngineError(f"no results recorded for source {key!r} yet")
+        votes: Dict[int, List[float]] = {}
+        for result in window:
+            votes.setdefault(result.predicted_module_id, []).append(
+                result.confidence
+            )
+        winner = max(
+            votes, key=lambda module: (len(votes[module]), np.mean(votes[module]))
+        )
+        return MajorityVerdict(
+            module_id=winner,
+            confidence=float(np.mean(votes[winner])),
+            num_votes=len(votes[winner]),
+            window_size=len(window),
+        )
+
+    @property
+    def sources(self) -> List[str]:
+        """Sources with at least one recorded result."""
+        return sorted(self._windows)
+
+    def clear(self) -> None:
+        self._windows.clear()
 
 
 @dataclass
@@ -199,19 +274,27 @@ class InferenceEngine:
             raise EngineError("batch_size must be >= 1")
         if max_latency_frames is not None and max_latency_frames < 1:
             raise EngineError("max_latency_frames must be >= 1 or None")
-        if vote_window < 1:
-            raise EngineError("vote_window must be >= 1")
-        if max_sources < 1:
-            raise EngineError("max_sources must be >= 1")
         self.classifier = classifier
         self.batch_size = batch_size
         self.max_latency_frames = max_latency_frames
         self.vote_window = vote_window
         self.max_sources = max_sources
-        self.stats = EngineStats()
+        self._stats = EngineStats()
+        self._stats_lock = threading.Lock()
         self._pending: List[_PendingObservation] = []
-        self._windows: Dict[str, Deque[EngineResult]] = {}
+        self._windows = SourceWindows(vote_window, max_sources)
         self._sequence = 0
+
+    @property
+    def stats(self) -> EngineStats:
+        """A consistent point-in-time snapshot of the throughput counters.
+
+        All counters of one processed batch are published atomically, so a
+        reader in another thread (the service's stats aggregation, a
+        monitoring loop) never observes a half-updated batch.
+        """
+        with self._stats_lock:
+            return replace(self._stats)
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -232,8 +315,63 @@ class InferenceEngine:
             The results that became available because of this submission
             (usually empty, or one full micro-batch).
         """
-        self._pending.append(self._normalise(observation, source))
-        self.stats.frames_in += 1
+        return self._enqueue(self._normalise(observation, source))
+
+    def submit_decoded(
+        self,
+        v_tilde: np.ndarray,
+        source: str = ANONYMOUS_SOURCE,
+        timestamp_s: float = 0.0,
+    ) -> List[EngineResult]:
+        """Buffer one already-reconstructed ``V~`` matrix.
+
+        The entry point the process-backend worker uses for observations
+        that crossed the shared-memory transport as ready arrays: it is
+        exactly the ``v_tilde`` branch of :meth:`submit`, with the capture
+        timestamp supplied explicitly, so the classification batches are
+        identical to submitting the original observation object.
+        """
+        array = np.asarray(v_tilde)
+        if array.ndim != 3:
+            raise EngineError("expected a (K, M, N_SS) array")
+        entry = _PendingObservation(
+            sequence=self._next_sequence(),
+            source=source,
+            timestamp_s=timestamp_s,
+            v_tilde=array,
+        )
+        return self._enqueue(entry)
+
+    def submit_frame_payload(
+        self,
+        payload: bytes,
+        source: str = ANONYMOUS_SOURCE,
+        timestamp_s: float = 0.0,
+    ) -> List[EngineResult]:
+        """Buffer one raw VHT action-frame payload (packed angle report).
+
+        Equivalent to submitting the :class:`~repro.feedback.frames.FeedbackFrame`
+        the payload came from: the frame is parsed here and de-quantised
+        through the batched Givens path with the rest of its micro-batch.
+        """
+        _, quantized = parse_feedback_frame(payload)
+        entry = _PendingObservation(
+            sequence=self._next_sequence(),
+            source=source,
+            timestamp_s=timestamp_s,
+            quantized=quantized,
+        )
+        return self._enqueue(entry)
+
+    def _next_sequence(self) -> int:
+        sequence = self._sequence
+        self._sequence += 1
+        return sequence
+
+    def _enqueue(self, entry: _PendingObservation) -> List[EngineResult]:
+        self._pending.append(entry)
+        with self._stats_lock:
+            self._stats.frames_in += 1
         threshold = self.batch_size
         if self.max_latency_frames is not None:
             threshold = min(threshold, self.max_latency_frames)
@@ -276,36 +414,20 @@ class InferenceEngine:
         The predicted module is the most frequent one in the window; its
         confidence is the mean confidence of the frames voting for it.
         """
-        key = ANONYMOUS_SOURCE if source is None else source
-        window = self._windows.get(key)
-        if not window:
-            raise EngineError(f"no results recorded for source {key!r} yet")
-        votes: Dict[int, List[float]] = {}
-        for result in window:
-            votes.setdefault(result.predicted_module_id, []).append(
-                result.confidence
-            )
-        winner = max(
-            votes, key=lambda module: (len(votes[module]), np.mean(votes[module]))
-        )
-        return MajorityVerdict(
-            module_id=winner,
-            confidence=float(np.mean(votes[winner])),
-            num_votes=len(votes[winner]),
-            window_size=len(window),
-        )
+        return self._windows.verdict(source)
 
     @property
     def sources(self) -> List[str]:
         """Sources with at least one classified observation."""
-        return sorted(self._windows)
+        return self._windows.sources
 
     def reset(self) -> None:
         """Drop buffered observations, ring buffers and counters."""
         self._pending.clear()
         self._windows.clear()
         self._sequence = 0
-        self.stats = EngineStats()
+        with self._stats_lock:
+            self._stats = EngineStats()
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -313,8 +435,7 @@ class InferenceEngine:
     def _normalise(
         self, observation: Observation, source: Optional[str]
     ) -> _PendingObservation:
-        sequence = self._sequence
-        self._sequence += 1
+        sequence = self._next_sequence()
         if isinstance(observation, FeedbackFrame):
             _, quantized = parse_feedback_frame(observation.payload)
             return _PendingObservation(
@@ -385,20 +506,15 @@ class InferenceEngine:
                 )
 
         elapsed = time.perf_counter() - started
-        self.stats.frames_out += len(pending)
-        self.stats.batches += 1
-        self.stats.inference_seconds += elapsed
+        # Publish the whole batch's counters atomically so concurrent stats
+        # snapshots never see frames_out without the matching batches /
+        # inference_seconds update.
+        with self._stats_lock:
+            self._stats.frames_out += len(pending)
+            self._stats.batches += 1
+            self._stats.inference_seconds += elapsed
 
         ordered = [result for result in results if result is not None]
         for result in ordered:
-            window = self._windows.pop(result.source, None)
-            if window is None:
-                window = deque(maxlen=self.vote_window)
-                while len(self._windows) >= self.max_sources:
-                    # Evict the least-recently-updated source (dicts keep
-                    # insertion order; updated windows are re-inserted last).
-                    self._windows.pop(next(iter(self._windows)))
-            # Re-insert so this source becomes the most recently updated.
-            self._windows[result.source] = window
-            window.append(result)
+            self._windows.append(result)
         return ordered

@@ -137,6 +137,7 @@ class AuthenticationPipeline:
         claimed_module_id: Optional[int] = None,
         batch_size: int = 64,
         workers: int = 1,
+        backend: str = "threads",
     ) -> List[AuthenticationResult]:
         """Authenticate many observations through the batched engine.
 
@@ -144,12 +145,18 @@ class AuthenticationPipeline:
         :class:`~repro.core.service.StreamingService` (one engine per worker,
         sources assigned to shards by stable hash); the per-frame decisions
         are identical to the single-engine path and returned in input order.
+        ``backend`` picks where those shards run: worker threads
+        (``"threads"``) or worker processes fed through shared-memory ring
+        buffers (``"processes"``, the multi-core option).
         """
         if not observations:
             raise PipelineError("cannot authenticate an empty observation list")
         if workers > 1:
             with StreamingService(
-                self.classifier, num_workers=workers, batch_size=batch_size
+                self.classifier,
+                num_workers=workers,
+                batch_size=batch_size,
+                backend=backend,
             ) as service:
                 results = service.drain(observations)
         else:
@@ -169,6 +176,7 @@ class AuthenticationPipeline:
         claimed_module_id: Optional[int] = None,
         batch_size: int = 64,
         workers: int = 1,
+        backend: str = "threads",
     ) -> List[AuthenticationResult]:
         """Authenticate every matching frame stored in a monitor capture.
 
@@ -176,7 +184,8 @@ class AuthenticationPipeline:
         ``batch_size`` through the :class:`~repro.core.engine.InferenceEngine`
         hot path instead of one CNN forward per frame.  ``workers > 1``
         spreads the capture's sources over a sharded
-        :class:`~repro.core.service.StreamingService` worker pool.
+        :class:`~repro.core.service.StreamingService` worker pool running on
+        the chosen execution ``backend`` (``"threads"`` or ``"processes"``).
         """
         frames = capture.filter(source_address=source_address)
         if not frames:
@@ -186,6 +195,7 @@ class AuthenticationPipeline:
             claimed_module_id=claimed_module_id,
             batch_size=batch_size,
             workers=workers,
+            backend=backend,
         )
 
     def majority_vote(

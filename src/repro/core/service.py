@@ -7,34 +7,41 @@ observer in a dense network) has to fingerprint the beamforming feedback of
 out:
 
 * the service owns a pool of ``num_workers`` shards, each with its own
-  private :class:`~repro.core.engine.InferenceEngine` (and its own deep copy
-  of the classifier, so forward-pass activation caches are never shared
-  between threads);
+  private :class:`~repro.core.engine.InferenceEngine` (and its own copy of
+  the classifier, so forward-pass activation caches are never shared between
+  workers);
 * every observation is routed to a shard by a *stable hash* of its source
   address (:func:`shard_for_source`).  One source never spans two shards,
   which preserves the per-source ring-buffer and majority-verdict semantics
   of the single engine exactly;
+* **where the shards run is pluggable** (:mod:`repro.core.backends`):
+  ``backend="threads"`` keeps them as worker threads in this process,
+  ``backend="processes"`` moves each shard into a child process fed through
+  a shared-memory ring buffer (:mod:`repro.core.transport`), which breaks
+  the GIL ceiling on multi-core hosts;
 * ingestion is asynchronous: :meth:`StreamingService.submit` enqueues the
-  observation into the shard's bounded queue and returns immediately.  When
-  a queue is full the submitter blocks (backpressure) instead of growing
-  memory without bound; the number of such stalls is counted in
+  observation into the shard's bounded queue/ring and returns immediately.
+  When a shard is full the submitter blocks (backpressure) instead of
+  growing memory without bound; the number of such stalls is counted in
   :attr:`ServiceStats.queue_full_waits`;
 * frame parsing, Givens reconstruction, feature extraction and the CNN
-  forward all run on the worker threads, in micro-batches, exactly as in the
+  forward all run on the workers, in micro-batches, exactly as in the
   single engine;
 * :attr:`StreamingService.stats` aggregates the per-shard
   :class:`~repro.core.engine.EngineStats` into service-level throughput and
-  latency counters.
+  latency counters (for process shards, from the consistent snapshots the
+  workers ship with their results).
 
 Because each shard batches the traffic of *all* the sources hashed to it,
 the service amortises the per-batch cost across sources: many low-rate
-beamformees together still produce full micro-batches.  On multi-core
-hardware the worker threads additionally overlap the BLAS-heavy CNN forwards
-of different shards.
+beamformees together still produce full micro-batches.  With thread shards
+the workers additionally overlap their BLAS-heavy CNN forwards on multi-core
+hardware; with process shards the whole hot path (parsing, feature
+extraction, NumPy dispatch) runs in parallel.
 
 Typical usage::
 
-    with StreamingService(classifier, num_workers=4) as service:
+    with StreamingService(classifier, num_workers=4, backend="processes") as service:
         for frame in sniffer:
             service.submit(frame)          # returns immediately; workers batch
         service.flush()                    # barrier: classify partial batches
@@ -46,21 +53,19 @@ Typical usage::
 
 from __future__ import annotations
 
-import copy
-import queue
+import os
 import threading
 import time
 import zlib
-from collections import deque
-from dataclasses import dataclass, field, replace
-from typing import Deque, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.core.backends import BACKEND_NAMES, WorkerFailure, make_backend
 from repro.core.classifier import DeepCsiClassifier
 from repro.core.engine import (
     ANONYMOUS_SOURCE,
     EngineResult,
     EngineStats,
-    InferenceEngine,
     MajorityVerdict,
     Observation,
 )
@@ -70,6 +75,46 @@ from repro.feedback.frames import FeedbackFrame
 
 class ServiceError(RuntimeError):
     """Raised for invalid service usage or when a worker shard failed."""
+
+
+#: Worker-pool size used when the heuristic has more cores than it needs.
+DEFAULT_MAX_WORKERS = 4
+
+
+def resolve_num_workers(
+    num_workers: Optional[int],
+    backend: str = "threads",
+    cpu_count: Optional[int] = None,
+) -> int:
+    """Pick a worker count when the caller did not force one.
+
+    An explicit ``num_workers`` is always honoured.  ``None`` applies a
+    heuristic that must never pick a configuration slower than one worker:
+
+    * On a **single core** every backend collapses to 1 shard.  Measured on
+      the scaling bench, 4 *thread* shards are slower than 1 on one core
+      (~8.9k vs ~10.5k frames/s): the GIL already serialises the shards, so
+      extra shards only add queue handshakes and splinter the cross-source
+      micro-batches; extra *process* shards likewise just time-slice one
+      core while paying the transport copies.  1 shard keeps the full
+      batch-amortisation win and nothing contends.
+    * On multi-core hosts the pool grows with the cores (capped at
+      :data:`DEFAULT_MAX_WORKERS`): thread shards overlap their BLAS calls,
+      process shards parallelise the whole hot path.
+
+    >>> resolve_num_workers(None, "threads", cpu_count=1)
+    1
+    >>> resolve_num_workers(None, "processes", cpu_count=8)
+    4
+    >>> resolve_num_workers(2, "threads", cpu_count=1)  # explicit wins
+    2
+    """
+    if num_workers is not None:
+        return num_workers
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if cores <= 1:
+        return 1
+    return min(DEFAULT_MAX_WORKERS, cores)
 
 
 def shard_for_source(source: str, num_shards: int) -> int:
@@ -101,6 +146,8 @@ class ServiceStats:
     ----------
     num_workers:
         Number of worker shards.
+    backend:
+        Execution backend the shards run on (``threads`` or ``processes``).
     frames_in:
         Observations accepted by :meth:`StreamingService.submit`.
     frames_out:
@@ -111,7 +158,7 @@ class ServiceStats:
         Summed in-batch processing time of all shards (on multi-core
         hardware this exceeds the wall-clock time because shards overlap).
     queue_full_waits:
-        Number of times a submitter blocked on a full shard queue
+        Number of times a submitter blocked on a full shard queue/ring
         (backpressure events).
     wall_seconds:
         Wall-clock seconds since the service started.
@@ -120,6 +167,7 @@ class ServiceStats:
     """
 
     num_workers: int
+    backend: str = "threads"
     frames_in: int = 0
     frames_out: int = 0
     batches: int = 0
@@ -150,28 +198,6 @@ class ServiceStats:
         return self.frames_out / self.batches
 
 
-@dataclass
-class _FlushRequest:
-    """Control token: flush the shard engine, then signal ``done``."""
-
-    done: threading.Event = field(default_factory=threading.Event)
-    stop: bool = False
-
-
-@dataclass
-class _Shard:
-    """One worker: a private engine, its queue and its bookkeeping."""
-
-    index: int
-    engine: InferenceEngine
-    queue: "queue.Queue"
-    lock: threading.Lock = field(default_factory=threading.Lock)
-    #: Global sequence numbers of the observations handed to the engine, in
-    #: order; popped as the engine emits their results.
-    sequences: Deque[int] = field(default_factory=deque)
-    thread: Optional[threading.Thread] = None
-
-
 class StreamingService:
     """Sharded multi-worker streaming classification service.
 
@@ -179,23 +205,33 @@ class StreamingService:
     ----------
     classifier:
         A trained (or loaded) :class:`~repro.core.classifier.DeepCsiClassifier`.
-        Each shard works on a private deep copy, so results are bitwise
-        identical to the single-engine path while the threads never share
-        mutable model state.
+        Each shard works on a private copy, so results are bitwise identical
+        to the single-engine path while the workers never share mutable
+        model state.
     num_workers:
-        Number of worker shards (and threads).
+        Number of worker shards.  ``None`` (the default) applies
+        :func:`resolve_num_workers`: 1 shard on a single core (where more
+        shards are measurably *slower*), up to 4 on multi-core hosts.
+    backend:
+        ``"threads"`` (shards as worker threads, the default) or
+        ``"processes"`` (shards as child processes fed through shared-memory
+        ring buffers; see :mod:`repro.core.backends`).
     queue_depth:
-        Bound of each shard's ingestion queue.  A full queue blocks the
-        submitter (backpressure) instead of buffering without limit.
+        Bound of each shard's ingestion queue (thread backend) or
+        shared-memory ring, in slots (process backend).  A full shard blocks
+        the submitter (backpressure) instead of buffering without limit.
     batch_size / max_latency_frames / vote_window / max_sources:
         Forwarded to every shard's :class:`~repro.core.engine.InferenceEngine`.
         ``max_sources`` bounds the ring buffers *per shard*, so the service
         keeps at most ``num_workers * max_sources`` source windows alive.
+    slot_bytes:
+        Process backend only: size of one shared-memory ring slot.  Records
+        larger than a slot transparently span consecutive slots.
 
     Notes
     -----
-    The service starts its worker threads on construction and is also a
-    context manager; leaving the ``with`` block calls :meth:`close`.
+    The service starts its workers on construction and is also a context
+    manager; leaving the ``with`` block calls :meth:`close`.
 
     Results become available asynchronously: :meth:`collect` pops whatever
     completed, :meth:`drain` is the synchronous convenience wrapper, and
@@ -210,47 +246,53 @@ class StreamingService:
     def __init__(
         self,
         classifier: DeepCsiClassifier,
-        num_workers: int = 4,
+        num_workers: Optional[int] = None,
         queue_depth: int = 256,
         batch_size: int = 64,
         max_latency_frames: Optional[int] = None,
         vote_window: int = 16,
         max_sources: int = 1024,
+        backend: str = "threads",
+        slot_bytes: Optional[int] = None,
     ) -> None:
+        if backend not in BACKEND_NAMES:
+            raise ServiceError(
+                f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        num_workers = resolve_num_workers(num_workers, backend)
         if num_workers < 1:
             raise ServiceError("num_workers must be >= 1")
         if queue_depth < 1:
             raise ServiceError("queue_depth must be >= 1")
         self.num_workers = num_workers
         self.queue_depth = queue_depth
-        self._shards: List[_Shard] = []
-        self._completed: Deque[EngineResult] = deque()
-        self._failure: Optional[BaseException] = None
+        self.backend_name = backend
         self._closed = False
         self._frames_in = 0
-        self._queue_full_waits = 0
         self._submit_lock = threading.Lock()
         self._started_monotonic = time.monotonic()
-        for index in range(num_workers):
-            engine = InferenceEngine(
-                copy.deepcopy(classifier),
-                batch_size=batch_size,
-                max_latency_frames=max_latency_frames,
-                vote_window=vote_window,
-                max_sources=max_sources,
+        engine_kwargs = dict(
+            batch_size=batch_size,
+            max_latency_frames=max_latency_frames,
+            vote_window=vote_window,
+            max_sources=max_sources,
+        )
+        try:
+            self._backend = make_backend(
+                backend,
+                classifier,
+                num_workers,
+                queue_depth,
+                engine_kwargs,
+                slot_bytes=slot_bytes,
             )
-            shard = _Shard(
-                index=index, engine=engine, queue=queue.Queue(maxsize=queue_depth)
-            )
-            shard.thread = threading.Thread(
-                target=self._worker_loop,
-                args=(shard,),
-                name=f"repro-shard-{index}",
-                daemon=True,
-            )
-            self._shards.append(shard)
-        for shard in self._shards:
-            shard.thread.start()
+        except ValueError as error:
+            raise ServiceError(str(error)) from error
+
+    @property
+    def _shards(self):
+        """Shard handles of the underlying backend (tests/introspection)."""
+        return self._backend.shards
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -269,8 +311,8 @@ class StreamingService:
 
         Routes by the stable hash of the source address (frames and captured
         feedbacks carry their own, ``source`` overrides it) and returns as
-        soon as the observation sits in the shard's queue.  Blocks only when
-        that queue is full (backpressure).
+        soon as the observation sits in the shard's queue/ring.  Blocks only
+        when that shard is full (backpressure).
 
         Safe to call from several producer threads at once (the service-wide
         sequence stamp is taken under a lock, and sources on the same shard
@@ -280,16 +322,14 @@ class StreamingService:
         """
         self._check_usable()
         key = self._source_key(observation, source)
-        shard = self._shards[shard_for_source(key, self.num_workers)]
+        shard_index = shard_for_source(key, self.num_workers)
         with self._submit_lock:
-            item = (self._frames_in, observation, key)
+            sequence = self._frames_in
             self._frames_in += 1
         try:
-            shard.queue.put_nowait(item)
-        except queue.Full:
-            with self._submit_lock:
-                self._queue_full_waits += 1
-            shard.queue.put(item)
+            self._backend.submit(shard_index, sequence, observation, key)
+        except WorkerFailure as failure:
+            raise ServiceError(f"a worker shard failed: {failure}") from failure
 
     def flush(self) -> None:
         """Barrier: classify every queued observation, partial batches included.
@@ -298,24 +338,16 @@ class StreamingService:
         the call; the results are then available through :meth:`collect`.
         """
         self._check_usable()
-        requests = []
-        for shard in self._shards:
-            request = _FlushRequest()
-            shard.queue.put(request)
-            requests.append(request)
-        for request in requests:
-            request.done.wait()
+        try:
+            self._backend.flush()
+        except WorkerFailure as failure:
+            raise ServiceError(f"a worker shard failed: {failure}") from failure
         self._check_failure()
 
     def collect(self) -> List[EngineResult]:
         """Pop every result completed so far (per-source submission order)."""
         self._check_failure()
-        results: List[EngineResult] = []
-        while True:
-            try:
-                results.append(self._completed.popleft())
-            except IndexError:
-                return results
+        return self._backend.poll()
 
     def stream(
         self,
@@ -351,38 +383,32 @@ class StreamingService:
     def verdict(self, source: Optional[str] = None) -> MajorityVerdict:
         """Windowed majority vote for one source (see the engine method).
 
-        The vote runs on the single shard that owns the source, so it is
+        The vote runs over the single shard that owns the source, so it is
         identical to the verdict a single shared engine would produce for
-        the same per-source result stream.
+        the same per-source result stream (the process backend answers it
+        from a parent-side replica of the shard's result windows).
         """
         key = ANONYMOUS_SOURCE if source is None else source
-        shard = self._shards[shard_for_source(key, self.num_workers)]
-        with shard.lock:
-            return shard.engine.verdict(key)
+        shard_index = shard_for_source(key, self.num_workers)
+        return self._backend.verdict(shard_index, key)
 
     @property
     def sources(self) -> List[str]:
         """Sources with at least one classified observation, across shards."""
-        names: List[str] = []
-        for shard in self._shards:
-            with shard.lock:
-                names.extend(shard.engine.sources)
-        return sorted(names)
+        return self._backend.sources()
 
     @property
     def stats(self) -> ServiceStats:
         """Aggregated service-level counters (a point-in-time snapshot)."""
-        worker_stats = []
-        for shard in self._shards:
-            with shard.lock:
-                worker_stats.append(replace(shard.engine.stats))
+        worker_stats = self._backend.worker_stats()
         return ServiceStats(
             num_workers=self.num_workers,
+            backend=self.backend_name,
             frames_in=self._frames_in,
             frames_out=sum(stats.frames_out for stats in worker_stats),
             batches=sum(stats.batches for stats in worker_stats),
             inference_seconds=sum(stats.inference_seconds for stats in worker_stats),
-            queue_full_waits=self._queue_full_waits,
+            queue_full_waits=self._backend.queue_full_waits,
             wall_seconds=time.monotonic() - self._started_monotonic,
             worker_stats=tuple(worker_stats),
         )
@@ -391,24 +417,17 @@ class StreamingService:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Flush every shard, stop the worker threads and join them.
+        """Flush every shard, stop the workers and release their resources.
 
         Idempotent; after closing, :meth:`submit` and :meth:`flush` raise
         :class:`ServiceError`.  Completed results remain available through
-        :meth:`collect`.
+        :meth:`collect`.  The process backend additionally joins its child
+        processes and unlinks every shared-memory segment, crash or not.
         """
         if self._closed:
             return
         self._closed = True
-        requests = []
-        for shard in self._shards:
-            request = _FlushRequest(stop=True)
-            shard.queue.put(request)
-            requests.append(request)
-        for request in requests:
-            request.done.wait()
-        for shard in self._shards:
-            shard.thread.join()
+        self._backend.close()
 
     def __enter__(self) -> "StreamingService":
         return self
@@ -425,58 +444,7 @@ class StreamingService:
         self._check_failure()
 
     def _check_failure(self) -> None:
-        if self._failure is not None:
-            raise ServiceError(
-                f"a worker shard failed: {self._failure}"
-            ) from self._failure
-
-    def _worker_loop(self, shard: _Shard) -> None:
-        while True:
-            # Drain greedily: after the blocking get, grab everything already
-            # queued so one thread wake-up handles a whole run of items (far
-            # fewer queue handshakes and context switches per frame).
-            items = [shard.queue.get()]
-            while True:
-                try:
-                    items.append(shard.queue.get_nowait())
-                except queue.Empty:
-                    break
-            for item in items:
-                if self._handle(shard, item):
-                    return
-
-    def _handle(self, shard: _Shard, item: object) -> bool:
-        """Process one queued item; returns True when the worker must stop."""
-        if isinstance(item, _FlushRequest):
-            try:
-                if self._failure is None:
-                    with shard.lock:
-                        results = shard.engine.flush()
-                    self._emit(shard, results)
-            except BaseException as exc:  # noqa: BLE001 - reported at collect()
-                self._failure = exc
-                shard.sequences.clear()
-            finally:
-                item.done.set()
-            return item.stop
-        if self._failure is not None:
-            # A shard already failed: keep draining so submitters never
-            # deadlock on a full queue, but stop doing work.
-            return False
-        sequence, observation, source = item
         try:
-            shard.sequences.append(sequence)
-            with shard.lock:
-                results = shard.engine.submit(observation, source=source)
-            self._emit(shard, results)
-        except BaseException as exc:  # noqa: BLE001 - reported at collect()
-            self._failure = exc
-            shard.sequences.clear()
-        return False
-
-    def _emit(self, shard: _Shard, results: List[EngineResult]) -> None:
-        """Re-stamp engine-local sequences with the service-wide ones."""
-        for result in results:
-            self._completed.append(
-                replace(result, sequence=shard.sequences.popleft())
-            )
+            self._backend.raise_if_failed()
+        except WorkerFailure as failure:
+            raise ServiceError(f"a worker shard failed: {failure}") from failure

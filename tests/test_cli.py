@@ -51,6 +51,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_accepts_every_backend(self):
+        parser = build_parser()
+        for backend in ("threads", "processes"):
+            args = parser.parse_args(
+                ["serve", "data.npz", "model-dir", "--backend", backend]
+            )
+            assert args.backend == backend
+        # Workers default to None: the service picks the heuristic count
+        # (1 on a single core, where more shards are slower).
+        assert parser.parse_args(["serve", "data.npz", "model-dir"]).workers is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "data.npz", "model-dir", "--backend", "x"])
+
 
 class TestGenerateAndInfo:
     def test_generate_writes_a_loadable_archive(self, generated_dataset):
@@ -177,11 +190,42 @@ class TestProbeTrainEvaluate:
         )
         captured = capsys.readouterr().out
         assert code == 0
-        assert "workers (queue depth 16" in captured
+        assert "2 workers on the threads backend (queue depth 16" in captured
         assert "[stats]" in captured
         assert "worker 0:" in captured
         assert "worker 1:" in captured
         assert "frame accuracy" in captured
+        assert "verdict module" in captured
+
+        code = main(
+            [
+                "serve",
+                str(generated_dataset),
+                str(model_dir),
+                "--split",
+                "S1",
+                "--stride",
+                "16",
+                "--num-classes",
+                "3",
+                "--workers",
+                "2",
+                "--backend",
+                "processes",
+                "--queue-depth",
+                "16",
+                "--batch-size",
+                "8",
+                "--window",
+                "4",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "2 workers on the processes backend" in captured
+        assert "(processes backend" in captured
+        assert "worker 0:" in captured
+        assert "worker 1:" in captured
         assert "verdict module" in captured
 
     def test_serve_rejects_invalid_repeat(self, generated_dataset, tmp_path, capsys):

@@ -233,6 +233,40 @@ class TestEngineStatsGuards:
         assert engine.stats.frames_per_second == 0.0
         assert engine.stats.mean_batch_size == 0.0
 
+    def test_stats_snapshot_is_consistent_mid_drain(
+        self, trained_classifier, test_samples
+    ):
+        """Regression: a snapshot taken from another thread mid-drain must be
+        consistent - all counters of a batch published together, never a
+        half-updated mix (e.g. frames_out bumped but batches not yet).
+        """
+        import threading
+
+        batch_size = 2
+        engine = InferenceEngine(trained_classifier, batch_size=batch_size)
+        stop = threading.Event()
+        violations = []
+
+        def watch():
+            while not stop.is_set():
+                stats = engine.stats
+                # Full batches only, so every published batch adds exactly
+                # batch_size frames: any other ratio is a torn snapshot.
+                if stats.frames_out != stats.batches * batch_size:
+                    violations.append((stats.frames_out, stats.batches))
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        try:
+            for _ in range(10):
+                for sample in test_samples[:8]:
+                    engine.submit(sample)
+        finally:
+            stop.set()
+            watcher.join()
+        assert not violations, f"torn stats snapshots observed: {violations[:5]}"
+        assert engine.stats.frames_out == engine.stats.batches * batch_size
+
 
 class TestEngineOnSniffedFrames:
     def test_raw_frames_take_the_batched_givens_path(

@@ -229,3 +229,14 @@ class TestCaptureAuthentication:
         for got, want in zip(sharded, single):
             assert got.predicted_module_id == want.predicted_module_id
             assert got.confidence == pytest.approx(want.confidence, rel=1e-12)
+
+        # The process backend must agree with the thread backend bit for bit:
+        # same routed sub-streams, same engines, only the transport differs.
+        processed = trained_pipeline.authenticate_capture(
+            capture, workers=2, backend="processes"
+        )
+        assert len(processed) == len(sharded)
+        for got, want in zip(processed, sharded):
+            assert got.predicted_module_id == want.predicted_module_id
+            assert got.confidence == want.confidence  # bitwise
+            assert got.accepted == want.accepted

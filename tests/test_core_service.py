@@ -10,6 +10,7 @@ from repro.core.service import (
     ServiceError,
     ServiceStats,
     StreamingService,
+    resolve_num_workers,
     shard_for_source,
 )
 from repro.datasets.features import FeatureConfig, strided_subcarriers
@@ -233,6 +234,204 @@ class TestBackpressureAndLifecycle:
             StreamingService(trained_classifier, num_workers=0)
         with pytest.raises(ServiceError):
             StreamingService(trained_classifier, queue_depth=0)
+
+
+class TestWorkerHeuristic:
+    def test_explicit_worker_count_always_wins(self):
+        assert resolve_num_workers(2, "threads", cpu_count=1) == 2
+        assert resolve_num_workers(7, "processes", cpu_count=1) == 7
+
+    def test_single_core_defaults_to_one_shard(self):
+        # On one core extra shards only add queue handshakes (threads: the
+        # GIL already serialises them; processes: they time-slice the core
+        # while paying transport copies) - the default must never be slower
+        # than 1 worker.
+        assert resolve_num_workers(None, "threads", cpu_count=1) == 1
+        assert resolve_num_workers(None, "processes", cpu_count=1) == 1
+
+    def test_multi_core_grows_with_cores_up_to_cap(self):
+        assert resolve_num_workers(None, "threads", cpu_count=2) == 2
+        assert resolve_num_workers(None, "processes", cpu_count=3) == 3
+        assert resolve_num_workers(None, "threads", cpu_count=16) == 4
+
+    def test_service_applies_heuristic_for_default_workers(
+        self, trained_classifier
+    ):
+        import os
+
+        expected = resolve_num_workers(None, "threads", cpu_count=os.cpu_count())
+        with StreamingService(trained_classifier) as service:
+            assert service.num_workers == expected
+
+    def test_unknown_backend_rejected(self, trained_classifier):
+        with pytest.raises(ServiceError):
+            StreamingService(trained_classifier, num_workers=1, backend="fibers")
+
+
+class TestProcessBackend:
+    def test_results_match_threads_backend_bitwise(
+        self, trained_classifier, multi_source_stream
+    ):
+        """Identical traffic through both backends: bitwise-identical results."""
+
+        def run(backend):
+            with StreamingService(
+                trained_classifier, num_workers=2, batch_size=5, backend=backend
+            ) as service:
+                for source, sample in multi_source_stream:
+                    service.submit(sample, source=source)
+                service.flush()
+                results = sorted(
+                    service.collect(), key=lambda result: result.sequence
+                )
+                verdicts = {
+                    source: service.verdict(source) for source in service.sources
+                }
+            return results, verdicts
+
+        thread_results, thread_verdicts = run("threads")
+        process_results, process_verdicts = run("processes")
+        assert len(process_results) == len(thread_results) == len(
+            multi_source_stream
+        )
+        for thread_result, process_result in zip(thread_results, process_results):
+            assert thread_result.sequence == process_result.sequence
+            assert thread_result.source == process_result.source
+            assert (
+                thread_result.predicted_module_id
+                == process_result.predicted_module_id
+            )
+            assert thread_result.confidence == process_result.confidence  # bitwise
+            assert thread_result.timestamp_s == process_result.timestamp_s
+        assert set(process_verdicts) == set(thread_verdicts)
+        for source, process_verdict in process_verdicts.items():
+            thread_verdict = thread_verdicts[source]
+            assert process_verdict.module_id == thread_verdict.module_id
+            assert process_verdict.num_votes == thread_verdict.num_votes
+            assert process_verdict.window_size == thread_verdict.window_size
+            assert process_verdict.confidence == thread_verdict.confidence
+
+    def test_worker_crash_raises_instead_of_hanging(
+        self, trained_classifier, test_samples
+    ):
+        """Killing a child process surfaces as ServiceError, not a deadlock."""
+        service = StreamingService(
+            trained_classifier,
+            num_workers=2,
+            batch_size=4,
+            queue_depth=4,
+            backend="processes",
+        )
+        try:
+            service.drain(test_samples[:4])
+            for shard in service._shards:
+                shard.process.kill()
+                shard.process.join(timeout=5.0)
+            with pytest.raises(ServiceError, match="died"):
+                # The dead consumers never drain their rings, so keep
+                # submitting until backpressure makes the liveness check run;
+                # the small ring bounds the number of iterations needed.
+                for sample in test_samples * 20:
+                    service.submit(sample, source="alice")
+        finally:
+            service.close()
+
+    def test_flush_with_dead_worker_raises(self, trained_classifier, test_samples):
+        service = StreamingService(
+            trained_classifier, num_workers=2, batch_size=4, backend="processes"
+        )
+        try:
+            service.drain(test_samples[:4])
+            for shard in service._shards:
+                shard.process.kill()
+                shard.process.join(timeout=5.0)
+            with pytest.raises(ServiceError):
+                service.flush()
+        finally:
+            service.close()
+
+    def test_close_unlinks_every_shm_segment(self, trained_classifier, test_samples):
+        from repro.core.transport import segment_exists
+
+        service = StreamingService(
+            trained_classifier, num_workers=2, batch_size=4, backend="processes"
+        )
+        names = service._backend.segment_names
+        assert all(segment_exists(name) for name in names)
+        service.drain(test_samples[:6])
+        service.close()
+        assert not any(segment_exists(name) for name in names)
+
+    def test_close_unlinks_segments_after_worker_crash(
+        self, trained_classifier, test_samples
+    ):
+        from repro.core.transport import segment_exists
+
+        service = StreamingService(
+            trained_classifier, num_workers=2, batch_size=4, backend="processes"
+        )
+        names = service._backend.segment_names
+        service.drain(test_samples[:4])
+        for shard in service._shards:
+            shard.process.kill()
+            shard.process.join(timeout=5.0)
+        service.close()
+        assert not any(segment_exists(name) for name in names)
+
+    def test_stats_aggregate_per_shard_sums(
+        self, trained_classifier, multi_source_stream
+    ):
+        with StreamingService(
+            trained_classifier, num_workers=3, batch_size=4, backend="processes"
+        ) as service:
+            for source, sample in multi_source_stream:
+                service.submit(sample, source=source)
+            service.flush()
+            stats = service.stats
+        assert stats.backend == "processes"
+        assert stats.num_workers == 3
+        assert len(stats.worker_stats) == 3
+        assert stats.frames_in == len(multi_source_stream)
+        assert stats.frames_out == sum(w.frames_out for w in stats.worker_stats)
+        assert stats.frames_out == len(multi_source_stream)
+        assert stats.batches == sum(w.batches for w in stats.worker_stats)
+        assert stats.inference_seconds == pytest.approx(
+            sum(w.inference_seconds for w in stats.worker_stats)
+        )
+
+    def test_invalid_observation_surfaces_as_service_error(
+        self, trained_classifier
+    ):
+        with StreamingService(
+            trained_classifier, num_workers=2, backend="processes"
+        ) as service:
+            service.submit(np.zeros((4, 4, 4, 4)))
+            with pytest.raises(ServiceError):
+                service.flush()
+
+    def test_oversize_frames_span_ring_slots(self, trained_classifier, test_samples):
+        """Frames bigger than one shm slot still arrive bit for bit."""
+        with StreamingService(
+            trained_classifier,
+            num_workers=2,
+            batch_size=4,
+            backend="processes",
+            slot_bytes=1024,  # far below one (234, 3, 2) complex128 payload
+        ) as service:
+            results = service.drain(test_samples[:6])
+        assert len(results) == 6
+
+    def test_closed_service_rejects_submissions(
+        self, trained_classifier, test_samples
+    ):
+        service = StreamingService(
+            trained_classifier, num_workers=2, backend="processes"
+        )
+        service.drain(test_samples[:2])
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(ServiceError):
+            service.submit(test_samples[0])
 
 
 class TestServiceStats:

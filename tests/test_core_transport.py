@@ -1,0 +1,129 @@
+"""Tests for the shared-memory frame transport of the process backend."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.transport import (
+    RECORD_FLUSH,
+    RECORD_FRAME,
+    RECORD_STOP,
+    RECORD_VTILDE,
+    ShmRing,
+    TransportError,
+    pack_array_record,
+    pack_control_record,
+    pack_frame_record,
+    segment_exists,
+    unpack_record,
+)
+
+
+@pytest.fixture()
+def context():
+    return multiprocessing.get_context()
+
+
+class TestRecordCodec:
+    def test_array_record_roundtrip_preserves_bits(self):
+        rng = np.random.default_rng(3)
+        array = rng.standard_normal((17, 3, 2)) + 1j * rng.standard_normal((17, 3, 2))
+        encoded = pack_array_record(42, "02:00:00:00:00:07", 12.5, array)
+        record = unpack_record(encoded)
+        assert record.kind == RECORD_VTILDE
+        assert record.sequence == 42
+        assert record.source == "02:00:00:00:00:07"
+        assert record.timestamp_s == 12.5
+        assert record.array.dtype == array.dtype
+        assert record.array.shape == array.shape
+        np.testing.assert_array_equal(record.array, array)
+
+    def test_frame_record_roundtrip(self):
+        payload = bytes(range(256)) * 3
+        encoded = pack_frame_record(7, "aa:bb", 1.25, payload)
+        record = unpack_record(encoded)
+        assert record.kind == RECORD_FRAME
+        assert record.sequence == 7
+        assert record.source == "aa:bb"
+        assert record.payload == payload
+
+    def test_control_records(self):
+        for kind in (RECORD_FLUSH, RECORD_STOP):
+            record = unpack_record(pack_control_record(kind, sequence=9))
+            assert record.kind == kind
+            assert record.sequence == 9
+        with pytest.raises(TransportError):
+            pack_control_record(RECORD_VTILDE)
+
+    def test_rejects_untransportable_arrays(self):
+        with pytest.raises(TransportError):
+            pack_array_record(0, "s", 0.0, np.zeros((2, 2, 2, 2, 2)))
+
+
+class TestShmRing:
+    def test_put_get_fifo(self, context):
+        ring = ShmRing(context, num_slots=8, slot_bytes=256)
+        try:
+            for sequence in range(5):
+                ring.put(pack_frame_record(sequence, "src", 0.0, b"x" * 32))
+            for sequence in range(5):
+                assert ring.get().sequence == sequence
+        finally:
+            ring.unlink()
+
+    def test_large_record_spans_multiple_slots(self, context):
+        """An oversize V~ frame must survive a tiny-slot ring bit for bit."""
+        ring = ShmRing(context, num_slots=64, slot_bytes=128)
+        rng = np.random.default_rng(5)
+        array = rng.standard_normal((30, 3, 2)) + 1j * rng.standard_normal((30, 3, 2))
+        try:
+            assert ring.slots_needed(len(pack_array_record(0, "s", 0.0, array))) > 1
+            ring.put(pack_array_record(3, "02:aa", 0.5, array))
+            record = ring.get()
+            np.testing.assert_array_equal(record.array, array)
+            assert record.sequence == 3
+        finally:
+            ring.unlink()
+
+    def test_record_larger_than_ring_rejected(self, context):
+        ring = ShmRing(context, num_slots=2, slot_bytes=64)
+        try:
+            with pytest.raises(TransportError):
+                ring.put(b"z" * 1024)
+        finally:
+            ring.unlink()
+
+    def test_backpressure_invokes_on_wait(self, context):
+        """A full ring blocks; draining in another thread unblocks the put."""
+        import threading
+
+        ring = ShmRing(context, num_slots=1, slot_bytes=256)
+        waits = []
+        try:
+            ring.put(pack_control_record(RECORD_FLUSH))
+
+            def drain_later():
+                ring.get()
+
+            drainer = threading.Timer(0.05, drain_later)
+            drainer.start()
+            ring.put(pack_control_record(RECORD_FLUSH), on_wait=lambda: waits.append(1))
+            drainer.join()
+            assert waits == [1]
+        finally:
+            ring.unlink()
+
+    def test_unlink_destroys_segment(self, context):
+        ring = ShmRing(context, num_slots=2, slot_bytes=128)
+        name = ring.name
+        assert segment_exists(name)
+        ring.unlink()
+        ring.unlink()  # idempotent
+        assert not segment_exists(name)
+
+    def test_invalid_configuration_rejected(self, context):
+        with pytest.raises(TransportError):
+            ShmRing(context, num_slots=0, slot_bytes=256)
+        with pytest.raises(TransportError):
+            ShmRing(context, num_slots=4, slot_bytes=8)
