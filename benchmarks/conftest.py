@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import sys
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 # Allow "from benchmarks.common import ..." style imports when pytest is
@@ -53,6 +55,15 @@ def record():
 
     smoke = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
+    # Host metadata stored with every JSON artifact so cross-run trajectories
+    # (different machines, interpreter or BLAS versions) stay comparable.
+    host = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
     def _record(name: str, text: str, data: dict | None = None) -> None:
         print()
         print(text)
@@ -63,7 +74,7 @@ def record():
             return
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         if data is not None:
-            payload = {"benchmark": name, **data, "report": text}
+            payload = {"benchmark": name, "host": host, **data, "report": text}
             (RESULTS_DIR / f"{name}.json").write_text(
                 json.dumps(payload, indent=2, sort_keys=False) + "\n"
             )

@@ -51,6 +51,7 @@ from repro.datasets.splits import (
     d1_split,
     d2_split,
 )
+from repro.nn.compute import COMPUTE_NAMES
 from repro.nn.training import TrainingConfig
 
 #: Names accepted by the ``--split`` options.
@@ -163,6 +164,21 @@ def _load_classifier(
     return DeepCsiClassifier(config).load(args.model_dir)
 
 
+def _apply_compute(
+    classifier: DeepCsiClassifier,
+    compute: Optional[str],
+    train: Sequence[FeedbackSample],
+) -> None:
+    """Attach the requested compute backend, calibrating int8 on ``train``."""
+    if compute is None:
+        return
+    if compute == "int8" and not train:
+        raise CliError(
+            "--compute int8 needs training samples in the split for calibration"
+        )
+    classifier.set_compute(compute, calibration=train if compute == "int8" else None)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset_path)
     _, test = _apply_split(dataset, args.split, args.beamformee)
@@ -174,13 +190,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_authenticate(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset_path)
-    _, test = _apply_split(dataset, args.split, args.beamformee)
+    train, test = _apply_split(dataset, args.split, args.beamformee)
     classifier = _load_classifier(args, test)
+    _apply_compute(classifier, args.compute, train)
     engine = InferenceEngine(
         classifier,
         batch_size=args.batch_size,
         max_latency_frames=args.max_latency_frames,
         vote_window=args.window,
+        profile=args.profile,
     )
     results = []
     for sample in test:
@@ -197,7 +215,7 @@ def _cmd_authenticate(args: argparse.Namespace) -> int:
     print(
         f"authenticated {stats.frames_out} frames in {stats.batches} "
         f"micro-batches (batch size {args.batch_size}, "
-        f"mean {stats.mean_batch_size:.1f})"
+        f"mean {stats.mean_batch_size:.1f}, compute {stats.compute})"
     )
     print(
         f"  throughput: {stats.frames_per_second:.1f} frames/s "
@@ -211,6 +229,17 @@ def _cmd_authenticate(args: argparse.Namespace) -> int:
             f"(confidence {verdict.confidence:.2f}, "
             f"{verdict.num_votes}/{verdict.window_size} votes in window)"
         )
+    if args.profile:
+        total_ns = sum(entry.total_ns for entry in stats.layer_profile) or 1
+        print("  per-layer forward profile:")
+        for entry in stats.layer_profile:
+            print(
+                f"    [{entry.index:02d}] {entry.name:<20s} "
+                f"{entry.calls:>5d} calls  "
+                f"{entry.total_ns / 1e6:>9.2f} ms total  "
+                f"{entry.mean_ms:>7.3f} ms/call  "
+                f"{100.0 * entry.total_ns / total_ns:>5.1f}%"
+            )
     return 0
 
 
@@ -245,8 +274,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         raise CliError("--repeat must be >= 1")
     dataset = load_dataset(args.dataset_path)
-    _, test = _apply_split(dataset, args.split, args.beamformee)
+    train, test = _apply_split(dataset, args.split, args.beamformee)
     classifier = _load_classifier(args, test)
+    _apply_compute(classifier, args.compute, train)
     stream = _interleave_by_module(test) * args.repeat
     labels = [sample.module_id for _, sample in stream]
     workers = resolve_num_workers(args.workers, args.backend)
@@ -254,7 +284,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving {len(stream)} frames from "
         f"{len({source for source, _ in stream})} sources through "
         f"{workers} workers on the {args.backend} backend "
-        f"(queue depth {args.queue_depth}, batch size {args.batch_size})"
+        f"(queue depth {args.queue_depth}, batch size {args.batch_size}, "
+        f"compute {classifier.compute_name})"
     )
     with StreamingService(
         classifier,
@@ -290,7 +321,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"served {stats.frames_out} frames in {stats.batches} micro-batches "
         f"across {stats.num_workers} workers ({stats.backend} backend, "
-        f"mean batch {stats.mean_batch_size:.1f})"
+        f"compute {stats.compute}, mean batch {stats.mean_batch_size:.1f})"
     )
     print(
         f"  throughput: {stats.frames_per_second:.1f} frames/s inference, "
@@ -406,6 +437,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="per-source ring-buffer length for the windowed majority vote",
     )
+    authenticate.add_argument(
+        "--compute",
+        default=None,
+        choices=COMPUTE_NAMES,
+        help="inference compute backend: exact (bitwise fp64), fp32 (arena "
+        "float32), int8 (post-training quantised; calibrated on the split's "
+        "training samples)",
+    )
+    authenticate.add_argument(
+        "--profile",
+        action="store_true",
+        help="accumulate and print per-layer forward timings",
+    )
     authenticate.set_defaults(handler=_cmd_authenticate)
 
     serve = subparsers.add_parser(
@@ -465,6 +509,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="loop the interleaved stream this many times (sustained load)",
+    )
+    serve.add_argument(
+        "--compute",
+        default=None,
+        choices=COMPUTE_NAMES,
+        help="inference compute backend every shard runs (int8 is calibrated "
+        "on the split's training samples before the shards copy the model)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

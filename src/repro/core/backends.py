@@ -13,7 +13,12 @@ shard engines run* to an :class:`ExecutionBackend`:
   per shard.  Each child owns a private
   :class:`~repro.core.engine.InferenceEngine` whose classifier weights are
   cloned exactly once at startup (copy-on-write under the ``fork`` start
-  method, one pickled copy under ``spawn``); afterwards the hot path moves
+  method, one pickled copy under ``spawn``).  The classifier's compute
+  backend (:mod:`repro.nn.compute`) rides along in that startup payload --
+  including the int8 quantised weights and calibration scales -- while its
+  scratch arenas are dropped on pickling and rebuilt lazily in the child,
+  so a quantised service never re-calibrates per shard.  Afterwards the
+  hot path moves
   frames through a :class:`~repro.core.transport.ShmRing` shared-memory ring
   buffer - raw angle/``V~`` bytes plus a compact header, never a pickled
   NumPy object per frame.  Compact per-frame *results* (module id,

@@ -35,7 +35,12 @@ from repro.datasets.features import (
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.model import Sequential
 from repro.nn.optimizers import Adam
-from repro.nn.serialization import load_weights, save_weights
+from repro.nn.serialization import (
+    load_compute_state,
+    load_weights,
+    save_compute_state,
+    save_weights,
+)
 from repro.nn.training import History, Trainer, TrainingConfig
 
 
@@ -196,6 +201,66 @@ class DeepCsiClassifier:
         return apply_normalization(features, self._normalization)
 
     # ------------------------------------------------------------------ #
+    # Compute backend selection
+    # ------------------------------------------------------------------ #
+    @property
+    def compute(self):
+        """The compute backend attached to the model (``None`` = plain fp64)."""
+        return self.model.compute if self.model is not None else None
+
+    @property
+    def compute_name(self) -> str:
+        """Registry name of the active compute backend (``"fp64"`` default)."""
+        backend = self.compute
+        return backend.name if backend is not None else "fp64"
+
+    def set_compute(self, compute, calibration=None):
+        """Route inference through a pluggable compute backend.
+
+        Parameters
+        ----------
+        compute:
+            Registry name (``"exact"``, ``"fp32"``, ``"int8"``), a backend
+            instance, or ``None`` to restore the plain fp64 path.
+        calibration:
+            Data for backends that need an activation-calibration pass
+            (``int8``): either a sequence of labelled
+            :class:`~repro.datasets.containers.FeedbackSample` (typically the
+            training split) or a pre-stacked ``(B, K, M, N_SS)`` array of
+            reconstructed ``V~`` matrices.  Ignored by ``exact``/``fp32``.
+
+        Returns the attached backend (or ``None``).
+        """
+        model = self._require_trained()
+        backend = self.compute
+        if backend is not None and (
+            compute is backend or (isinstance(compute, str) and compute == backend.name)
+        ):
+            return backend
+        backend = model.set_compute(compute)
+        if backend is not None and getattr(backend, "calibrated", True) is False:
+            if calibration is None:
+                model.set_compute(None)
+                raise ClassifierError(
+                    f"the {backend.name!r} backend requires calibration data "
+                    "(pass calibration=<training samples or V~ batch>)"
+                )
+            backend.calibrate(self._calibration_features(calibration))
+        return backend
+
+    def _calibration_features(self, calibration) -> np.ndarray:
+        """Normalised model-input features from calibration data."""
+        if isinstance(calibration, np.ndarray):
+            if calibration.ndim != 4:
+                raise ClassifierError(
+                    "calibration arrays must have shape (B, K, M, N_SS)"
+                )
+            return apply_normalization(
+                self.extractor.transform_matrices(calibration), self._normalization
+            )
+        return self._features_of(list(calibration))
+
+    # ------------------------------------------------------------------ #
     # Inference
     # ------------------------------------------------------------------ #
     def predict_logits(self, samples: Sequence[FeedbackSample]) -> np.ndarray:
@@ -242,9 +307,12 @@ class DeepCsiClassifier:
         if v_batch.shape[0] == 0:
             empty = np.zeros(0)
             return empty.astype(int), empty
-        features = apply_normalization(
-            self.extractor.transform_matrices(v_batch), self._normalization
-        )
+        features = self.extractor.transform_matrices(v_batch)
+        # The extractor hands us a freshly-built tensor, so normalise it in
+        # place instead of allocating two broadcast temporaries per batch.
+        mean, std = self._normalization
+        np.subtract(features, mean, out=features)
+        np.divide(features, std, out=features)
         probabilities = SoftmaxCrossEntropy.softmax(model.predict(features))
         winners = np.argmax(probabilities, axis=1)
         confidences = probabilities[np.arange(probabilities.shape[0]), winners]
@@ -269,10 +337,13 @@ class DeepCsiClassifier:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         save_weights(model, directory / "weights.npz")
+        if model.compute is not None:
+            save_compute_state(model, directory / "compute.npz")
         mean, std = self._normalization
         np.savez(directory / "normalization.npz", mean=mean, std=std)
         metadata = {
             "num_classes": self.config.num_classes,
+            "compute": self.compute_name,
             "input_shape": list(self._input_shape),
             "seed": self.config.seed,
             "learning_rate": self.config.learning_rate,
@@ -313,6 +384,9 @@ class DeepCsiClassifier:
         load_weights(self.model, directory / "weights.npz")
         with np.load(directory / "normalization.npz") as archive:
             self._normalization = (archive["mean"], archive["std"])
+        compute_path = directory / "compute.npz"
+        if compute_path.exists():
+            load_compute_state(self.model, compute_path)
         return self
 
     @property

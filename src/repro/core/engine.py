@@ -44,6 +44,7 @@ from repro.core.classifier import DeepCsiClassifier
 from repro.datasets.containers import FeedbackSample
 from repro.feedback.capture import CapturedFeedback, reconstruct_quantized_batch
 from repro.feedback.frames import FeedbackFrame, parse_feedback_frame
+from repro.nn.model import LayerProfile
 
 
 class EngineError(ValueError):
@@ -129,6 +130,10 @@ class EngineStats:
     frames_out: int = 0
     batches: int = 0
     inference_seconds: float = 0.0
+    #: Registry name of the active compute backend ("fp64" = default path).
+    compute: str = "fp64"
+    #: Per-layer forward timings, populated when the engine profiles.
+    layer_profile: Tuple[LayerProfile, ...] = ()
 
     @property
     def frames_per_second(self) -> float:
@@ -248,6 +253,14 @@ class InferenceEngine:
         observer sees an unbounded set of source addresses (spoofed MACs
         included); beyond this many the least-recently-seen source's window
         is evicted so memory stays bounded.
+    compute:
+        Optional compute backend (registry name or instance) routed to
+        :meth:`DeepCsiClassifier.set_compute`.  ``None`` keeps whatever the
+        classifier already uses.  The ``int8`` backend must be calibrated
+        beforehand (``classifier.set_compute("int8", calibration=...)``).
+    profile:
+        When true, per-layer forward timings are accumulated and surfaced
+        through :attr:`EngineStats.layer_profile`.
 
     Example
     -------
@@ -269,6 +282,8 @@ class InferenceEngine:
         max_latency_frames: Optional[int] = None,
         vote_window: int = 16,
         max_sources: int = 1024,
+        compute=None,
+        profile: bool = False,
     ) -> None:
         if batch_size < 1:
             raise EngineError("batch_size must be >= 1")
@@ -279,11 +294,19 @@ class InferenceEngine:
         self.max_latency_frames = max_latency_frames
         self.vote_window = vote_window
         self.max_sources = max_sources
+        if compute is not None:
+            classifier.set_compute(compute)
+        self._profile = bool(profile)
+        if self._profile and classifier.model is not None:
+            classifier.model.enable_profiling()
         self._stats = EngineStats()
         self._stats_lock = threading.Lock()
         self._pending: List[_PendingObservation] = []
         self._windows = SourceWindows(vote_window, max_sources)
         self._sequence = 0
+        # Grow-only staging buffers, one per (V~ shape, dtype), reused across
+        # batches so steady-state batching performs no large allocations.
+        self._batch_buffers: Dict[tuple, np.ndarray] = {}
 
     @property
     def stats(self) -> EngineStats:
@@ -294,7 +317,15 @@ class InferenceEngine:
         monitoring loop) never observes a half-updated batch.
         """
         with self._stats_lock:
-            return replace(self._stats)
+            snapshot = replace(self._stats, compute=self.compute)
+        if self._profile and self.classifier.model is not None:
+            snapshot.layer_profile = self.classifier.model.profile()
+        return snapshot
+
+    @property
+    def compute(self) -> str:
+        """Registry name of the classifier's active compute backend."""
+        return self.classifier.compute_name
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -471,6 +502,25 @@ class InferenceEngine:
             v_tilde=array,
         )
 
+    def _stage_batch(self, entries: List[_PendingObservation]) -> np.ndarray:
+        """Copy same-shape observations into a reusable staging buffer.
+
+        Equivalent to ``np.stack`` but without a fresh batch-sized
+        allocation per micro-batch: the buffer grows to the largest batch
+        seen and later batches reuse (a view of) it.
+        """
+        dtype = np.result_type(*(entry.v_tilde.dtype for entry in entries))
+        shape = entries[0].v_tilde.shape
+        slot = (shape, dtype)
+        buffer = self._batch_buffers.get(slot)
+        if buffer is None or buffer.shape[0] < len(entries):
+            buffer = np.empty((len(entries), *shape), dtype=dtype)
+            self._batch_buffers[slot] = buffer
+        staged = buffer[: len(entries)]
+        for position, entry in enumerate(entries):
+            staged[position] = entry.v_tilde
+        return staged
+
     def _process_pending(self) -> List[EngineResult]:
         if not self._pending:
             return []
@@ -494,7 +544,7 @@ class InferenceEngine:
         results: List[Optional[EngineResult]] = [None] * len(pending)
         index_of = {id(entry): idx for idx, entry in enumerate(pending)}
         for entries in shape_groups.values():
-            v_batch = np.stack([entry.v_tilde for entry in entries], axis=0)
+            v_batch = self._stage_batch(entries)
             ids, confidences = self.classifier.predict_matrices(v_batch)
             for entry, module_id, confidence in zip(entries, ids, confidences):
                 results[index_of[id(entry)]] = EngineResult(

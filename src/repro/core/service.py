@@ -168,6 +168,8 @@ class ServiceStats:
 
     num_workers: int
     backend: str = "threads"
+    #: Compute backend the shard engines run (``"fp64"`` = default path).
+    compute: str = "fp64"
     frames_in: int = 0
     frames_out: int = 0
     batches: int = 0
@@ -227,6 +229,12 @@ class StreamingService:
     slot_bytes:
         Process backend only: size of one shared-memory ring slot.  Records
         larger than a slot transparently span consecutive slots.
+    compute:
+        Optional compute backend (registry name or instance) attached to the
+        classifier *before* the shards copy it, so every shard inherits the
+        same prepared backend -- including the int8 quantised weights, which
+        the process backend ships to its workers inside the classifier
+        startup payload.  The ``int8`` backend must be calibrated first.
 
     Notes
     -----
@@ -254,11 +262,17 @@ class StreamingService:
         max_sources: int = 1024,
         backend: str = "threads",
         slot_bytes: Optional[int] = None,
+        compute=None,
     ) -> None:
         if backend not in BACKEND_NAMES:
             raise ServiceError(
                 f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
             )
+        if compute is not None:
+            # Attach before the backend copies the classifier so every shard
+            # inherits the prepared (possibly quantised) backend.
+            classifier.set_compute(compute)
+        self.compute_name = classifier.compute_name
         num_workers = resolve_num_workers(num_workers, backend)
         if num_workers < 1:
             raise ServiceError("num_workers must be >= 1")
@@ -404,6 +418,7 @@ class StreamingService:
         return ServiceStats(
             num_workers=self.num_workers,
             backend=self.backend_name,
+            compute=self.compute_name,
             frames_in=self._frames_in,
             frames_out=sum(stats.frames_out for stats in worker_stats),
             batches=sum(stats.batches for stats in worker_stats),

@@ -164,16 +164,32 @@ class FeatureExtractor:
             raise FeatureError("v_batch must have shape (B, K, M, N_SS)")
         resolved = self.config.resolve(*v_batch.shape[1:])
         subcarriers = np.asarray(resolved.subcarriers)
-        streams = list(resolved.streams)
-        # (B, Ncol, M, Nrow) -> (B, M, Nrow, Ncol)
-        selected = v_batch[:, subcarriers][:, :, :, streams].transpose(0, 2, 3, 1)
-        channels: List[np.ndarray] = []
+        num_antennas = v_batch.shape[2]
+        streams = np.asarray(resolved.streams)
+        # One fused advanced-index copy over (subcarrier, antenna, stream),
+        # instead of chained selections that materialise the intermediate
+        # (B, Ksel, M, N_SS) batch; (B, Ncol, M, Nrow) -> (B, M, Nrow, Ncol).
+        selected = v_batch[
+            :,
+            subcarriers[:, np.newaxis, np.newaxis],
+            np.arange(num_antennas)[np.newaxis, :, np.newaxis],
+            streams[np.newaxis, np.newaxis, :],
+        ].transpose(0, 2, 3, 1)
+        num_channels, num_rows, num_cols = resolved.shape
+        features = np.empty(
+            (v_batch.shape[0], num_channels, num_rows, num_cols), dtype=float
+        )
+        # Write each real/imaginary channel straight into the output tensor
+        # (no per-channel stack + astype copies on the streaming hot path).
+        channel = 0
         for antenna in resolved.antennas:
             block = selected[:, antenna]
-            channels.append(np.real(block))
+            np.copyto(features[:, channel], block.real)
+            channel += 1
             if antenna != resolved.last_antenna:
-                channels.append(np.imag(block))
-        return np.stack(channels, axis=1).astype(float)
+                np.copyto(features[:, channel], block.imag)
+                channel += 1
+        return features
 
     def transform_samples(self, samples: Sequence[FeedbackSample]) -> Tuple[np.ndarray, np.ndarray]:
         """Extract features and labels from a list of samples.

@@ -64,11 +64,11 @@ class SpatialAttention(Layer):
         weights = 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))  # sigmoid
         attended = x * weights
         output = attended + x  # skip connection
-        self._cache = {
-            "x": x,
-            "max_map": max_map,
-            "weights": weights,
-        }
+        # The cache is only needed by backward; dropping it at inference
+        # avoids pinning the input batch alive between engine micro-batches.
+        self._cache = (
+            {"x": x, "max_map": max_map, "weights": weights} if training else None
+        )
         return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -47,7 +47,9 @@ def check_layer_input_gradient(
         The two gradients; an ``AssertionError`` is raised when they differ.
     """
     rng = np.random.default_rng(0)
-    output = layer.forward(np.array(input_array, copy=True), training=False)
+    # training=True so the layer retains its backward caches (inference
+    # forwards deliberately drop them).
+    output = layer.forward(np.array(input_array, copy=True), training=True)
     projection = rng.standard_normal(output.shape)
 
     analytic = layer.backward(projection)
@@ -69,10 +71,10 @@ def check_layer_parameter_gradients(
 ) -> Dict[str, np.ndarray]:
     """Compare analytic parameter gradients with finite differences."""
     rng = np.random.default_rng(1)
-    output = layer.forward(np.array(input_array, copy=True), training=False)
+    output = layer.forward(np.array(input_array, copy=True), training=True)
     projection = rng.standard_normal(output.shape)
 
-    layer.forward(np.array(input_array, copy=True), training=False)
+    layer.forward(np.array(input_array, copy=True), training=True)
     layer.backward(projection)
     analytic = {k: np.array(v, copy=True) for k, v in layer.gradients().items()}
 

@@ -88,7 +88,10 @@ class Dense(Layer):
                 f"{self.name}: expected input of shape (batch, "
                 f"{self.weight.shape[0]}), got {x.shape}"
             )
-        self._input = x
+        # The input is only needed by backward; retaining it at inference
+        # would pin a full batch of activations alive inside long-lived
+        # engine shards.
+        self._input = x if training else None
         return x @ self.weight + self.bias
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -184,7 +187,7 @@ class Conv2D(Layer):
             )
         self._input_shape = x.shape
         padded = self._pad(x)
-        self._padded_input = padded
+        self._padded_input = padded if training else None
         # im2col: gather every (kh, kw) window as a view, then contract the
         # (channel, kh, kw) axes against the kernel in one BLAS matmul.
         windows = np.lib.stride_tricks.sliding_window_view(
@@ -269,9 +272,10 @@ class MaxPool2D(Layer):
         out = windows.max(axis=(3, 5))
         # The winner mask is only needed by backward; keep the (view-backed)
         # windows and the output so it can be built lazily there instead of
-        # paying for the comparison on every inference forward.
-        self._windows = windows
-        self._out = out
+        # paying for the comparison on every forward.  The windows view keeps
+        # the whole input batch alive, so it is not retained at inference.
+        self._windows = windows if training else None
+        self._out = out if training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -323,11 +327,14 @@ class Activation(Layer):
         raise NotImplementedError
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._input = x
-        self._output = self._activate(x)
-        return self._output
+        out = self._activate(x)
+        self._input = x if training else None
+        self._output = out if training else None
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None or self._output is None:
+            raise LayerError(f"{self.name}: backward requires forward(training=True)")
         return grad_output * self._derivative(self._input, self._output)
 
 
@@ -380,10 +387,13 @@ class Softmax(Layer):
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         shifted = x - np.max(x, axis=-1, keepdims=True)
         exp = np.exp(shifted)
-        self._output = exp / np.sum(exp, axis=-1, keepdims=True)
-        return self._output
+        out = exp / np.sum(exp, axis=-1, keepdims=True)
+        self._output = out if training else None
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise LayerError(f"{self.name}: backward requires forward(training=True)")
         y = self._output
         dot = np.sum(grad_output * y, axis=-1, keepdims=True)
         return y * (grad_output - dot)

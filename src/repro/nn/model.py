@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -14,21 +16,101 @@ class ModelError(ValueError):
     """Raised for invalid model operations."""
 
 
+@dataclass(frozen=True)
+class LayerProfile:
+    """Accumulated forward-pass timing of one layer."""
+
+    index: int
+    name: str
+    calls: int
+    total_ns: int
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean forward time per call, in milliseconds."""
+        return self.total_ns / self.calls / 1e6 if self.calls else 0.0
+
+
 class Sequential:
     """A plain feed-forward stack of layers.
 
     The model simply chains the layers' ``forward``/``backward`` methods and
     exposes the trainable parameters with qualified names such as
     ``"03_conv/weight"`` so the optimiser can keep per-parameter state.
+
+    Inference forwards can additionally be routed through a pluggable
+    :mod:`compute backend <repro.nn.compute>` (:meth:`set_compute`) and
+    timed per layer (:meth:`enable_profiling`); both are inference-only --
+    ``forward(training=True)`` always uses the layers' own fp64 math.
     """
 
     def __init__(self, layers: Optional[Sequence[Layer]] = None) -> None:
         self.layers: List[Layer] = list(layers) if layers is not None else []
+        self._compute = None
+        self._profiling = False
+        self._profile_calls: List[int] = []
+        self._profile_ns: List[int] = []
 
     def add(self, layer: Layer) -> "Sequential":
         """Append a layer and return ``self`` (for chaining)."""
         self.layers.append(layer)
+        if self._compute is not None:
+            self._compute.prepare(self)
         return self
+
+    # -- compute backend ------------------------------------------------- #
+    @property
+    def compute(self):
+        """The attached compute backend, or ``None`` for the fp64 default."""
+        return self._compute
+
+    def set_compute(self, compute):
+        """Route inference forwards through a compute backend.
+
+        ``compute`` is a registry name (``"exact"``, ``"fp32"``, ``"int8"``),
+        a :class:`~repro.nn.compute.ComputeBackend` instance, or ``None`` to
+        detach and restore the plain fp64 path.  The backend is prepared
+        against the current weights and returned.
+        """
+        if compute is None:
+            self._compute = None
+            return None
+        from repro.nn.compute import create_compute_backend
+
+        backend = create_compute_backend(compute)
+        backend.prepare(self)
+        self._compute = backend
+        return backend
+
+    # -- per-layer profiling --------------------------------------------- #
+    def enable_profiling(self) -> None:
+        """Accumulate per-layer forward timings (ns + call counts)."""
+        self._profiling = True
+
+    def disable_profiling(self) -> None:
+        """Stop timing forwards; accumulated counters are kept."""
+        self._profiling = False
+
+    def reset_profile(self) -> None:
+        """Zero the accumulated per-layer timing counters."""
+        self._profile_calls = []
+        self._profile_ns = []
+
+    def profile(self) -> Tuple[LayerProfile, ...]:
+        """Accumulated per-layer forward timings."""
+        return tuple(
+            LayerProfile(
+                index=index,
+                name=layer.name,
+                calls=self._profile_calls[index]
+                if index < len(self._profile_calls)
+                else 0,
+                total_ns=self._profile_ns[index]
+                if index < len(self._profile_ns)
+                else 0,
+            )
+            for index, layer in enumerate(self.layers)
+        )
 
     def __len__(self) -> int:
         return len(self.layers)
@@ -37,13 +119,40 @@ class Sequential:
         return iter(self.layers)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        """Run the full forward pass."""
+        """Run the full forward pass.
+
+        Training always uses the layers' own fp64 ``forward``; inference
+        dispatches through the attached compute backend when one is set.
+        """
         if not self.layers:
             raise ModelError("the model has no layers")
+        compute = None if training else self._compute
+        if self._profiling:
+            return self._forward_profiled(x, training, compute)
         out = x
-        for layer in self.layers:
-            out = layer.forward(out, training=training)
-        return out
+        if compute is None:
+            for layer in self.layers:
+                out = layer.forward(out, training=training)
+            return out
+        for index, layer in enumerate(self.layers):
+            out = compute.forward_layer(index, layer, out)
+        return compute.finalize(out)
+
+    def _forward_profiled(self, x: np.ndarray, training: bool, compute) -> np.ndarray:
+        if len(self._profile_calls) < len(self.layers):
+            grow = len(self.layers) - len(self._profile_calls)
+            self._profile_calls.extend([0] * grow)
+            self._profile_ns.extend([0] * grow)
+        out = x
+        for index, layer in enumerate(self.layers):
+            start = time.perf_counter_ns()
+            if compute is None:
+                out = layer.forward(out, training=training)
+            else:
+                out = compute.forward_layer(index, layer, out)
+            self._profile_ns[index] += time.perf_counter_ns() - start
+            self._profile_calls[index] += 1
+        return out if compute is None else compute.finalize(out)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Run the full backward pass and return the input gradient."""
@@ -97,6 +206,8 @@ class Sequential:
                     f"weight shape mismatch: expected {param.shape}, got {value.shape}"
                 )
             param[...] = value
+        if self._compute is not None:
+            self._compute.prepare(self)
 
     def summary(self) -> str:
         """Human-readable description of the model."""

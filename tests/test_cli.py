@@ -228,6 +228,57 @@ class TestProbeTrainEvaluate:
         assert "worker 1:" in captured
         assert "verdict module" in captured
 
+    def test_authenticate_compute_backends_and_profile(
+        self, generated_dataset, tmp_path, capsys
+    ):
+        model_dir = tmp_path / "model"
+        code = main(
+            [
+                "train", str(generated_dataset), str(model_dir),
+                "--split", "S1", "--stride", "16",
+                "--epochs", "2", "--batch-size", "16",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        base = [
+            "authenticate", str(generated_dataset), str(model_dir),
+            "--split", "S1", "--stride", "16",
+            "--num-classes", "3", "--batch-size", "8",
+        ]
+        for compute in ("exact", "fp32", "int8"):
+            code = main(base + ["--compute", compute])
+            captured = capsys.readouterr().out
+            assert code == 0
+            assert f"compute {compute}" in captured
+            assert "per-layer forward profile" not in captured
+
+        code = main(base + ["--compute", "fp32", "--profile"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "per-layer forward profile:" in captured
+        assert "ms/call" in captured
+
+        code = main(
+            [
+                "serve", str(generated_dataset), str(model_dir),
+                "--split", "S1", "--stride", "16",
+                "--num-classes", "3", "--workers", "2",
+                "--batch-size", "8", "--compute", "fp32",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "compute fp32" in captured
+
+    def test_unknown_compute_backend_rejected_by_parser(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["authenticate", "data.npz", "model-dir", "--compute", "fp16"]
+            )
+
     def test_serve_rejects_invalid_repeat(self, generated_dataset, tmp_path, capsys):
         code = main(
             [

@@ -64,6 +64,6 @@ class TestSpatialAttentionGradients:
         # connection must still pass the gradient through.
         layer.conv.bias[...] = -50.0
         x = rng.standard_normal((1, 2, 1, 6))
-        layer.forward(x)
+        layer.forward(x, training=True)
         grad = layer.backward(np.ones((1, 2, 1, 6)))
         assert np.all(np.abs(grad) > 0.9)

@@ -122,7 +122,7 @@ class TestMaxPool2D:
     def test_backward_routes_gradient_to_maxima(self):
         layer = MaxPool2D((1, 2))
         x = np.array([[[[1.0, 5.0, 2.0, 3.0]]]])
-        layer.forward(x)
+        layer.forward(x, training=True)
         grad = layer.backward(np.array([[[[1.0, 2.0]]]]))
         np.testing.assert_allclose(grad, [[[[0.0, 1.0, 0.0, 2.0]]]])
 

@@ -87,7 +87,7 @@ class TestSequential:
             ]
         )
         x = rng.standard_normal((3, 2, 1, 8))
-        out = model.forward(x)
+        out = model.forward(x, training=True)
         grad_in = model.backward(np.ones_like(out))
         assert grad_in.shape == x.shape
 
