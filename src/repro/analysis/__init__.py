@@ -10,22 +10,50 @@ of the paper is rendered as monospace text:
   linear softmax probe and class-centroid statistics) used to study how much
   of the fingerprint survives a given channel condition without paying for a
   full CNN training.
+* :mod:`repro.analysis.lint` -- the repro-lint static-analysis suite
+  (``repro-csi lint`` / ``python -m repro.analysis``) enforcing the
+  project's lock-discipline, hot-path-allocation, dtype-contract and
+  process-safety invariants, declared via :mod:`repro.analysis.annotations`.
+* :mod:`repro.analysis.runtime` -- a runtime validator replaying the
+  ``# guarded-by:`` declarations dynamically under the concurrency tests.
 """
 
-from repro.analysis.ascii_plots import (
-    accuracy_comparison,
-    bar_chart,
-    heatmap,
-    histogram,
-    line_plot,
-    sparkline,
+# Re-exports are lazy (PEP 562): the low-level modules under this package
+# (:mod:`repro.analysis.annotations`, :mod:`repro.analysis.lint`) are imported
+# by hot-path modules such as :mod:`repro.datasets.features`, which
+# :mod:`repro.analysis.separability` itself depends on.  Eager imports here
+# would close that cycle.
+_ASCII_PLOT_EXPORTS = (
+    "accuracy_comparison",
+    "bar_chart",
+    "heatmap",
+    "histogram",
+    "line_plot",
+    "sparkline",
 )
-from repro.analysis.separability import (
-    LinearProbe,
-    SeparabilityReport,
-    centroid_separability,
-    linear_probe_accuracy,
+_SEPARABILITY_EXPORTS = (
+    "LinearProbe",
+    "SeparabilityReport",
+    "centroid_separability",
+    "linear_probe_accuracy",
 )
+
+
+def __getattr__(name):
+    if name in _ASCII_PLOT_EXPORTS:
+        from repro.analysis import ascii_plots
+
+        return getattr(ascii_plots, name)
+    if name in _SEPARABILITY_EXPORTS:
+        from repro.analysis import separability
+
+        return getattr(separability, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
 
 __all__ = [
     "accuracy_comparison",

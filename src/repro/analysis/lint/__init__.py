@@ -1,0 +1,64 @@
+"""repro-lint: project-invariant static analysis.
+
+The codebase carries three layers of invariants that used to live only in
+review memory: lock-guarded shared state on the streaming path (PRs 2/6
+each shipped a torn-read found late), zero-steady-state-allocation and
+no-silent-fp64-upcast rules in the compute backends (PR 7), and
+shared-memory/pickle hygiene in the process transport (PR 6).  This package
+machine-checks them:
+
+* annotations (:mod:`repro.analysis.annotations`) let the code declare its
+  invariants (``# guarded-by:``, ``@hot_path``, ``# lint: dtype-strict``);
+* checkers (:mod:`repro.analysis.lint.checkers`) enforce the declarations
+  over the AST;
+* the runtime validator (:mod:`repro.analysis.runtime`) replays the same
+  guarded-by declarations dynamically under the concurrency stress tests,
+  validating the static rules against ground truth;
+* ``repro-csi lint`` / ``python -m repro.analysis`` run the suite; the CI
+  ``static-analysis`` job fails on any violation.
+
+Suppressions are per-line and must be justified::
+
+    value = self._stats  # lint: disable=lock/unguarded-read -- read-only debug dump
+
+The shipping bar is zero violations repo-wide: genuine bugs the checkers
+surface are fixed, deliberate exceptions carry a justification that the
+reviewer (and ``--show-suppressed``) can audit.
+"""
+
+from repro.analysis.lint import checkers as _checkers  # registers built-ins
+from repro.analysis.lint.cli import main
+from repro.analysis.lint.framework import (
+    Checker,
+    LintError,
+    LintReport,
+    SourceFile,
+    Suppression,
+    Violation,
+    all_rules,
+    lint_source,
+    register_checker,
+    registered_checkers,
+    run_lint,
+)
+from repro.analysis.lint.reporters import JSON_SCHEMA, render_json, render_text
+
+del _checkers
+
+__all__ = [
+    "Checker",
+    "JSON_SCHEMA",
+    "LintError",
+    "LintReport",
+    "SourceFile",
+    "Suppression",
+    "Violation",
+    "all_rules",
+    "lint_source",
+    "main",
+    "register_checker",
+    "registered_checkers",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

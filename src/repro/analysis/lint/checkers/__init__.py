@@ -1,0 +1,26 @@
+"""Checker families of the repro-lint suite.
+
+Importing this package registers every built-in checker with the framework
+registry (:func:`repro.analysis.lint.framework.register_checker`):
+
+* :mod:`~repro.analysis.lint.checkers.locks` -- ``# guarded-by:`` lock
+  discipline over shared mutable engine/service/backend state;
+* :mod:`~repro.analysis.lint.checkers.hotpath` -- no per-call batch
+  allocations inside ``@hot_path`` functions;
+* :mod:`~repro.analysis.lint.checkers.dtypes` -- no silent float64 upcasts
+  in ``# lint: dtype-strict`` modules;
+* :mod:`~repro.analysis.lint.checkers.shm` -- shared-memory segment hygiene
+  and pickle-safe cross-process payloads.
+"""
+
+from repro.analysis.lint.checkers.dtypes import DtypeContractChecker
+from repro.analysis.lint.checkers.hotpath import HotPathAllocationChecker
+from repro.analysis.lint.checkers.locks import LockDisciplineChecker
+from repro.analysis.lint.checkers.shm import ProcessSafetyChecker
+
+__all__ = [
+    "DtypeContractChecker",
+    "HotPathAllocationChecker",
+    "LockDisciplineChecker",
+    "ProcessSafetyChecker",
+]

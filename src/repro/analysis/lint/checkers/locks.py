@@ -1,0 +1,204 @@
+"""Lock-discipline checker: ``# guarded-by: <lock>`` enforcement.
+
+An instance attribute declared with a ``# guarded-by: _lock`` comment on its
+assignment (normally in ``__init__``) may only be read or written inside a
+``with self._lock:`` block.  The checker resolves, for every access of a
+guarded attribute, the chain of ``with`` statements *within the same
+function* (a ``with`` in an outer function does not guard code that merely
+*defines* a closure inside it -- the closure runs later, after the lock was
+released), and flags:
+
+``lock/unguarded-read`` / ``lock/unguarded-write``
+    An access outside every ``with self.<lock>:`` block of its function.
+    ``__init__`` is exempt: construction happens-before any sharing.
+
+``lock/guarded-ref-escape``
+    A ``return``/``yield`` whose value *is* a guarded attribute (bare or as
+    a tuple element) -- even inside the lock, returning the raw reference
+    lets the caller use it after the lock is released.  Return a copy
+    instead (``dataclasses.replace``, ``dict(...)``, ``list(...)``).
+
+The same declarations drive the runtime validator
+(:mod:`repro.analysis.runtime`), which swaps the lock for a recording lock
+and asserts the discipline dynamically under the concurrency stress tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.annotations import GUARDED_BY_PREFIX
+from repro.analysis.lint.framework import (
+    Checker,
+    SourceFile,
+    Violation,
+    register_checker,
+)
+
+
+def _self_attribute(node: ast.AST) -> Optional[str]:
+    """The attribute name when ``node`` is ``self.<name>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def extract_guarded_declarations(
+    source: SourceFile, class_node: ast.ClassDef
+) -> Dict[str, Tuple[str, int]]:
+    """``attribute -> (lock attribute, declaration line)`` for one class.
+
+    A declaration is a ``self.<attr> = ...`` statement whose line (or the
+    standalone comment line directly above it) carries a
+    ``# guarded-by: <lock>`` comment.
+    """
+    guarded: Dict[str, Tuple[str, int]] = {}
+    for node in ast.walk(class_node):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.target is not None:
+            targets = [node.target]
+        else:
+            continue
+        comment = source.comment_on(node.lineno)
+        if GUARDED_BY_PREFIX not in comment:
+            above = source.comment_on(node.lineno - 1)
+            line_above = (
+                source.lines[node.lineno - 2] if node.lineno >= 2 else ""
+            )
+            if GUARDED_BY_PREFIX in above and line_above.lstrip().startswith("#"):
+                comment = above
+            else:
+                continue
+        lock_name = comment.split(GUARDED_BY_PREFIX, 1)[1].strip().split()[0]
+        for target in targets:
+            attribute = _self_attribute(target)
+            if attribute is not None:
+                guarded[attribute] = (lock_name, node.lineno)
+    return guarded
+
+
+@register_checker
+class LockDisciplineChecker(Checker):
+    family = "lock"
+    rules = {
+        "lock/unguarded-read": (
+            "a guarded-by attribute is read outside its lock's with-block"
+        ),
+        "lock/unguarded-write": (
+            "a guarded-by attribute is written outside its lock's with-block"
+        ),
+        "lock/guarded-ref-escape": (
+            "a guarded-by attribute reference is returned/yielded raw, "
+            "escaping its critical section"
+        ),
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    # ------------------------------------------------------------------ #
+    def _check_class(
+        self, source: SourceFile, class_node: ast.ClassDef
+    ) -> Iterator[Violation]:
+        guarded = extract_guarded_declarations(source, class_node)
+        if not guarded:
+            return
+        for method in self._methods(class_node):
+            if method.name == "__init__":
+                continue  # construction happens-before sharing
+            yield from self._check_function(source, method, guarded)
+
+    @staticmethod
+    def _methods(class_node: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+        for node in ast.walk(class_node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _check_function(
+        self,
+        source: SourceFile,
+        function: ast.FunctionDef,
+        guarded: Dict[str, Tuple[str, int]],
+    ) -> Iterator[Violation]:
+        for node in ast.walk(function):
+            attribute = _self_attribute(node)
+            if attribute is None or attribute not in guarded:
+                continue
+            if source.enclosing_function(node) is not function:
+                continue  # reported when the nested function is visited
+            lock_name, _ = guarded[attribute]
+            escape = self._escape_statement(source, node, function)
+            if escape is not None:
+                yield Violation(
+                    rule="lock/guarded-ref-escape",
+                    path=source.path,
+                    line=escape.lineno,
+                    col=escape.col_offset,
+                    message=(
+                        f"'self.{attribute}' (guarded by '{lock_name}') is "
+                        f"{'yielded' if isinstance(escape, ast.Yield) else 'returned'}"
+                        f" as a raw reference; return a copy so the caller "
+                        f"cannot touch it outside the lock"
+                    ),
+                )
+                continue
+            if self._holds_lock(source, node, function, lock_name):
+                continue
+            write = isinstance(node.ctx, (ast.Store, ast.Del))
+            yield Violation(
+                rule="lock/unguarded-write" if write else "lock/unguarded-read",
+                path=source.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"'self.{attribute}' is declared guarded-by '{lock_name}' "
+                    f"but is {'written' if write else 'read'} outside a "
+                    f"'with self.{lock_name}:' block"
+                ),
+            )
+
+    def _holds_lock(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        function: ast.FunctionDef,
+        lock_name: str,
+    ) -> bool:
+        """Whether a ``with self.<lock_name>:`` encloses ``node`` in ``function``."""
+        for ancestor in source.parent_chain(node):
+            if ancestor is function:
+                return False
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    if _self_attribute(item.context_expr) == lock_name:
+                        return True
+        return False
+
+    @staticmethod
+    def _escape_statement(
+        source: SourceFile, node: ast.AST, function: ast.FunctionDef
+    ) -> Optional[ast.AST]:
+        """The Return/Yield node when ``node`` escapes as a raw reference.
+
+        Only the bare attribute (``return self._g``) and direct tuple
+        elements (``return self._g, x``) count: wrapping the value in a call
+        (``replace(self._g)``, ``len(self._g)``) consumes rather than
+        escapes the reference.
+        """
+        parent = source.parents.get(node)
+        if isinstance(parent, ast.Tuple):
+            parent = source.parents.get(parent)
+        if isinstance(parent, (ast.Return, ast.Yield)):
+            for ancestor in source.parent_chain(parent):
+                if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    return parent if ancestor is function else None
+        return None

@@ -1,0 +1,293 @@
+"""Process/shared-memory safety checker.
+
+Active on every module that imports ``multiprocessing`` (or its
+``shared_memory`` / ``synchronize`` submodules).  Three rule groups cover
+the failure modes the process execution backend (PR 6) was built around:
+
+``shm/missing-cleanup``
+    Every ``SharedMemory(create=True)`` segment must be released on all
+    paths: the holder it is assigned to needs both a ``.close()`` and an
+    ``.unlink()`` call somewhere in the module, and at least one of them
+    must sit on an exception path (an ``except`` handler or a ``finally``
+    block) so a constructor/startup failure cannot leak the segment.  A
+    segment created without being stored anywhere can never be released and
+    is flagged immediately.
+
+``shm/payload-closure``
+    Lambdas (and references to locally-defined functions) must not ride in
+    payloads that cross a process boundary: the ``args`` of a
+    ``Process(...)`` constructor, or the payload (first positional argument)
+    of a ``.put(...)`` call.  They pickle-fail at best (lambdas) or
+    silently rebind state at worst.  Parent-side keyword callbacks (e.g.
+    the transport's ``liveness=``/``on_wait=``) never cross the boundary
+    and are not flagged.
+
+``shm/primitive-in-loop``
+    Queues, locks, semaphores, events, processes and shared-memory segments
+    must be created at startup, never inside a ``while`` worker loop: each
+    construction allocates OS resources (fds, named segments) per iteration
+    and silently changes which object the two sides synchronise on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.lint.framework import (
+    Checker,
+    SourceFile,
+    Violation,
+    register_checker,
+)
+
+#: Constructor names of multiprocessing/synchronisation primitives.
+PRIMITIVE_NAMES = (
+    "Queue",
+    "SimpleQueue",
+    "JoinableQueue",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Lock",
+    "RLock",
+    "Event",
+    "Condition",
+    "Barrier",
+    "Pipe",
+    "Process",
+    "Pool",
+    "Manager",
+    "SharedMemory",
+)
+
+
+def _uses_multiprocessing(source: SourceFile) -> bool:
+    return bool(source.multiprocessing_aliases or source.multiprocessing_names)
+
+
+def _is_shared_memory_create(call: ast.Call) -> bool:
+    """Whether ``call`` is ``SharedMemory(..., create=True, ...)``."""
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    if name != "SharedMemory":
+        return False
+    for keyword in call.keywords:
+        if keyword.arg == "create":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+def _holder_name(source: SourceFile, call: ast.Call) -> Optional[str]:
+    """The name/attribute the call result is bound to (``x`` or ``self.x``)."""
+    parent = source.parents.get(call)
+    if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+        target = parent.targets[0]
+    elif isinstance(parent, ast.AnnAssign):
+        target = parent.target
+    else:
+        return None
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+@register_checker
+class ProcessSafetyChecker(Checker):
+    family = "shm"
+    rules = {
+        "shm/missing-cleanup": (
+            "a SharedMemory(create=True) segment without close()+unlink() "
+            "on all paths including exception handlers"
+        ),
+        "shm/payload-closure": (
+            "a lambda/local function inside a payload shipped across a "
+            "process boundary (Process args or queue put)"
+        ),
+        "shm/primitive-in-loop": (
+            "a multiprocessing primitive constructed inside a while loop "
+            "(worker loops must reuse startup-time primitives)"
+        ),
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        if not _uses_multiprocessing(source):
+            return
+        local_functions = self._local_function_names(source)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_shared_memory_create(node):
+                yield from self._check_cleanup(source, node)
+            yield from self._check_payload(source, node, local_functions)
+            yield from self._check_primitive_in_loop(source, node)
+
+    # -- shm/missing-cleanup -------------------------------------------- #
+    def _check_cleanup(
+        self, source: SourceFile, call: ast.Call
+    ) -> Iterator[Violation]:
+        holder = _holder_name(source, call)
+        if holder is None:
+            yield Violation(
+                rule="shm/missing-cleanup",
+                path=source.path,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    "SharedMemory(create=True) result is not stored; the "
+                    "segment can never be close()d or unlink()ed"
+                ),
+            )
+            return
+        cleanup_calls: dict = {"close": [], "unlink": []}
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in cleanup_calls:
+                continue
+            base = node.func.value
+            base_name = (
+                base.attr if isinstance(base, ast.Attribute) else (
+                    base.id if isinstance(base, ast.Name) else None
+                )
+            )
+            if base_name == holder:
+                cleanup_calls[node.func.attr].append(node)
+        missing = [name for name, nodes in cleanup_calls.items() if not nodes]
+        if missing:
+            yield Violation(
+                rule="shm/missing-cleanup",
+                path=source.path,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"SharedMemory(create=True) stored in {holder!r} has no "
+                    f"{' or '.join(sorted(missing))}() call in this module; "
+                    f"segments must be released on every path"
+                ),
+            )
+            return
+        on_exception_path = any(
+            self._on_exception_path(source, node)
+            for nodes in cleanup_calls.values()
+            for node in nodes
+        )
+        if not on_exception_path:
+            yield Violation(
+                rule="shm/missing-cleanup",
+                path=source.path,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"no close()/unlink() of {holder!r} sits on an exception "
+                    f"path (except handler or finally); a startup failure "
+                    f"would leak the segment"
+                ),
+            )
+
+    @staticmethod
+    def _on_exception_path(source: SourceFile, node: ast.AST) -> bool:
+        """Whether ``node`` is inside an except handler or finally block."""
+        child = node
+        for ancestor in source.parent_chain(node):
+            if isinstance(ancestor, ast.ExceptHandler):
+                return True
+            if isinstance(ancestor, ast.Try) and any(
+                child is statement for statement in ancestor.finalbody
+            ):
+                return True
+            child = ancestor
+        return False
+
+    # -- shm/payload-closure --------------------------------------------- #
+    @staticmethod
+    def _local_function_names(source: SourceFile) -> Set[str]:
+        """Names of functions defined inside other functions (closures)."""
+        names: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing = source.enclosing_function(node)
+                if enclosing is not None:
+                    names.add(node.name)
+        return names
+
+    def _check_payload(
+        self, source: SourceFile, call: ast.Call, local_functions: Set[str]
+    ) -> Iterator[Violation]:
+        payloads: List[ast.expr] = []
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name == "Process":
+            payloads.extend(
+                keyword.value
+                for keyword in call.keywords
+                if keyword.arg in ("args", "kwargs")
+            )
+        elif name == "put" and isinstance(func, ast.Attribute) and call.args:
+            payloads.append(call.args[0])
+        for payload in payloads:
+            for node in ast.walk(payload):
+                if isinstance(node, ast.Lambda):
+                    yield Violation(
+                        rule="shm/payload-closure",
+                        path=source.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "a lambda travels in a cross-process payload; "
+                            "lambdas do not pickle -- ship data and rebuild "
+                            "behaviour on the worker side"
+                        ),
+                    )
+                elif isinstance(node, ast.Name) and node.id in local_functions:
+                    yield Violation(
+                        rule="shm/payload-closure",
+                        path=source.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"locally-defined function {node.id!r} travels in "
+                            f"a cross-process payload; closures do not pickle "
+                            f"-- use a module-level function"
+                        ),
+                    )
+
+    # -- shm/primitive-in-loop ------------------------------------------- #
+    def _check_primitive_in_loop(
+        self, source: SourceFile, call: ast.Call
+    ) -> Iterator[Violation]:
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name not in PRIMITIVE_NAMES:
+            return
+        # Only constructor-style calls: Name(...) of an imported primitive,
+        # or Attribute(...) on a module/context object.
+        if isinstance(func, ast.Name) and name not in source.multiprocessing_names:
+            return
+        for ancestor in source.parent_chain(call):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return
+            if isinstance(ancestor, ast.While):
+                yield Violation(
+                    rule="shm/primitive-in-loop",
+                    path=source.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"{name}() constructed inside a while loop; worker "
+                        f"loops must reuse primitives created at startup "
+                        f"(per-iteration construction leaks OS resources "
+                        f"and desynchronises the two sides)"
+                    ),
+                )
+                return

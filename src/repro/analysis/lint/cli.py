@@ -1,0 +1,102 @@
+"""Command-line front end of the repro-lint suite.
+
+Reached two ways with identical behaviour::
+
+    repro-csi lint [paths...]          # CLI sub-command
+    python -m repro.analysis [paths...]
+
+With no paths, the default project layout (``src``, ``benchmarks``,
+``scripts``, ``tests``) is scanned relative to the current directory;
+fixture directories (seeded violations for the checker tests) are always
+excluded.  Exit code 0 means zero violations; 1 means violations (or parse
+errors); 2 means bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.lint.framework import LintError, all_rules, run_lint
+from repro.analysis.lint.reporters import render_json, render_text
+
+#: Directories scanned when no explicit path is given (those that exist).
+DEFAULT_PATHS = ("src", "benchmarks", "scripts", "tests")
+
+
+def default_paths() -> List[str]:
+    """The default scan roots that exist under the current directory."""
+    return [entry for entry in DEFAULT_PATHS if Path(entry).is_dir()]
+
+
+def build_lint_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.ArgumentParser:
+    """Configure (or create) the argument parser of the lint command."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro-lint",
+            description="project-invariant static analysis (repro-lint)",
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src benchmarks scripts tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids or families to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list justified suppressions in the report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        for rule, description in sorted(all_rules().items()):
+            print(f"{rule:<28s} {description}")
+        return 0
+    paths = list(args.paths) or default_paths()
+    if not paths:
+        print("error: no paths given and no default directories found", file=sys.stderr)
+        return 2
+    select = (
+        [entry.strip() for entry in args.select.split(",") if entry.strip()]
+        if args.select
+        else None
+    )
+    try:
+        report = run_lint(paths, select=select)
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report, show_suppressed=args.show_suppressed))
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.analysis``."""
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+    return run_lint_command(args)
+
+
+__all__ = ["build_lint_parser", "default_paths", "main", "run_lint_command"]

@@ -1,0 +1,347 @@
+"""Core of the ``repro-lint`` static-analysis framework.
+
+The framework is deliberately small: a :class:`SourceFile` wraps one parsed
+module (AST + comments + import aliases + a parent map for scope-chain
+walks), a :class:`Checker` turns a source file into :class:`Violation`
+instances, and :func:`run_lint` walks a file set, applies every registered
+checker and resolves inline suppressions.
+
+Checkers register themselves with :func:`register_checker`; the rule ids are
+hierarchical (``family/rule``) so a suppression comment may disable one rule
+(``# lint: disable=lock/unguarded-read -- why``) or a whole family
+(``# lint: disable=lock -- why``).  Every suppression **must** carry a
+justification after ``--``; a bare suppression is reported as a violation
+itself (``lint/unjustified-suppression``).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.annotations import SUPPRESS_PREFIX
+
+#: Directories never scanned (fixture snippets contain seeded violations).
+DEFAULT_EXCLUDED_PARTS = ("fixtures", ".git", "__pycache__", "results", ".hypothesis")
+
+
+class LintError(ValueError):
+    """Raised for invalid lint invocations (bad rule names, unreadable paths)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Set when an inline suppression with a justification covered the line.
+    suppressed: bool = False
+    justification: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# lint: disable=`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+
+    def covers(self, rule: str) -> bool:
+        """Whether this suppression disables ``rule`` (id or family prefix)."""
+        family = rule.split("/", 1)[0]
+        return any(entry in (rule, family) for entry in self.rules)
+
+
+class SourceFile:
+    """One parsed module plus the lookup structures the checkers share."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        self.lines = text.splitlines()
+        #: line number -> raw comment text (without the leading ``#``).
+        self.comments: Dict[int, str] = {}
+        self._read_comments(text)
+        #: child AST node -> parent node, for scope-chain walks.
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        #: local names bound to the numpy module (``import numpy as np``).
+        self.numpy_aliases: Set[str] = set()
+        #: local names bound to any ``multiprocessing`` module or submodule.
+        self.multiprocessing_aliases: Set[str] = set()
+        #: names imported *from* multiprocessing modules (name -> source module).
+        self.multiprocessing_names: Dict[str, str] = {}
+        self._read_imports()
+        self.suppressions: List[Suppression] = []
+        self._read_suppressions()
+
+    # -- construction helpers ------------------------------------------- #
+    def _read_comments(self, text: str) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string.lstrip("#").strip()
+        except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+            pass
+
+    def _read_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    if alias.name.split(".", 1)[0] == "numpy":
+                        self.numpy_aliases.add(bound)
+                    if alias.name.split(".", 1)[0] == "multiprocessing":
+                        self.multiprocessing_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".", 1)[0]
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if root == "multiprocessing":
+                        if alias.name in ("shared_memory", "synchronize"):
+                            self.multiprocessing_aliases.add(bound)
+                        else:
+                            self.multiprocessing_names[bound] = node.module
+                    if root == "numpy":
+                        # ``from numpy import ...`` is not used on the hot
+                        # paths; alias tracking stays at module granularity.
+                        pass
+
+    def _read_suppressions(self) -> None:
+        for line, comment in self.comments.items():
+            marker = comment.find(SUPPRESS_PREFIX)
+            if marker < 0:
+                continue
+            body = comment[marker + len(SUPPRESS_PREFIX) :]
+            rules_part, separator, justification = body.partition("--")
+            rules = tuple(
+                entry.strip() for entry in rules_part.split(",") if entry.strip()
+            )
+            self.suppressions.append(
+                Suppression(
+                    line=line,
+                    rules=rules,
+                    justification=justification.strip() if separator else "",
+                )
+            )
+
+    # -- checker utilities ----------------------------------------------- #
+    def comment_on(self, line: int) -> str:
+        """The comment on ``line`` (empty string when there is none)."""
+        return self.comments.get(line, "")
+
+    def has_marker(self, marker: str) -> bool:
+        """Whether any comment in the module contains ``marker``."""
+        return any(marker in comment for comment in self.comments.values())
+
+    def parent_chain(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield the ancestors of ``node``, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The innermost function/lambda containing ``node``."""
+        for ancestor in self.parent_chain(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return ancestor
+        return None
+
+    def suppression_for(self, violation_line: int, rule: str) -> Optional[Suppression]:
+        """The suppression covering ``rule`` on ``violation_line``.
+
+        A suppression comment applies to its own line, or -- when written as
+        a standalone comment line -- to the following line (for statements
+        that are too long to carry an inline comment).
+        """
+        for suppression in self.suppressions:
+            if suppression.line not in (violation_line, violation_line - 1):
+                continue
+            if suppression.line == violation_line - 1:
+                source_line = (
+                    self.lines[suppression.line - 1]
+                    if suppression.line - 1 < len(self.lines)
+                    else ""
+                )
+                if not source_line.lstrip().startswith("#"):
+                    continue  # trailing comment of the previous statement
+            if suppression.covers(rule):
+                return suppression
+        return None
+
+
+class Checker:
+    """Base class: one rule family inspecting one :class:`SourceFile`."""
+
+    #: Family prefix of every rule this checker emits (e.g. ``"lock"``).
+    family: str = ""
+    #: ``rule id -> one-line description`` of every rule in the family.
+    rules: Dict[str, str] = {}
+
+    def check(self, source: SourceFile) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+#: Registered checker classes, in registration order.
+_CHECKERS: List[Type[Checker]] = []
+
+
+def register_checker(checker: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding ``checker`` to the global registry."""
+    _CHECKERS.append(checker)
+    return checker
+
+
+def registered_checkers() -> Tuple[Type[Checker], ...]:
+    return tuple(_CHECKERS)
+
+
+def all_rules() -> Dict[str, str]:
+    """``rule id -> description`` across every registered checker."""
+    rules: Dict[str, str] = {}
+    for checker in _CHECKERS:
+        rules.update(checker.rules)
+    return rules
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    paths: List[str]
+    files_scanned: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+    #: Files that could not be parsed (path -> error text).
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(
+    paths: Sequence[str], excluded_parts: Sequence[str] = DEFAULT_EXCLUDED_PARTS
+) -> Iterator[Path]:
+    """Every ``*.py`` file under ``paths``, skipping excluded directories."""
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            yield root
+            continue
+        if not root.exists():
+            raise LintError(f"path does not exist: {entry}")
+        for candidate in sorted(root.rglob("*.py")):
+            if any(part in excluded_parts for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def lint_source(
+    source: SourceFile, select: Optional[Sequence[str]] = None
+) -> Tuple[List[Violation], List[Violation]]:
+    """Run the (selected) checkers over one parsed file.
+
+    Returns ``(violations, suppressed)``.  Suppressions without a
+    justification do not silence anything; they are reported as violations
+    of ``lint/unjustified-suppression`` instead.
+    """
+    active: List[Violation] = []
+    suppressed: List[Violation] = []
+    for checker_cls in _CHECKERS:
+        if select and checker_cls.family not in select and not any(
+            rule in select for rule in checker_cls.rules
+        ):
+            continue
+        checker = checker_cls()
+        for violation in checker.check(source):
+            if select and violation.rule not in select and (
+                violation.rule.split("/", 1)[0] not in select
+            ):
+                continue
+            suppression = source.suppression_for(violation.line, violation.rule)
+            if suppression is not None and suppression.justification:
+                suppressed.append(
+                    Violation(
+                        rule=violation.rule,
+                        path=violation.path,
+                        line=violation.line,
+                        col=violation.col,
+                        message=violation.message,
+                        suppressed=True,
+                        justification=suppression.justification,
+                    )
+                )
+            else:
+                active.append(violation)
+    if not select or "lint" in select or "lint/unjustified-suppression" in select:
+        for suppression in source.suppressions:
+            if not suppression.justification:
+                active.append(
+                    Violation(
+                        rule="lint/unjustified-suppression",
+                        path=source.path,
+                        line=suppression.line,
+                        col=0,
+                        message=(
+                            "suppression comments require a justification: "
+                            "# lint: disable=<rule> -- <why this is safe>"
+                        ),
+                    )
+                )
+    return active, suppressed
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    excluded_parts: Sequence[str] = DEFAULT_EXCLUDED_PARTS,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the registered checkers."""
+    known = all_rules()
+    families = {rule.split("/", 1)[0] for rule in known} | {"lint"}
+    for entry in select or ():
+        if entry not in known and entry not in families:
+            raise LintError(
+                f"unknown rule or family {entry!r}; known families: "
+                f"{sorted(families)}"
+            )
+    report = LintReport(paths=list(paths))
+    for path in iter_python_files(paths, excluded_parts):
+        try:
+            source = SourceFile(str(path), path.read_text())
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            report.errors[str(path)] = f"{type(error).__name__}: {error}"
+            continue
+        report.files_scanned += 1
+        violations, suppressed = lint_source(source, select)
+        report.violations.extend(violations)
+        report.suppressed.extend(suppressed)
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    report.suppressed.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report

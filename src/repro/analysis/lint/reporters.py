@@ -1,0 +1,80 @@
+"""Text and JSON reporters of a :class:`~repro.analysis.lint.framework.LintReport`.
+
+The JSON document is versioned (``schema``) so CI consumers can rely on its
+shape; the schema is asserted by ``tests/test_lint_framework.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.lint.framework import LintReport, Violation
+
+#: Version tag of the JSON report layout.
+JSON_SCHEMA = "repro-lint-report/1"
+
+
+def render_text(report: LintReport, show_suppressed: bool = False) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines: List[str] = []
+    for path, error in sorted(report.errors.items()):
+        lines.append(f"{path}:0:0: lint/parse-error: {error}")
+    for violation in report.violations:
+        lines.append(violation.format())
+    if show_suppressed:
+        for violation in report.suppressed:
+            lines.append(
+                f"{violation.format()} [suppressed: {violation.justification}]"
+            )
+    total = len(report.violations) + len(report.errors)
+    if total:
+        by_rule = ", ".join(
+            f"{rule}: {count}" for rule, count in report.by_rule().items()
+        )
+        lines.append(
+            f"{total} violation{'s' if total != 1 else ''} in "
+            f"{report.files_scanned} files ({by_rule})"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files_scanned} files, 0 violations "
+            f"({len(report.suppressed)} justified suppressions)"
+        )
+    return "\n".join(lines)
+
+
+def _violation_dict(violation: Violation) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "rule": violation.rule,
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "message": violation.message,
+    }
+    if violation.suppressed:
+        entry["justification"] = violation.justification
+    return entry
+
+
+def render_json(report: LintReport, show_suppressed: bool = False) -> str:
+    """Machine-readable report (see :data:`JSON_SCHEMA`)."""
+    document = {
+        "schema": JSON_SCHEMA,
+        "paths": report.paths,
+        "files_scanned": report.files_scanned,
+        "ok": report.ok,
+        "violations": [_violation_dict(v) for v in report.violations],
+        "errors": dict(sorted(report.errors.items())),
+        "summary": {
+            "total": len(report.violations),
+            "by_rule": report.by_rule(),
+            "suppressed": len(report.suppressed),
+        },
+    }
+    if show_suppressed:
+        document["suppressed"] = [_violation_dict(v) for v in report.suppressed]
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+__all__ = ["JSON_SCHEMA", "render_json", "render_text"]

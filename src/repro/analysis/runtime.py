@@ -1,0 +1,259 @@
+"""Runtime validation of the ``# guarded-by:`` lock-discipline declarations.
+
+The static checker (:mod:`repro.analysis.lint.checkers.locks`) proves lock
+discipline over the AST; this module validates the *same declarations* as
+ground truth against a live instance under the concurrency stress tests.  It
+parses the instance's class source with the checker's own
+:func:`~repro.analysis.lint.checkers.locks.extract_guarded_declarations`, so
+static and dynamic enforcement can never drift apart, then:
+
+* swaps every referenced lock for a :class:`RecordingLock` that tracks which
+  threads currently hold it, and
+* rebinds the instance to a dynamic subclass whose data descriptors
+  intercept every read/write of a guarded attribute and record a
+  :class:`GuardedAccess` violation when the declared lock is not held by the
+  accessing thread.
+
+Usage (see ``tests/test_runtime_guard.py``)::
+
+    engine = InferenceEngine(classifier, geometry, batch_size=8)
+    with validate_guarded(engine) as monitor:
+        run_concurrent_submits(engine)
+    monitor.assert_clean()
+
+The monitor *records* violations rather than raising inside worker threads
+(an exception there would be swallowed by the thread and the test would pass
+vacuously); ``strict=True`` raises at the access site instead, for
+single-threaded debugging.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.lint.checkers.locks import extract_guarded_declarations
+from repro.analysis.lint.framework import SourceFile
+
+_SHADOW_PREFIX = "__guard_value_"
+
+
+class GuardError(AssertionError):
+    """Raised by :meth:`GuardMonitor.assert_clean` (or in strict mode)."""
+
+
+@dataclass(frozen=True)
+class GuardedAccess:
+    """One access of a guarded attribute without its declared lock held."""
+
+    attribute: str
+    lock: str
+    operation: str  # "read" | "write"
+    thread: str
+    caller: str  # "file:line" of the access site
+
+    def format(self) -> str:
+        return (
+            f"{self.caller}: {self.operation} of '{self.attribute}' "
+            f"(guarded-by: {self.lock}) without the lock held "
+            f"[thread {self.thread}]"
+        )
+
+
+class RecordingLock:
+    """A ``threading.Lock`` stand-in that knows who currently holds it."""
+
+    def __init__(self) -> None:
+        self._inner = threading.Lock()
+        self._holders: Set[int] = set()
+        self.acquisitions = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._holders.add(threading.get_ident())
+            self.acquisitions += 1
+        return acquired
+
+    def release(self) -> None:
+        self._holders.discard(threading.get_ident())
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def held_by_current_thread(self) -> bool:
+        return threading.get_ident() in self._holders
+
+    def __enter__(self) -> "RecordingLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.release()
+        return False
+
+
+def guarded_declarations_of(cls: type) -> Dict[str, str]:
+    """``attribute -> lock attribute`` merged over the MRO of ``cls``.
+
+    Reuses the static checker's extraction, so the runtime validator
+    enforces *exactly* the declarations the linter enforces.
+    """
+    merged: Dict[str, str] = {}
+    for base in reversed(cls.__mro__):
+        module = sys.modules.get(base.__module__)
+        path = getattr(module, "__file__", None)
+        if path is None:
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = SourceFile(path, handle.read())
+        except (OSError, SyntaxError):
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name == base.__name__:
+                for attr, (lock, _line) in extract_guarded_declarations(
+                    source, node
+                ).items():
+                    merged[attr] = lock
+    return merged
+
+
+@dataclass
+class GuardMonitor:
+    """Collected outcome of one instrumented run."""
+
+    declarations: Dict[str, str]
+    violations: List[GuardedAccess] = field(default_factory=list)
+    reads: int = 0
+    writes: int = 0
+    locks: Dict[str, RecordingLock] = field(default_factory=dict)
+    strict: bool = False
+    _instance: Optional[object] = None
+    _original_class: Optional[type] = None
+
+    @property
+    def guarded_accesses(self) -> int:
+        return self.reads + self.writes
+
+    def assert_clean(self) -> None:
+        """Raise :class:`GuardError` if any unguarded access was recorded.
+
+        Also fails when *no* guarded access happened at all: a stress test
+        that never touched the guarded state validates nothing.
+        """
+        if self.violations:
+            listing = "\n  ".join(entry.format() for entry in self.violations)
+            raise GuardError(
+                f"{len(self.violations)} unguarded accesses of declared "
+                f"guarded-by attributes:\n  {listing}"
+            )
+        if not self.guarded_accesses:
+            raise GuardError(
+                "the instrumented run never touched a guarded attribute; "
+                "the validation is vacuous"
+            )
+
+    def restore(self) -> None:
+        """Rebind the instance to its original class (locks stay swapped)."""
+        if self._instance is not None and self._original_class is not None:
+            for attr in self.declarations:
+                shadow = _SHADOW_PREFIX + attr
+                if shadow in self._instance.__dict__:
+                    self._instance.__dict__[attr] = self._instance.__dict__.pop(
+                        shadow
+                    )
+            self._instance.__class__ = self._original_class
+            self._instance = None
+
+    def __enter__(self) -> "GuardMonitor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.restore()
+        return False
+
+
+def _guard_property(attribute: str, lock_attr: str, monitor: GuardMonitor):
+    shadow = _SHADOW_PREFIX + attribute
+
+    def _check(instance: object, operation: str) -> None:
+        lock = instance.__dict__.get(lock_attr)
+        if isinstance(lock, RecordingLock) and lock.held_by_current_thread():
+            return
+        frame = sys._getframe(2)
+        access = GuardedAccess(
+            attribute=attribute,
+            lock=lock_attr,
+            operation=operation,
+            thread=threading.current_thread().name,
+            caller=f"{frame.f_code.co_filename}:{frame.f_lineno}",
+        )
+        monitor.violations.append(access)
+        if monitor.strict:
+            raise GuardError(access.format())
+
+    def fget(instance: object):
+        monitor.reads += 1
+        _check(instance, "read")
+        return instance.__dict__[shadow]
+
+    def fset(instance: object, value: object) -> None:
+        monitor.writes += 1
+        _check(instance, "write")
+        instance.__dict__[shadow] = value
+
+    return property(fget, fset)
+
+
+def validate_guarded(instance: object, strict: bool = False) -> GuardMonitor:
+    """Instrument ``instance`` so every guarded access is lock-checked.
+
+    Swaps each declared lock for a :class:`RecordingLock`, moves the guarded
+    values into shadow slots and rebinds the instance to a one-off subclass
+    whose properties validate the holder thread on every access.  Returns a
+    :class:`GuardMonitor` (usable as a context manager; on exit the original
+    class is restored).
+    """
+    cls = type(instance)
+    declarations = guarded_declarations_of(cls)
+    if not declarations:
+        raise GuardError(
+            f"{cls.__name__} declares no '# guarded-by:' attributes; "
+            "nothing to validate"
+        )
+    monitor = GuardMonitor(declarations=declarations, strict=strict)
+    monitor._instance = instance
+    monitor._original_class = cls
+    for lock_attr in set(declarations.values()):
+        if not hasattr(instance, lock_attr):
+            raise GuardError(
+                f"declared lock attribute '{lock_attr}' does not exist on "
+                f"{cls.__name__}"
+            )
+        recording = RecordingLock()
+        instance.__dict__[lock_attr] = recording
+        monitor.locks[lock_attr] = recording
+    namespace: Dict[str, object] = {}
+    for attribute, lock_attr in declarations.items():
+        if attribute in instance.__dict__:
+            instance.__dict__[_SHADOW_PREFIX + attribute] = instance.__dict__.pop(
+                attribute
+            )
+        namespace[attribute] = _guard_property(attribute, lock_attr, monitor)
+    instance.__class__ = type(f"Guarded{cls.__name__}", (cls,), namespace)
+    return monitor
+
+
+__all__ = [
+    "GuardError",
+    "GuardMonitor",
+    "GuardedAccess",
+    "RecordingLock",
+    "guarded_declarations_of",
+    "validate_guarded",
+]

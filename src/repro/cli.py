@@ -18,6 +18,9 @@ Seven sub-commands cover the everyday workflow without writing Python:
   (async ingestion, periodic stats dumps, per-source verdicts).
 * ``repro-csi probe`` -- run the cheap linear separability probe on a split
   (useful to sanity-check a dataset before paying for CNN training).
+* ``repro-csi lint`` -- run the repro-lint static-analysis suite (lock
+  discipline, hot-path allocations, dtype contracts, shm/process safety)
+  over the project sources; exits non-zero on any violation.
 
 Every sub-command is a thin layer over the library API, so anything the CLI
 does can also be scripted.
@@ -344,6 +347,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def _cmd_probe(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset_path)
     train, test = _apply_split(dataset, args.split, args.beamformee)
@@ -524,6 +533,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_arguments(probe)
     probe.set_defaults(handler=_cmd_probe)
+
+    from repro.analysis.lint.cli import build_lint_parser
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro-lint static-analysis suite over the sources",
+    )
+    build_lint_parser(lint)
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

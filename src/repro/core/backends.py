@@ -53,7 +53,7 @@ import queue
 import threading
 from collections import deque
 from dataclasses import replace
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -77,6 +77,9 @@ from repro.core.transport import (
 from repro.datasets.containers import FeedbackSample
 from repro.feedback.capture import CapturedFeedback
 from repro.feedback.frames import FeedbackFrame
+
+if TYPE_CHECKING:
+    from repro.core.classifier import DeepCsiClassifier
 
 #: Names accepted by ``StreamingService(backend=...)`` / ``serve --backend``.
 BACKEND_NAMES = ("threads", "processes")
@@ -118,14 +121,14 @@ class ThreadBackend:
 
     def __init__(
         self,
-        classifier,
+        classifier: "DeepCsiClassifier",
         num_workers: int,
         queue_depth: int,
         engine_kwargs: dict,
     ) -> None:
         self._completed: Deque[EngineResult] = deque()
         self._failure: Optional[BaseException] = None
-        self._queue_full_waits = 0
+        self._queue_full_waits = 0  # guarded-by: _counter_lock
         self._counter_lock = threading.Lock()
         self.shards: List[_ThreadShard] = []
         for index in range(num_workers):
@@ -195,7 +198,9 @@ class ThreadBackend:
 
     @property
     def queue_full_waits(self) -> int:
-        return self._queue_full_waits
+        with self._counter_lock:
+            waits = self._queue_full_waits
+        return waits
 
     def raise_if_failed(self) -> None:
         if self._failure is not None:
@@ -274,7 +279,13 @@ def _stats_tuple(engine: InferenceEngine) -> Tuple[int, int, int, float]:
     return (stats.frames_in, stats.frames_out, stats.batches, stats.inference_seconds)
 
 
-def _shard_worker_main(shard_index, classifier, engine_kwargs, ring, results):
+def _shard_worker_main(
+    shard_index: int,
+    classifier: "DeepCsiClassifier",
+    engine_kwargs: dict,
+    ring: ShmRing,
+    results: "multiprocessing.queues.Queue",
+) -> None:
     """Entry point of one shard worker process.
 
     Builds the private engine (the one-time weight clone), then loops over
@@ -367,7 +378,7 @@ class ProcessBackend:
 
     def __init__(
         self,
-        classifier,
+        classifier: "DeepCsiClassifier",
         num_workers: int,
         queue_depth: int,
         engine_kwargs: dict,
@@ -383,7 +394,7 @@ class ProcessBackend:
         self._results_queue = self._context.Queue()
         self._completed: Deque[EngineResult] = deque()
         self._failure: Optional[str] = None
-        self._queue_full_waits = 0
+        self._queue_full_waits = 0  # guarded-by: _counter_lock
         self._flush_acks: Dict[int, set] = {}
         self._stopped_shards: set = set()
         self._flush_id = 0
@@ -535,7 +546,7 @@ class ProcessBackend:
         finally:
             self._drain_lock.release()
 
-    def _dispatch(self, message) -> None:
+    def _dispatch(self, message: tuple) -> None:
         kind, shard_index = message[0], message[1]
         shard = self.shards[shard_index]
         if kind == "results":
@@ -570,7 +581,7 @@ class ProcessBackend:
                 self._failure = f"worker process {shard_index} failed: {text}"
 
     @staticmethod
-    def _apply_stats(shard: _ProcessShard, stats) -> None:
+    def _apply_stats(shard: _ProcessShard, stats: Tuple[int, int, int, float]) -> None:
         frames_in, frames_out, batches, inference_seconds = stats
         shard.stats = EngineStats(
             frames_in=frames_in,
@@ -597,7 +608,9 @@ class ProcessBackend:
 
     @property
     def queue_full_waits(self) -> int:
-        return self._queue_full_waits
+        with self._counter_lock:
+            waits = self._queue_full_waits
+        return waits
 
     def raise_if_failed(self) -> None:
         self._drain(block=False)
@@ -651,12 +664,12 @@ class ProcessBackend:
 
 def make_backend(
     backend: str,
-    classifier,
+    classifier: "DeepCsiClassifier",
     num_workers: int,
     queue_depth: int,
     engine_kwargs: dict,
     slot_bytes: Optional[int] = None,
-):
+) -> Union["ThreadBackend", "ProcessBackend"]:
     """Instantiate the named execution backend."""
     if backend == "threads":
         return ThreadBackend(classifier, num_workers, queue_depth, engine_kwargs)

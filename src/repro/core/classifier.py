@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path
 from repro.core.evaluation import ClassificationReport, evaluate_predictions
 from repro.core.model import (
     DeepCsiModelConfig,
@@ -287,6 +288,7 @@ class DeepCsiClassifier:
         ids, confidences = self.predict_matrices(np.asarray(v_tilde)[np.newaxis])
         return int(ids[0]), float(confidences[0])
 
+    @hot_path
     def predict_matrices(self, v_batch: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Classify a pre-stacked batch of reconstructed ``V~`` matrices.
 
@@ -305,8 +307,7 @@ class DeepCsiClassifier:
         if v_batch.ndim != 4:
             raise ClassifierError("v_batch must have shape (B, K, M, N_SS)")
         if v_batch.shape[0] == 0:
-            empty = np.zeros(0)
-            return empty.astype(int), empty
+            return np.zeros(0, dtype=int), np.zeros(0, dtype=float)
         features = self.extractor.transform_matrices(v_batch)
         # The extractor hands us a freshly-built tensor, so normalise it in
         # place instead of allocating two broadcast temporaries per batch.

@@ -36,15 +36,19 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path
 from repro.core.classifier import DeepCsiClassifier
 from repro.datasets.containers import FeedbackSample
 from repro.feedback.capture import CapturedFeedback, reconstruct_quantized_batch
 from repro.feedback.frames import FeedbackFrame, parse_feedback_frame
 from repro.nn.model import LayerProfile
+
+if TYPE_CHECKING:
+    from repro.nn.compute import ComputeBackend
 
 
 class EngineError(ValueError):
@@ -282,7 +286,7 @@ class InferenceEngine:
         max_latency_frames: Optional[int] = None,
         vote_window: int = 16,
         max_sources: int = 1024,
-        compute=None,
+        compute: Optional[Union[str, "ComputeBackend"]] = None,
         profile: bool = False,
     ) -> None:
         if batch_size < 1:
@@ -299,7 +303,7 @@ class InferenceEngine:
         self._profile = bool(profile)
         if self._profile and classifier.model is not None:
             classifier.model.enable_profiling()
-        self._stats = EngineStats()
+        self._stats = EngineStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
         self._pending: List[_PendingObservation] = []
         self._windows = SourceWindows(vote_window, max_sources)
@@ -502,6 +506,7 @@ class InferenceEngine:
             v_tilde=array,
         )
 
+    @hot_path
     def _stage_batch(self, entries: List[_PendingObservation]) -> np.ndarray:
         """Copy same-shape observations into a reusable staging buffer.
 
@@ -521,6 +526,7 @@ class InferenceEngine:
             staged[position] = entry.v_tilde
         return staged
 
+    @hot_path
     def _process_pending(self) -> List[EngineResult]:
         if not self._pending:
             return []

@@ -58,7 +58,8 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Tuple
+from types import TracebackType
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.backends import BACKEND_NAMES, WorkerFailure, make_backend
 from repro.core.classifier import DeepCsiClassifier
@@ -71,6 +72,9 @@ from repro.core.engine import (
 )
 from repro.feedback.capture import CapturedFeedback
 from repro.feedback.frames import FeedbackFrame
+
+if TYPE_CHECKING:
+    from repro.nn.compute import ComputeBackend
 
 
 class ServiceError(RuntimeError):
@@ -262,7 +266,7 @@ class StreamingService:
         max_sources: int = 1024,
         backend: str = "threads",
         slot_bytes: Optional[int] = None,
-        compute=None,
+        compute: Optional[Union[str, "ComputeBackend"]] = None,
     ) -> None:
         if backend not in BACKEND_NAMES:
             raise ServiceError(
@@ -282,7 +286,7 @@ class StreamingService:
         self.queue_depth = queue_depth
         self.backend_name = backend
         self._closed = False
-        self._frames_in = 0
+        self._frames_in = 0  # guarded-by: _submit_lock
         self._submit_lock = threading.Lock()
         self._started_monotonic = time.monotonic()
         engine_kwargs = dict(
@@ -304,7 +308,7 @@ class StreamingService:
             raise ServiceError(str(error)) from error
 
     @property
-    def _shards(self):
+    def _shards(self) -> list:
         """Shard handles of the underlying backend (tests/introspection)."""
         return self._backend.shards
 
@@ -415,11 +419,13 @@ class StreamingService:
     def stats(self) -> ServiceStats:
         """Aggregated service-level counters (a point-in-time snapshot)."""
         worker_stats = self._backend.worker_stats()
+        with self._submit_lock:
+            frames_in = self._frames_in
         return ServiceStats(
             num_workers=self.num_workers,
             backend=self.backend_name,
             compute=self.compute_name,
-            frames_in=self._frames_in,
+            frames_in=frames_in,
             frames_out=sum(stats.frames_out for stats in worker_stats),
             batches=sum(stats.batches for stats in worker_stats),
             inference_seconds=sum(stats.inference_seconds for stats in worker_stats),
@@ -447,7 +453,12 @@ class StreamingService:
     def __enter__(self) -> "StreamingService":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #

@@ -44,7 +44,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Callable, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 import numpy as np
 
@@ -126,7 +126,16 @@ def pack_control_record(kind: int, sequence: int = 0) -> bytes:
     return _pack(kind, 0, b"", "", b"", sequence, 0.0, ())
 
 
-def _pack(kind, ndim, dtype_str, source, payload, sequence, timestamp_s, shape):
+def _pack(
+    kind: int,
+    ndim: int,
+    dtype_str: bytes,
+    source: str,
+    payload: bytes,
+    sequence: int,
+    timestamp_s: float,
+    shape: Tuple[int, ...],
+) -> bytes:
     source_bytes = source.encode("utf-8")
     if len(source_bytes) > 0xFFFF:
         raise TransportError("source address does not fit the record header")
@@ -192,7 +201,7 @@ class ShmRing:
     cross-process synchronisation, so no index ever needs to be shared.
     """
 
-    def __init__(self, context, num_slots: int, slot_bytes: int) -> None:
+    def __init__(self, context: Any, num_slots: int, slot_bytes: int) -> None:
         if num_slots < 1:
             raise TransportError("num_slots must be >= 1")
         if slot_bytes < _HEADER.size:
@@ -204,8 +213,16 @@ class ShmRing:
         self._shm = shared_memory.SharedMemory(
             create=True, size=num_slots * slot_bytes
         )
-        self._free_slots = context.Semaphore(num_slots)
-        self._filled_records = context.Semaphore(0)
+        try:
+            self._free_slots = context.Semaphore(num_slots)
+            self._filled_records = context.Semaphore(0)
+        except BaseException:
+            # Semaphore construction can fail (e.g. the host's named-semaphore
+            # quota); without this the freshly created segment would outlive
+            # the process under /dev/shm.
+            self._shm.close()
+            self._shm.unlink()
+            raise
         self._head = 0
         self._tail = 0
         self._closed = False
@@ -311,7 +328,7 @@ class ShmRing:
     # ------------------------------------------------------------------ #
     # Pickling (spawn start-method fallback)
     # ------------------------------------------------------------------ #
-    def __getstate__(self):
+    def __getstate__(self) -> dict:
         return {
             "num_slots": self.num_slots,
             "slot_bytes": self.slot_bytes,
@@ -320,7 +337,7 @@ class ShmRing:
             "filled_records": self._filled_records,
         }
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: dict) -> None:
         self.num_slots = state["num_slots"]
         self.slot_bytes = state["slot_bytes"]
         self._shm = shared_memory.SharedMemory(name=state["shm_name"])

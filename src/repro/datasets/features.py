@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path
 from repro.datasets.containers import FeedbackSample
 
 
@@ -141,6 +142,7 @@ class FeatureExtractor:
             raise FeatureError("v_tilde must have shape (K, M, N_SS)")
         return self.transform_matrices(v_tilde[np.newaxis])[0]
 
+    @hot_path
     def transform_matrices(self, v_batch: np.ndarray) -> np.ndarray:
         """Extract feature tensors from a pre-stacked batch of ``V~`` matrices.
 

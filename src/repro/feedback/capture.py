@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path
 from repro.feedback.frames import (
     FeedbackFrame,
     VhtMimoControl,
@@ -70,6 +71,7 @@ class CapturedFeedback:
     timestamp_s: float
 
 
+@hot_path
 def reconstruct_quantized_batch(parsed: Sequence) -> List[np.ndarray]:
     """Rebuild ``V~`` for parsed feedbacks through the batched Givens path.
 

@@ -24,6 +24,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path
+
 
 class GivensError(ValueError):
     """Raised for invalid inputs to the Givens compression routines."""
@@ -228,6 +230,7 @@ def reconstruct_v_matrix(angles: FeedbackAngles) -> np.ndarray:
     )
 
 
+@hot_path
 def reconstruct_v_matrices(
     phi: np.ndarray, psi: np.ndarray, num_tx: int, num_streams: int
 ) -> np.ndarray:

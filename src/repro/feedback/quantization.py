@@ -20,6 +20,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path
 from repro.feedback.givens import FeedbackAngles
 
 #: Codebook 0 of the VHT MU-MIMO feedback: (b_psi, b_phi) = (5, 7).
@@ -204,6 +205,7 @@ def stack_quantized_angles(
     return q_phi, q_psi, first.config, first.num_tx, first.num_streams
 
 
+@hot_path
 def dequantize_angles_batch(
     q_phi: np.ndarray, q_psi: np.ndarray, config: QuantizationConfig
 ) -> Tuple[np.ndarray, np.ndarray]:

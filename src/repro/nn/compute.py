@@ -37,14 +37,16 @@ startup payload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+# lint: dtype-strict
+
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path
 from repro.nn.attention import SpatialAttention
 from repro.nn.layers import (
-    Activation,
     AlphaDropout,
     Conv2D,
     Dense,
@@ -409,6 +411,7 @@ class Fp32ArenaBackend(ComputeBackend):
     def _make_conv_state(self, layer: Conv2D) -> _ConvState:
         return self._fp32_conv_state(layer)
 
+    @hot_path
     # -- dispatch --------------------------------------------------------- #
     def forward_layer(self, index: int, layer, x: np.ndarray) -> np.ndarray:
         if index == 0:
@@ -445,6 +448,7 @@ class Fp32ArenaBackend(ComputeBackend):
         # in the reference NCHW layout.
         return self._reference_forward(layer, x)
 
+    @hot_path
     def _ingest(self, index: int, x: np.ndarray) -> np.ndarray:
         """Cast the model input to fp32; 4-d NCHW inputs become NHWC."""
         if x.ndim == 4:
@@ -462,17 +466,20 @@ class Fp32ArenaBackend(ComputeBackend):
 
     def _reference_forward(self, layer, x: np.ndarray) -> np.ndarray:
         reference = x.transpose(0, 3, 1, 2) if x.ndim == 4 else x
+        # lint: disable=dtype/float64 -- deliberate exact-fp64 fallback for unsupported layer types
         out = layer.forward(np.asarray(reference, dtype=np.float64), training=False)
         out = np.asarray(out, dtype=self.dtype)
         if out.ndim == 4:
             out = np.ascontiguousarray(out.transpose(0, 2, 3, 1))
         return out
 
+    @hot_path
     def finalize(self, out: np.ndarray) -> np.ndarray:
         # The output aliases an arena buffer that the next batch overwrites.
-        return np.array(out, copy=True)
+        return np.array(out, copy=True)  # lint: disable=hot-path/banned-alloc -- the result must escape the arena; one (B, C) copy per batch
 
     # -- kernels ---------------------------------------------------------- #
+    @hot_path
     def _dense(self, key: tuple, state: _DenseState, x: np.ndarray) -> np.ndarray:
         if self.observer is not None:
             self.observer(state, x)
@@ -481,6 +488,7 @@ class Fp32ArenaBackend(ComputeBackend):
         np.matmul(gemm_in, state.weight, out=out)
         return state.finish(out)
 
+    @hot_path
     def _conv(self, key: tuple, state: _ConvState, x: np.ndarray) -> np.ndarray:
         if self.observer is not None:
             self.observer(state, x)
@@ -514,11 +522,13 @@ class Fp32ArenaBackend(ComputeBackend):
         # The GEMM output already is the NHWC activation: no transpose copy.
         return accumulator.reshape(batch, out_h, out_w, state.out_channels)
 
+    @hot_path
     def _selu(self, index: int, x: np.ndarray) -> np.ndarray:
         out = self._arena.get((index, "out"), x.shape)
         scratch = self._arena.get((index, "scratch"), x.shape)
         return fused_selu(x, out, scratch)
 
+    @hot_path
     def _softmax(self, index: int, x: np.ndarray) -> np.ndarray:
         out = self._arena.get((index, "out"), x.shape)
         np.subtract(x, np.max(x, axis=-1, keepdims=True), out=out)
@@ -526,6 +536,7 @@ class Fp32ArenaBackend(ComputeBackend):
         out /= np.sum(out, axis=-1, keepdims=True)
         return out
 
+    @hot_path
     def _maxpool(self, index: int, layer: MaxPool2D, x: np.ndarray) -> np.ndarray:
         ph, pw = layer.pool_size
         batch, channels = x.shape[0], x.shape[3]
@@ -547,6 +558,7 @@ class Fp32ArenaBackend(ComputeBackend):
                 np.maximum(out, cropped[:, di::ph, dj::pw, :], out=out)
         return out
 
+    @hot_path
     def _flatten(self, index: int, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4:
             return x.reshape(x.shape[0], -1)
@@ -558,6 +570,7 @@ class Fp32ArenaBackend(ComputeBackend):
         )
         return out
 
+    @hot_path
     def _attention(self, index: int, state: _AttentionState, x: np.ndarray) -> np.ndarray:
         batch, height, width, channels = x.shape
         stacked = self._arena.get((index, "att_in"), (batch, height, width, 2))
@@ -614,6 +627,7 @@ class Int8Backend(Fp32ArenaBackend):
     def _make_conv_state(self, layer: Conv2D) -> _QuantConvState:
         weight_q, scales = _quantize_weight(layer.weight, channel_axis=0)
         return _QuantConvState(
+            # lint: disable=dtype/float64 -- prepare-time im2col weights; int8 values round-trip fp64 exactly
             weight2d=_conv_weight2d(weight_q.astype(np.float64)),
             bias=layer.bias.astype(np.float32),
             kernel=layer.kernel_size,
@@ -717,6 +731,7 @@ class Int8Backend(Fp32ArenaBackend):
                 arrays[f"{prefix}/weight_scale"], dtype=np.float32
             )
             if isinstance(state, _QuantConvState):
+                # lint: disable=dtype/float64 -- prepare-time im2col weights; int8 values round-trip fp64 exactly
                 state.weight2d = _conv_weight2d(weight_q.astype(np.float64))
             else:
                 state.weight = np.ascontiguousarray(weight_q, dtype=np.float32)

@@ -1,0 +1,13 @@
+"""Seeded dtype-contract violations."""
+
+# lint: dtype-strict
+
+import numpy as np
+
+
+def upcasting_kernel(x):
+    accumulator = np.zeros(x.shape)  # dtype/missing-dtype
+    widened = np.asarray(x, dtype=np.float64)  # dtype/float64
+    stringly = x.astype("float64")  # dtype/float64
+    builtin = np.empty(3, dtype=float)  # dtype/float64 (builtin float is f8)
+    return accumulator, widened, stringly, builtin

@@ -1,0 +1,12 @@
+"""Dtype-strict module that keeps its declared precision: clean."""
+
+# lint: dtype-strict
+
+import numpy as np
+
+
+def fp32_kernel(x):
+    staging = np.zeros(x.shape, dtype=np.float32)
+    np.copyto(staging, x)
+    quantized = np.clip(np.rint(staging), -127, 127).astype(np.int8)
+    return staging, quantized

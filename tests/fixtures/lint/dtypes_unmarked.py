@@ -1,0 +1,9 @@
+"""Same code as dtypes_bad.py but without the dtype-strict marker: clean."""
+
+import numpy as np
+
+
+def upcasting_kernel(x):
+    accumulator = np.zeros(x.shape)
+    widened = np.asarray(x, dtype=np.float64)
+    return accumulator, widened

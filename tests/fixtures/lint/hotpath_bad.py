@@ -1,0 +1,21 @@
+"""Seeded hot-path allocation violations."""
+
+import numpy as np
+
+from repro.analysis.annotations import hot_path
+
+
+@hot_path
+def stack_frames(frames):
+    batch = np.stack(frames, axis=0)  # hot-path/banned-alloc
+    totals = np.zeros(len(frames))  # hot-path/missing-dtype
+    collected = []
+    for frame in frames:
+        collected.append(frame.sum())  # hot-path/list-append-in-loop
+    return batch, totals, collected
+
+
+@hot_path
+def concat_then_copy(left, right):
+    merged = np.concatenate([left, right])  # hot-path/banned-alloc
+    return np.array(merged)  # hot-path/banned-alloc

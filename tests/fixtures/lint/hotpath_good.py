@@ -1,0 +1,31 @@
+"""Hot-path-clean counterpart: zero expected violations."""
+
+import numpy as np
+
+from repro.analysis.annotations import hot_path
+
+
+def cold_path_may_stack(frames):
+    # Not decorated: batch constructors are fine off the hot path.
+    return np.stack(frames, axis=0)
+
+
+@hot_path
+def staged_forward(batch, arena):
+    staged = np.empty(batch.shape, dtype=np.float32)
+    np.copyto(staged, batch)
+    view = np.asarray(staged)  # asarray of an array does not copy
+    results = [None] * len(batch)  # preallocated, not grown per item
+    for index in range(len(batch)):
+        results[index] = view[index].sum()
+    self_appending = batch.tolist()
+    return staged, results, self_appending
+
+
+@hot_path
+def method_style(self, frames):
+    # Attribute-based accumulators (self._windows.append) are engine-managed
+    # deques, not per-call lists; only bare local lists are flagged.
+    for frame in frames:
+        self._windows.append(frame)
+    return np.zeros((len(frames), 4), dtype=np.float32)

@@ -1,0 +1,34 @@
+"""Seeded lock-discipline violations (never imported; parsed by the linter)."""
+
+import threading
+
+
+class BadCounter:
+    def __init__(self):
+        self._hits = 0  # guarded-by: _lock
+        self._items = {}  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def torn_read(self):  # lock/unguarded-read
+        value = self._hits
+        return value
+
+    def torn_write(self):  # lock/unguarded-write
+        self._hits = 0
+
+    def raw_escape(self):  # lock/guarded-ref-escape (even inside the lock)
+        with self._lock:
+            return self._items
+
+    def tuple_escape(self):  # lock/guarded-ref-escape via tuple element
+        with self._lock:
+            return self._hits, len(self._items)
+
+    def deferred_closure(self):  # closure body runs after the lock is released
+        with self._lock:
+
+            def worker():
+                value = self._hits  # lock/unguarded-read
+                return value
+
+            return worker

@@ -1,0 +1,29 @@
+"""Disciplined counterpart of locks_bad.py: zero expected violations."""
+
+import threading
+
+
+class GoodCounter:
+    def __init__(self):
+        self._hits = 0  # guarded-by: _lock
+        self._items = {}  # guarded-by: _lock
+        self._lock = threading.Lock()
+        self._unguarded_scratch = []  # no declaration: never checked
+
+    def bump(self):
+        with self._lock:
+            self._hits += 1
+            self._items["last"] = self._hits
+
+    def snapshot(self):
+        with self._lock:
+            value = self._hits
+        return value
+
+    def copy_out(self):  # returning a *copy* does not escape the reference
+        with self._lock:
+            return dict(self._items)
+
+    def scratch(self):
+        self._unguarded_scratch.append(1)
+        return len(self._unguarded_scratch)

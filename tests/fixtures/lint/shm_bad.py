@@ -1,0 +1,36 @@
+"""Seeded process/shared-memory safety violations."""
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+
+def leak_unstored():
+    # shm/missing-cleanup: result not stored, can never be released.
+    shared_memory.SharedMemory(create=True, size=64)
+
+
+class LeakyRing:
+    def __init__(self):
+        # shm/missing-cleanup: close()/unlink() exist but none sits on an
+        # exception path, so a startup failure leaks the segment.
+        self._seg = shared_memory.SharedMemory(create=True, size=64)
+
+    def close(self):
+        self._seg.close()
+        self._seg.unlink()
+
+
+def ship_closures(queue, frame):
+    def encode():
+        return frame
+
+    queue.put((frame, lambda: frame))  # shm/payload-closure (lambda)
+    queue.put(encode)  # shm/payload-closure (local function)
+    worker = mp.Process(target=print, args=(lambda: frame,))  # shm/payload-closure
+    return worker
+
+
+def worker_loop(stop):
+    while not stop.is_set():
+        response = mp.Queue()  # shm/primitive-in-loop
+        response.put(None)

@@ -1,0 +1,22 @@
+"""Suppression-handling cases for the framework tests."""
+
+import numpy as np
+
+from repro.analysis.annotations import hot_path
+
+
+@hot_path
+def justified_inline(frames):
+    return np.stack(frames)  # lint: disable=hot-path/banned-alloc -- test fixture: output must escape the arena
+
+
+@hot_path
+def justified_family(frames):
+    # lint: disable=hot-path -- test fixture: family-wide suppression
+    totals = np.zeros(len(frames))
+    return totals
+
+
+@hot_path
+def unjustified(frames):
+    return np.concatenate(frames)  # lint: disable=hot-path/banned-alloc

@@ -77,6 +77,10 @@ class TestPredictMatrices:
         )
         assert ids.shape == (0,)
         assert confidences.shape == (0,)
+        # Regression (found by repro-lint hot-path/missing-dtype): the empty
+        # fast path must match the dtypes of the populated path.
+        assert ids.dtype == np.dtype(int)
+        assert confidences.dtype == np.dtype(float)
 
     def test_wrong_rank_rejected(self, trained_classifier, test_samples):
         from repro.core.classifier import ClassifierError
@@ -242,8 +246,13 @@ class TestEngineStatsGuards:
         """
         import threading
 
+        from repro.analysis.runtime import validate_guarded
+
         batch_size = 2
         engine = InferenceEngine(trained_classifier, batch_size=batch_size)
+        # Runtime lock validation: every access of the # guarded-by: _stats_lock
+        # state must hold the lock, checked live while the watcher races.
+        monitor = validate_guarded(engine)
         stop = threading.Event()
         violations = []
 
@@ -266,6 +275,8 @@ class TestEngineStatsGuards:
             watcher.join()
         assert not violations, f"torn stats snapshots observed: {violations[:5]}"
         assert engine.stats.frames_out == engine.stats.batches * batch_size
+        monitor.assert_clean()
+        monitor.restore()
 
 
 class TestEngineOnSniffedFrames:

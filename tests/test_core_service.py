@@ -174,14 +174,22 @@ class TestConcurrentProducers:
         """Regression: the service-wide sequence stamp must not race."""
         import threading
 
+        from repro.analysis.runtime import validate_guarded
+
         sources = [station_mac(index) for index in range(4)]
         per_producer = 8
         with StreamingService(
             trained_classifier, num_workers=2, batch_size=4
         ) as service:
+            # Runtime lock validation: the # guarded-by: _submit_lock sequence
+            # counter must be locked on every access, including the stats
+            # snapshots the producers interleave with their submissions.
+            monitor = validate_guarded(service)
+
             def produce(source):
                 for sample in test_samples[:per_producer]:
                     service.submit(sample, source=source)
+                    service.stats
 
             threads = [
                 threading.Thread(target=produce, args=(source,))
@@ -193,6 +201,8 @@ class TestConcurrentProducers:
                 thread.join()
             service.flush()
             results = service.collect()
+            monitor.assert_clean()
+            monitor.restore()
 
         sequences = sorted(result.sequence for result in results)
         assert sequences == list(range(len(sources) * per_producer))

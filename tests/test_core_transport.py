@@ -127,3 +127,31 @@ class TestShmRing:
             ShmRing(context, num_slots=0, slot_bytes=256)
         with pytest.raises(TransportError):
             ShmRing(context, num_slots=4, slot_bytes=8)
+
+    def test_init_failure_after_create_releases_segment(self):
+        """Regression (found by repro-lint shm/missing-cleanup): a semaphore
+        construction failure after SharedMemory(create=True) must not leak
+        the freshly created segment."""
+        created_names = []
+        original = ShmRing.__init__
+
+        class FailingContext:
+            def Semaphore(self, value):
+                raise OSError("named-semaphore quota exhausted")
+
+        def capturing_init(ring, context, num_slots, slot_bytes):
+            try:
+                original(ring, context, num_slots, slot_bytes)
+            finally:
+                shm = ring.__dict__.get("_shm")
+                if shm is not None:
+                    created_names.append(shm.name)
+
+        ShmRing.__init__ = capturing_init
+        try:
+            with pytest.raises(OSError, match="quota"):
+                ShmRing(FailingContext(), num_slots=2, slot_bytes=128)
+        finally:
+            ShmRing.__init__ = original
+        assert len(created_names) == 1
+        assert not segment_exists(created_names[0])

@@ -1,0 +1,177 @@
+"""Checker-family tests over the seeded fixture snippets.
+
+Each fixture under ``tests/fixtures/lint`` carries known violations (or is
+deliberately clean); these tests pin the exact rules -- and the exact
+*non*-findings, since a checker that over-reports real idioms (snapshot
+copies, parent-side callbacks, preallocated lists) would be suppressed into
+uselessness within a week.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import SourceFile, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def lint_fixture(name, select=None):
+    path = FIXTURES / name
+    source = SourceFile(str(path), path.read_text())
+    return lint_source(source, select=select)
+
+
+def rules_of(violations):
+    return sorted(violation.rule for violation in violations)
+
+
+class TestLockDiscipline:
+    def test_bad_fixture_findings(self):
+        violations, _ = lint_fixture("locks_bad.py", select=["lock"])
+        assert rules_of(violations) == [
+            "lock/guarded-ref-escape",
+            "lock/guarded-ref-escape",
+            "lock/unguarded-read",
+            "lock/unguarded-read",
+            "lock/unguarded-write",
+        ]
+
+    def test_closure_inside_with_is_not_guarded(self):
+        """A closure defined inside the with-block runs after release."""
+        violations, _ = lint_fixture("locks_bad.py", select=["lock"])
+        closure_reads = [
+            violation
+            for violation in violations
+            if violation.rule == "lock/unguarded-read"
+            and "_hits" in violation.message
+        ]
+        assert any(
+            violation.line > 25 for violation in closure_reads
+        ), "the deferred-closure read was not flagged"
+
+    def test_escape_messages_name_attribute_and_lock(self):
+        violations, _ = lint_fixture("locks_bad.py", select=["lock"])
+        escape = next(
+            violation
+            for violation in violations
+            if violation.rule == "lock/guarded-ref-escape"
+        )
+        assert "_lock" in escape.message
+        assert "copy" in escape.message
+
+    def test_good_fixture_is_clean(self):
+        violations, suppressed = lint_fixture("locks_good.py")
+        assert violations == []
+        assert suppressed == []
+
+
+class TestHotPathAllocation:
+    def test_bad_fixture_findings(self):
+        violations, _ = lint_fixture("hotpath_bad.py", select=["hot-path"])
+        assert rules_of(violations) == [
+            "hot-path/banned-alloc",
+            "hot-path/banned-alloc",
+            "hot-path/banned-alloc",
+            "hot-path/list-append-in-loop",
+            "hot-path/missing-dtype",
+        ]
+
+    def test_good_fixture_is_clean(self):
+        violations, suppressed = lint_fixture("hotpath_good.py")
+        assert violations == []
+        assert suppressed == []
+
+    def test_undecorated_functions_are_never_checked(self):
+        violations, _ = lint_fixture("hotpath_good.py", select=["hot-path"])
+        assert violations == []
+
+
+class TestDtypeContract:
+    def test_marked_module_findings(self):
+        violations, _ = lint_fixture("dtypes_bad.py", select=["dtype"])
+        assert rules_of(violations) == [
+            "dtype/float64",
+            "dtype/float64",
+            "dtype/float64",
+            "dtype/missing-dtype",
+        ]
+
+    def test_unmarked_module_is_exempt(self):
+        violations, _ = lint_fixture("dtypes_unmarked.py", select=["dtype"])
+        assert violations == []
+
+    def test_strict_fp32_module_is_clean(self):
+        violations, suppressed = lint_fixture("dtypes_good.py")
+        assert violations == []
+        assert suppressed == []
+
+
+class TestProcessSafety:
+    def test_bad_fixture_findings(self):
+        violations, _ = lint_fixture("shm_bad.py", select=["shm"])
+        assert rules_of(violations) == [
+            "shm/missing-cleanup",
+            "shm/missing-cleanup",
+            "shm/payload-closure",
+            "shm/payload-closure",
+            "shm/payload-closure",
+            "shm/primitive-in-loop",
+        ]
+
+    def test_cleanup_message_distinguishes_the_two_failure_modes(self):
+        violations, _ = lint_fixture("shm_bad.py", select=["shm/missing-cleanup"])
+        messages = sorted(violation.message for violation in violations)
+        assert "not stored" in messages[0]
+        assert "exception" in messages[1]
+
+    def test_good_fixture_is_clean(self):
+        violations, suppressed = lint_fixture("shm_good.py")
+        assert violations == [], [v.format() for v in violations]
+        assert suppressed == []
+
+    def test_parent_side_keyword_callbacks_are_not_payloads(self):
+        """liveness=lambda on ring.put stays in the parent process."""
+        violations, _ = lint_fixture("shm_good.py", select=["shm/payload-closure"])
+        assert violations == []
+
+
+class TestSuppressionInteraction:
+    def test_justified_suppressions_silence_and_record(self):
+        violations, suppressed = lint_fixture("suppressed.py")
+        # The unjustified suppression silences nothing: both the suppression
+        # itself and the violation it failed to cover are reported.
+        assert rules_of(violations) == [
+            "hot-path/banned-alloc",
+            "lint/unjustified-suppression",
+        ]
+        assert rules_of(suppressed) == [
+            "hot-path/banned-alloc",
+            "hot-path/missing-dtype",
+        ]
+        assert all(entry.justification for entry in suppressed)
+
+    def test_family_level_suppression_covers_member_rules(self):
+        _, suppressed = lint_fixture("suppressed.py")
+        family_cases = [
+            entry
+            for entry in suppressed
+            if entry.rule == "hot-path/missing-dtype"
+        ]
+        assert family_cases, "family-wide suppression did not apply"
+
+    def test_unjustified_suppression_does_not_silence(self):
+        violations, _ = lint_fixture("suppressed.py", select=["hot-path"])
+        assert "hot-path/banned-alloc" in rules_of(violations)
+
+
+class TestSelectFiltering:
+    def test_select_by_family_excludes_other_families(self):
+        violations, _ = lint_fixture("locks_bad.py", select=["hot-path"])
+        assert violations == []
+
+    def test_select_by_rule_id(self):
+        violations, _ = lint_fixture(
+            "locks_bad.py", select=["lock/unguarded-write"]
+        )
+        assert rules_of(violations) == ["lock/unguarded-write"]

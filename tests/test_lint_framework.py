@@ -1,0 +1,223 @@
+"""Tests for the repro-lint framework itself: parsing, suppressions,
+file discovery, reporters and the CLI entry points."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    JSON_SCHEMA,
+    LintError,
+    SourceFile,
+    Suppression,
+    all_rules,
+    lint_source,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.analysis.lint.cli import build_lint_parser, main, run_lint_command
+from repro.analysis.lint.framework import iter_python_files
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+EXPECTED_RULES = {
+    "lock/unguarded-read",
+    "lock/unguarded-write",
+    "lock/guarded-ref-escape",
+    "hot-path/banned-alloc",
+    "hot-path/missing-dtype",
+    "hot-path/list-append-in-loop",
+    "dtype/float64",
+    "dtype/missing-dtype",
+    "shm/missing-cleanup",
+    "shm/payload-closure",
+    "shm/primitive-in-loop",
+}
+
+
+class TestSourceFile:
+    def test_comments_and_markers(self):
+        source = SourceFile(
+            "demo.py",
+            "# lint: dtype-strict\nx = 1  # trailing note\n",
+        )
+        assert source.has_marker("lint: dtype-strict")
+        assert source.comment_on(2) == "trailing note"
+        assert source.comment_on(99) == ""
+
+    def test_numpy_and_multiprocessing_aliases(self):
+        source = SourceFile(
+            "demo.py",
+            "import numpy as np\n"
+            "import multiprocessing as mp\n"
+            "from multiprocessing import shared_memory\n"
+            "from multiprocessing import Process\n",
+        )
+        assert source.numpy_aliases == {"np"}
+        assert "mp" in source.multiprocessing_aliases
+        assert "shared_memory" in source.multiprocessing_aliases
+        assert source.multiprocessing_names == {"Process": "multiprocessing"}
+
+    def test_parent_chain_and_enclosing_function(self):
+        source = SourceFile(
+            "demo.py",
+            "def outer():\n    def inner():\n        return 1\n    return inner\n",
+        )
+        import ast
+
+        inner = source.tree.body[0].body[0]
+        constant = inner.body[0].value
+        assert source.enclosing_function(constant) is inner
+        chain = list(source.parent_chain(constant))
+        assert isinstance(chain[-1], ast.Module)
+
+
+class TestSuppressions:
+    def test_covers_rule_and_family(self):
+        suppression = Suppression(line=1, rules=("hot-path",), justification="x")
+        assert suppression.covers("hot-path/banned-alloc")
+        assert not suppression.covers("lock/unguarded-read")
+        exact = Suppression(line=1, rules=("dtype/float64",), justification="x")
+        assert exact.covers("dtype/float64")
+        assert not exact.covers("dtype/missing-dtype")
+
+    def test_standalone_comment_applies_to_next_line(self):
+        source = SourceFile(
+            "demo.py",
+            "import numpy as np\n"
+            "from repro.analysis.annotations import hot_path\n"
+            "@hot_path\n"
+            "def f(x):\n"
+            "    # lint: disable=hot-path/missing-dtype -- fixture\n"
+            "    return np.zeros(x)\n",
+        )
+        violations, suppressed = lint_source(source)
+        assert violations == []
+        assert [entry.rule for entry in suppressed] == ["hot-path/missing-dtype"]
+
+    def test_trailing_comment_of_previous_statement_does_not_leak(self):
+        source = SourceFile(
+            "demo.py",
+            "import numpy as np\n"
+            "from repro.analysis.annotations import hot_path\n"
+            "@hot_path\n"
+            "def f(x):\n"
+            "    y = 1  # lint: disable=hot-path/missing-dtype -- fixture\n"
+            "    return np.zeros(x), y\n",
+        )
+        violations, _ = lint_source(source)
+        assert [entry.rule for entry in violations] == ["hot-path/missing-dtype"]
+
+    def test_unjustified_suppression_is_a_violation(self):
+        source = SourceFile("demo.py", "x = 1  # lint: disable=lock\n")
+        violations, suppressed = lint_source(source)
+        assert [entry.rule for entry in violations] == [
+            "lint/unjustified-suppression"
+        ]
+        assert suppressed == []
+
+
+class TestRegistryAndDiscovery:
+    def test_rule_catalogue(self):
+        assert set(all_rules()) == EXPECTED_RULES
+
+    def test_fixture_directories_are_excluded(self):
+        files = list(iter_python_files([str(Path(__file__).parent)]))
+        assert files, "test directory scan found nothing"
+        assert not any("fixtures" in path.parts for path in files)
+
+    def test_explicit_file_bypasses_exclusion(self):
+        target = FIXTURES / "locks_bad.py"
+        assert list(iter_python_files([str(target)])) == [target]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(LintError, match="does not exist"):
+            list(iter_python_files(["does/not/exist"]))
+
+    def test_unknown_select_entry_raises(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            run_lint([str(FIXTURES / "locks_bad.py")], select=["nonsense"])
+
+    def test_parse_errors_are_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        report = run_lint([str(bad)])
+        assert not report.ok
+        assert "SyntaxError" in report.errors[str(bad)]
+
+
+class TestReporters:
+    def test_text_clean_summary(self):
+        report = run_lint([str(FIXTURES / "locks_good.py")])
+        text = render_text(report)
+        assert "clean: 1 files, 0 violations" in text
+
+    def test_text_lists_violations_with_summary(self):
+        report = run_lint([str(FIXTURES / "locks_bad.py")])
+        text = render_text(report)
+        assert "locks_bad.py" in text
+        assert "lock/unguarded-write" in text
+        assert "5 violations in 1 files" in text
+
+    def test_json_schema_shape(self):
+        report = run_lint([str(FIXTURES / "hotpath_bad.py")])
+        document = json.loads(render_json(report))
+        assert document["schema"] == JSON_SCHEMA
+        assert document["ok"] is False
+        assert document["files_scanned"] == 1
+        assert set(document["summary"]) == {"total", "by_rule", "suppressed"}
+        assert document["summary"]["total"] == len(document["violations"])
+        first = document["violations"][0]
+        assert set(first) == {"rule", "path", "line", "col", "message"}
+
+    def test_json_show_suppressed_includes_justifications(self):
+        report = run_lint([str(FIXTURES / "suppressed.py")])
+        document = json.loads(render_json(report, show_suppressed=True))
+        assert document["suppressed"]
+        assert all("justification" in entry for entry in document["suppressed"])
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in EXPECTED_RULES:
+            assert rule in out
+
+    def test_clean_path_exits_zero(self, capsys):
+        assert main([str(FIXTURES / "locks_good.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, capsys):
+        assert main([str(FIXTURES / "locks_bad.py")]) == 1
+        assert "lock/unguarded-read" in capsys.readouterr().out
+
+    def test_bad_select_exits_two(self, capsys):
+        assert main(["--select", "bogus", str(FIXTURES / "locks_bad.py")]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_json_format(self, capsys):
+        assert main(["--format", "json", str(FIXTURES / "locks_good.py")]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == JSON_SCHEMA
+
+    def test_select_filters_families(self, capsys):
+        assert main(["--select", "hot-path", str(FIXTURES / "locks_bad.py")]) == 0
+
+    def test_parser_embeds_into_existing_subparser(self):
+        import argparse
+
+        root = argparse.ArgumentParser()
+        sub = root.add_subparsers(dest="command")
+        lint = sub.add_parser("lint")
+        build_lint_parser(lint)
+        args = root.parse_args(["lint", "--list-rules"])
+        assert run_lint_command(args) == 0
+
+    def test_repro_cli_lint_subcommand(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", str(FIXTURES / "locks_good.py")]) == 0
+        assert "clean" in capsys.readouterr().out

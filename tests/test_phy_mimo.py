@@ -125,7 +125,6 @@ class TestBeamformingMatrix:
 class TestMuMimoPrecoding:
     def _two_user_cfrs(self, layout20, rng):
         channel = MultipathChannel(environment_seed=2)
-        modules_rng = np.random.default_rng(0)
         from repro.phy.devices import make_module_population
 
         module = make_module_population(num_modules=1, seed=1)[0]

@@ -1,0 +1,194 @@
+"""Tests for the runtime ``# guarded-by:`` validator.
+
+The validator (:mod:`repro.analysis.runtime`) replays the static lock
+checker's declarations dynamically: these tests prove it catches real
+discipline breaks (negative controls) and passes disciplined code, using
+small synthetic classes whose source lives in this file.  The validation of
+the *production* classes runs inside the existing concurrent stress tests
+(``test_core_engine.py`` / ``test_core_service.py``), which instrument the
+live engine and service while hammering them from multiple threads.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis.runtime import (
+    GuardError,
+    RecordingLock,
+    guarded_declarations_of,
+    validate_guarded,
+)
+
+
+class DisciplinedCounter:
+    """Every access of ``_hits`` correctly holds ``_lock``."""
+
+    def __init__(self):
+        self._hits = 0  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def bump(self):
+        with self._lock:
+            self._hits += 1
+
+    def snapshot(self):
+        with self._lock:
+            value = self._hits
+        return value
+
+
+class TornCounter:
+    """``read_torn`` / ``write_torn`` break the declared discipline."""
+
+    def __init__(self):
+        self._hits = 0  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def bump(self):
+        with self._lock:
+            self._hits += 1
+
+    def read_torn(self):
+        # lint: disable=lock -- negative control: the runtime validator must catch this
+        return self._hits
+
+    def write_torn(self):
+        # lint: disable=lock -- negative control: the runtime validator must catch this
+        self._hits = 99
+
+
+class Undeclared:
+    def __init__(self):
+        self.value = 0
+
+
+class TestRecordingLock:
+    def test_tracks_holder_thread(self):
+        lock = RecordingLock()
+        assert not lock.held_by_current_thread()
+        with lock:
+            assert lock.held_by_current_thread()
+            assert lock.locked()
+        assert not lock.held_by_current_thread()
+        assert lock.acquisitions == 1
+
+    def test_other_thread_is_not_a_holder(self):
+        lock = RecordingLock()
+        seen = {}
+
+        def probe():
+            seen["held"] = lock.held_by_current_thread()
+
+        with lock:
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        assert seen["held"] is False
+
+    def test_mutual_exclusion_still_works(self):
+        lock = RecordingLock()
+        counter = {"value": 0}
+
+        def work():
+            for _ in range(200):
+                with lock:
+                    counter["value"] += 1
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter["value"] == 800
+
+
+class TestDeclarationExtraction:
+    def test_reads_declarations_from_class_source(self):
+        assert guarded_declarations_of(DisciplinedCounter) == {"_hits": "_lock"}
+
+    def test_undeclared_class_has_no_declarations(self):
+        assert guarded_declarations_of(Undeclared) == {}
+
+    def test_instrumenting_undeclared_class_fails(self):
+        with pytest.raises(GuardError, match="declares no"):
+            validate_guarded(Undeclared())
+
+
+class TestValidator:
+    def test_disciplined_code_passes(self):
+        counter = DisciplinedCounter()
+        with validate_guarded(counter) as monitor:
+            for _ in range(5):
+                counter.bump()
+            assert counter.snapshot() == 5
+        monitor.assert_clean()
+        assert monitor.reads >= 5
+        assert monitor.writes >= 5
+        assert monitor.locks["_lock"].acquisitions == 6
+
+    def test_catches_unguarded_read(self):
+        counter = TornCounter()
+        with validate_guarded(counter) as monitor:
+            counter.bump()
+            counter.read_torn()
+        assert [entry.operation for entry in monitor.violations] == ["read"]
+        violation = monitor.violations[0]
+        assert violation.attribute == "_hits"
+        assert violation.lock == "_lock"
+        assert "test_runtime_guard.py" in violation.caller
+        with pytest.raises(GuardError, match="unguarded"):
+            monitor.assert_clean()
+
+    def test_catches_unguarded_write(self):
+        counter = TornCounter()
+        with validate_guarded(counter) as monitor:
+            counter.write_torn()
+        assert [entry.operation for entry in monitor.violations] == ["write"]
+
+    def test_strict_mode_raises_at_the_access_site(self):
+        counter = TornCounter()
+        validate_guarded(counter, strict=True)
+        counter.bump()  # fine: lock held
+        with pytest.raises(GuardError, match="read of '_hits'"):
+            counter.read_torn()
+
+    def test_vacuous_run_is_rejected(self):
+        counter = DisciplinedCounter()
+        with validate_guarded(counter) as monitor:
+            pass
+        with pytest.raises(GuardError, match="vacuous"):
+            monitor.assert_clean()
+
+    def test_restore_returns_the_original_class(self):
+        counter = DisciplinedCounter()
+        monitor = validate_guarded(counter)
+        assert type(counter).__name__ == "GuardedDisciplinedCounter"
+        counter.bump()
+        monitor.restore()
+        assert type(counter) is DisciplinedCounter
+        assert counter._hits == 1  # shadow value moved back
+        counter.bump()
+        assert counter._hits == 2
+
+    def test_concurrent_discipline_break_is_caught(self):
+        """A racing reader without the lock is detected from any thread."""
+        counter = TornCounter()
+        monitor = validate_guarded(counter)
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                counter.read_torn()
+
+        worker = threading.Thread(target=reader, name="torn-reader")
+        worker.start()
+        try:
+            for _ in range(50):
+                counter.bump()
+        finally:
+            stop.set()
+            worker.join()
+        monitor.restore()
+        assert monitor.violations
+        assert all(entry.thread == "torn-reader" for entry in monitor.violations)
