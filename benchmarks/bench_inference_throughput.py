@@ -344,6 +344,108 @@ def test_int8_accuracy_within_1pct_of_fp64_on_table1(profile, record):
     )
 
 
+def test_codeword_fast_path_end_to_end(trained_classifier, frame_stream, record):
+    """End-to-end frames/s of the codeword-native engine paths.
+
+    Baseline is the pre-fast-path equivalent pipeline (stack codewords,
+    dequantize to float64 angles, rebuild V~, extract, classify) run over
+    the same micro-batches; ``exact`` must reproduce its predictions
+    bitwise.  Recorded for the throughput ledger; the 2x preprocessing gate
+    itself lives in ``bench_feedback_throughput.py``.
+    """
+    from repro.feedback.givens import compress_v_matrix, reconstruct_v_matrices
+    from repro.feedback.quantization import (
+        QuantizationConfig,
+        dequantize_angles_batch,
+        quantize_angles,
+        stack_quantized_angles,
+    )
+
+    config = QuantizationConfig()
+    quantized = [
+        quantize_angles(compress_v_matrix(v), config) for v in frame_stream
+    ]
+
+    def baseline():
+        predictions = []
+        for start in range(0, len(quantized), BATCH_SIZE):
+            chunk = quantized[start : start + BATCH_SIZE]
+            q_phi, q_psi, chunk_config, num_tx, num_streams = stack_quantized_angles(
+                chunk
+            )
+            phi, psi = dequantize_angles_batch(q_phi, q_psi, chunk_config)
+            v_batch = reconstruct_v_matrices(phi, psi, num_tx, num_streams)
+            ids, confidences = trained_classifier.predict_matrices(v_batch)
+            predictions.extend(zip(ids, confidences))
+        return predictions
+
+    def engine_drain(precision):
+        engine = InferenceEngine(
+            trained_classifier, batch_size=BATCH_SIZE, precision=precision
+        )
+        return engine.drain(quantized)
+
+    # Warm-up (arena growth, LUT construction) before the timed runs.
+    baseline_predictions = baseline()
+    engine_drain("exact")
+    engine_drain("fast")
+
+    baseline_seconds, _ = _best_of(REPEATS, baseline)
+    exact_seconds, exact_results = _best_of(REPEATS, lambda: engine_drain("exact"))
+    fast_seconds, fast_results = _best_of(REPEATS, lambda: engine_drain("fast"))
+
+    assert len(exact_results) == NUM_FRAMES
+    for (module_id, confidence), result in zip(baseline_predictions, exact_results):
+        assert result.predicted_module_id == int(module_id)
+        assert result.confidence == float(confidence)
+    fast_agreement = _agreement(exact_results, fast_results)
+
+    baseline_fps = NUM_FRAMES / baseline_seconds
+    exact_fps = NUM_FRAMES / exact_seconds
+    fast_fps = NUM_FRAMES / fast_seconds
+    record(
+        "bench_codeword_engine_end_to_end",
+        "\n".join(
+            [
+                "End-to-end engine throughput on quantised codeword streams",
+                f"  workload: {NUM_FRAMES} frames, "
+                f"(K, M, N_SS) = ({NUM_SUBCARRIERS}, {NUM_TX}, {NUM_STREAMS}), "
+                f"stride {STRIDE}, batch size {BATCH_SIZE}"
+                f"{' [smoke]' if SMOKE else ''}",
+                f"  legacy pipeline:        {baseline_fps:10.1f} frames/s",
+                f"  engine precision=exact: {exact_fps:10.1f} frames/s "
+                f"({exact_fps / baseline_fps:.2f}x, bitwise predictions)",
+                f"  engine precision=fast:  {fast_fps:10.1f} frames/s "
+                f"({fast_fps / baseline_fps:.2f}x, "
+                f"agreement {100.0 * fast_agreement:.2f}%)",
+            ]
+        ),
+        data={
+            "smoke": SMOKE,
+            "num_frames": NUM_FRAMES,
+            "batch_size": BATCH_SIZE,
+            "frames_per_second": {
+                "legacy_pipeline": baseline_fps,
+                "engine_exact": exact_fps,
+                "engine_fast": fast_fps,
+            },
+            "speedup_vs_legacy": {
+                "exact": exact_fps / baseline_fps,
+                "fast": fast_fps / baseline_fps,
+            },
+            "fast_prediction_agreement_vs_exact": fast_agreement,
+            "gate": {
+                "threshold": 1.0,
+                # Informational: the enforced 2x preprocessing gate lives in
+                # bench_feedback_throughput.py where preprocessing is timed
+                # in isolation (here the CNN forward dominates).
+                "enforced": False,
+                "passed": exact_fps >= baseline_fps,
+            },
+        },
+    )
+
+
 def test_partial_batches_still_beat_per_frame(trained_classifier, frame_stream):
     """Latency-bounded micro-batches (batch 16) must still win clearly."""
     subset = frame_stream[: min(NUM_FRAMES, 128)]

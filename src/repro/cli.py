@@ -37,7 +37,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.separability import linear_probe_accuracy
 from repro.core.backends import BACKEND_NAMES
 from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
-from repro.core.engine import InferenceEngine
+from repro.core.engine import PRECISION_NAMES, InferenceEngine
 from repro.core.service import ServiceError, StreamingService, resolve_num_workers
 from repro.core.model import FAST_MODEL_CONFIG, PAPER_MODEL_CONFIG
 from repro.datasets.containers import FeedbackDataset, FeedbackSample
@@ -48,6 +48,8 @@ from repro.datasets.generator import (
     generate_dataset_d2,
 )
 from repro.datasets.io import load_dataset, save_dataset
+from repro.feedback.givens import compress_v_matrix
+from repro.feedback.quantization import QuantizationConfig, quantize_angles
 from repro.datasets.splits import (
     D1_SPLITS,
     D2_SPLITS,
@@ -201,12 +203,25 @@ def _cmd_authenticate(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         max_latency_frames=args.max_latency_frames,
         vote_window=args.window,
+        precision=args.precision,
         profile=args.profile,
     )
     results = []
-    for sample in test:
+    if args.codewords:
+        # Exercise the codeword-native preprocessing path end to end: the
+        # split's V~ matrices are Givens-compressed and quantised like an
+        # 802.11ac beamformee would send them, and the engine reconstructs
+        # from the integer codewords on its trig-LUT fast path.
+        quantization = QuantizationConfig()
+        observations = [
+            quantize_angles(compress_v_matrix(sample.v_tilde), quantization)
+            for sample in test
+        ]
+    else:
+        observations = list(test)
+    for sample, observation in zip(test, observations):
         results.extend(
-            engine.submit(sample, source=f"module-{sample.module_id:02d}")
+            engine.submit(observation, source=f"module-{sample.module_id:02d}")
         )
     results.extend(engine.flush())
 
@@ -218,7 +233,8 @@ def _cmd_authenticate(args: argparse.Namespace) -> int:
     print(
         f"authenticated {stats.frames_out} frames in {stats.batches} "
         f"micro-batches (batch size {args.batch_size}, "
-        f"mean {stats.mean_batch_size:.1f}, compute {stats.compute})"
+        f"mean {stats.mean_batch_size:.1f}, compute {stats.compute}, "
+        f"precision {stats.precision})"
     )
     print(
         f"  throughput: {stats.frames_per_second:.1f} frames/s "
@@ -233,6 +249,16 @@ def _cmd_authenticate(args: argparse.Namespace) -> int:
             f"{verdict.num_votes}/{verdict.window_size} votes in window)"
         )
     if args.profile:
+        stage_total_ns = sum(entry.total_ns for entry in stats.stage_profile) or 1
+        print("  per-stage preprocessing profile:")
+        for stage in stats.stage_profile:
+            print(
+                f"    {stage.name:<12s} "
+                f"{stage.calls:>5d} batches  "
+                f"{stage.total_ns / 1e6:>9.2f} ms total  "
+                f"{stage.mean_ms:>7.3f} ms/batch  "
+                f"{100.0 * stage.total_ns / stage_total_ns:>5.1f}%"
+            )
         total_ns = sum(entry.total_ns for entry in stats.layer_profile) or 1
         print("  per-layer forward profile:")
         for entry in stats.layer_profile:
@@ -298,6 +324,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_latency_frames=args.max_latency_frames,
         vote_window=args.window,
         backend=args.backend,
+        precision=args.precision,
     ) as service:
         results = []
         for submitted, (source, sample) in enumerate(stream, start=1):
@@ -324,7 +351,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"served {stats.frames_out} frames in {stats.batches} micro-batches "
         f"across {stats.num_workers} workers ({stats.backend} backend, "
-        f"compute {stats.compute}, mean batch {stats.mean_batch_size:.1f})"
+        f"compute {stats.compute}, precision {stats.precision}, "
+        f"mean batch {stats.mean_batch_size:.1f})"
     )
     print(
         f"  throughput: {stats.frames_per_second:.1f} frames/s inference, "
@@ -455,9 +483,24 @@ def build_parser() -> argparse.ArgumentParser:
         "training samples)",
     )
     authenticate.add_argument(
+        "--precision",
+        default="exact",
+        choices=PRECISION_NAMES,
+        help="preprocessing precision of the codeword fast path: exact "
+        "(float64 trig LUTs, bitwise identical to the legacy pipeline) or "
+        "fast (complex64/float32 tables)",
+    )
+    authenticate.add_argument(
+        "--codewords",
+        action="store_true",
+        help="submit Givens-quantised integer codewords instead of ready V~ "
+        "matrices, exercising the codeword-native preprocessing path",
+    )
+    authenticate.add_argument(
         "--profile",
         action="store_true",
-        help="accumulate and print per-layer forward timings",
+        help="accumulate and print per-stage preprocessing and per-layer "
+        "forward timings",
     )
     authenticate.set_defaults(handler=_cmd_authenticate)
 
@@ -525,6 +568,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=COMPUTE_NAMES,
         help="inference compute backend every shard runs (int8 is calibrated "
         "on the split's training samples before the shards copy the model)",
+    )
+    serve.add_argument(
+        "--precision",
+        default="exact",
+        choices=PRECISION_NAMES,
+        help="preprocessing precision every shard engine applies to "
+        "quantised-codeword observations (exact = bitwise float64 LUTs, "
+        "fast = complex64/float32)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -66,17 +66,20 @@ from repro.core.engine import (
     SourceWindows,
 )
 from repro.core.transport import (
+    RECORD_CODEWORDS,
     RECORD_FLUSH,
     RECORD_FRAME,
     RECORD_STOP,
     ShmRing,
     pack_array_record,
+    pack_codeword_record,
     pack_control_record,
     pack_frame_record,
 )
 from repro.datasets.containers import FeedbackSample
 from repro.feedback.capture import CapturedFeedback
 from repro.feedback.frames import FeedbackFrame
+from repro.feedback.quantization import QuantizedAngles
 
 if TYPE_CHECKING:
     from repro.core.classifier import DeepCsiClassifier
@@ -342,6 +345,10 @@ def _shard_worker_main(
                 out = engine.submit_frame_payload(
                     record.payload, record.source, record.timestamp_s
                 )
+            elif record.kind == RECORD_CODEWORDS:
+                out = engine.submit_quantized(
+                    record.quantized, record.source, record.timestamp_s
+                )
             else:
                 out = engine.submit_decoded(
                     record.array, record.source, record.timestamp_s
@@ -469,6 +476,11 @@ class ProcessBackend:
                 observation.timestamp_s,
                 np.asarray(observation.v_tilde),
             )
+        if isinstance(observation, QuantizedAngles):
+            # Codewords ride the ring as compact int16 payloads (~8x smaller
+            # than the complex128 V~ record for the same geometry); the
+            # worker-side engine reconstructs on its own arena.
+            return pack_codeword_record(sequence, source, 0.0, observation)
         # Anything else is handed to the worker engine as an array, which
         # validates the (K, M, N_SS) shape there - same point of failure as
         # the thread backend.

@@ -302,15 +302,36 @@ class DeepCsiClassifier:
             Integer module identifiers, shape ``(B,)``, and the softmax
             probability of each winner, shape ``(B,)``.
         """
-        model = self._require_trained()
         v_batch = np.asarray(v_batch)
         if v_batch.ndim != 4:
             raise ClassifierError("v_batch must have shape (B, K, M, N_SS)")
         if v_batch.shape[0] == 0:
             return np.zeros(0, dtype=int), np.zeros(0, dtype=float)
-        features = self.extractor.transform_matrices(v_batch)
-        # The extractor hands us a freshly-built tensor, so normalise it in
-        # place instead of allocating two broadcast temporaries per batch.
+        return self.predict_features(self.extractor.transform_matrices(v_batch))
+
+    @hot_path
+    def predict_features(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Classify a batch of already-extracted feature tensors.
+
+        The entry point of the codeword-native preprocessing path: the
+        engine extracts features straight from the Givens accumulator
+        (:meth:`repro.datasets.features.FeatureExtractor.transform_accumulator`)
+        and hands them here without materialising ``V~``.  ``features`` is
+        treated as scratch -- it is normalised *in place* (the extractor
+        hands over a freshly-built tensor, so this avoids two broadcast
+        temporaries per batch).
+
+        Returns
+        -------
+        (module_ids, confidences):
+            Integer module identifiers, shape ``(B,)``, and the softmax
+            probability of each winner, shape ``(B,)``.
+        """
+        model = self._require_trained()
+        if features.ndim != 4:
+            raise ClassifierError("features must have shape (B, Nch, Nrow, Ncol)")
+        if features.shape[0] == 0:
+            return np.zeros(0, dtype=int), np.zeros(0, dtype=float)
         mean, std = self._normalization
         np.subtract(features, mean, out=features)
         np.divide(features, std, out=features)

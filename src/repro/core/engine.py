@@ -41,10 +41,13 @@ from typing import TYPE_CHECKING, Deque, Dict, Iterable, Iterator, List, Optiona
 import numpy as np
 
 from repro.analysis.annotations import hot_path
+from repro.arena import ArenaPool
 from repro.core.classifier import DeepCsiClassifier
 from repro.datasets.containers import FeedbackSample
-from repro.feedback.capture import CapturedFeedback, reconstruct_quantized_batch
+from repro.feedback.capture import CapturedFeedback
 from repro.feedback.frames import FeedbackFrame, parse_feedback_frame
+from repro.feedback.givens import reconstruct_accumulator_quantized
+from repro.feedback.quantization import QuantizedAngles
 from repro.nn.model import LayerProfile
 
 if TYPE_CHECKING:
@@ -56,7 +59,12 @@ class EngineError(ValueError):
 
 
 #: Anything the engine can classify.
-Observation = Union[FeedbackFrame, CapturedFeedback, FeedbackSample, np.ndarray]
+Observation = Union[
+    FeedbackFrame, CapturedFeedback, FeedbackSample, QuantizedAngles, np.ndarray
+]
+
+#: Names of the engine's preprocessing precisions.
+PRECISION_NAMES = ("exact", "fast")
 
 #: Ring-buffer key used for observations without a source address.
 ANONYMOUS_SOURCE = ""
@@ -111,6 +119,32 @@ class MajorityVerdict:
     window_size: int
 
 
+@dataclass(frozen=True)
+class StageProfile:
+    """Accumulated wall-clock of one batch-processing stage.
+
+    The preprocessing analogue of :class:`repro.nn.model.LayerProfile`:
+    ``reconstruct`` covers staging + Givens reconstruction of a micro-batch,
+    ``features`` the feature-tensor extraction, and ``inference`` the
+    normalisation + CNN forward (one call each per processed group).
+    """
+
+    name: str
+    calls: int
+    total_ns: int
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean milliseconds per processed group."""
+        if self.calls == 0:
+            return 0.0
+        return self.total_ns / self.calls / 1e6
+
+
+#: Stage names reported in :attr:`EngineStats.stage_profile`, in order.
+STAGE_NAMES = ("reconstruct", "features", "inference")
+
+
 @dataclass
 class EngineStats:
     """Throughput counters of one engine instance.
@@ -136,8 +170,14 @@ class EngineStats:
     inference_seconds: float = 0.0
     #: Registry name of the active compute backend ("fp64" = default path).
     compute: str = "fp64"
+    #: Preprocessing precision ("exact" = bit-identical float64 LUT path,
+    #: "fast" = complex64/float32 codeword path).
+    precision: str = "exact"
     #: Per-layer forward timings, populated when the engine profiles.
     layer_profile: Tuple[LayerProfile, ...] = ()
+    #: Per-stage batch-processing timings (reconstruct / features /
+    #: inference), always accumulated -- see :class:`StageProfile`.
+    stage_profile: Tuple[StageProfile, ...] = ()
 
     @property
     def frames_per_second(self) -> float:
@@ -230,9 +270,9 @@ class _PendingObservation:
     source: str
     timestamp_s: float
     # Exactly one of the two payloads is set: a parsed quantised feedback
-    # (for raw frames, decoded through the batched Givens path) or a ready
-    # ``V~`` matrix.
-    quantized: Optional[object] = None
+    # (raw frames and codeword records, decoded through the codeword-native
+    # batched Givens path) or a ready ``V~`` matrix.
+    quantized: Optional[QuantizedAngles] = None
     v_tilde: Optional[np.ndarray] = None
 
 
@@ -262,9 +302,24 @@ class InferenceEngine:
         :meth:`DeepCsiClassifier.set_compute`.  ``None`` keeps whatever the
         classifier already uses.  The ``int8`` backend must be calibrated
         beforehand (``classifier.set_compute("int8", calibration=...)``).
+    precision:
+        Preprocessing precision of the codeword-native path used for
+        quantised observations (raw frames, codeword records,
+        :class:`~repro.feedback.quantization.QuantizedAngles`):
+
+        * ``"exact"`` (default) gathers the float64/complex128 trig LUTs --
+          bit-identical features and verdicts to the historical
+          dequantize+reconstruct path;
+        * ``"fast"`` gathers the complex64/float32 LUTs, halving the
+          preprocessing memory traffic; pairs naturally with the ``fp32``
+          compute backend.
+
+        Ready ``V~`` observations keep their own dtype either way.
     profile:
         When true, per-layer forward timings are accumulated and surfaced
-        through :attr:`EngineStats.layer_profile`.
+        through :attr:`EngineStats.layer_profile`.  The coarser per-stage
+        preprocessing timings (:attr:`EngineStats.stage_profile`) are always
+        accumulated.
 
     Example
     -------
@@ -287,23 +342,34 @@ class InferenceEngine:
         vote_window: int = 16,
         max_sources: int = 1024,
         compute: Optional[Union[str, "ComputeBackend"]] = None,
+        precision: str = "exact",
         profile: bool = False,
     ) -> None:
         if batch_size < 1:
             raise EngineError("batch_size must be >= 1")
         if max_latency_frames is not None and max_latency_frames < 1:
             raise EngineError("max_latency_frames must be >= 1 or None")
+        if precision not in PRECISION_NAMES:
+            raise EngineError(
+                f"unknown precision {precision!r}; expected one of "
+                f"{PRECISION_NAMES}"
+            )
         self.classifier = classifier
         self.batch_size = batch_size
         self.max_latency_frames = max_latency_frames
         self.vote_window = vote_window
         self.max_sources = max_sources
+        self.precision = precision
         if compute is not None:
             classifier.set_compute(compute)
         self._profile = bool(profile)
         if self._profile and classifier.model is not None:
             classifier.model.enable_profiling()
         self._stats = EngineStats()  # guarded-by: _stats_lock
+        # Per-stage [calls, total_ns] accumulators.  guarded-by: _stats_lock
+        self._stage_totals: Dict[str, List[int]] = {
+            name: [0, 0] for name in STAGE_NAMES
+        }
         self._stats_lock = threading.Lock()
         self._pending: List[_PendingObservation] = []
         self._windows = SourceWindows(vote_window, max_sources)
@@ -311,6 +377,9 @@ class InferenceEngine:
         # Grow-only staging buffers, one per (V~ shape, dtype), reused across
         # batches so steady-state batching performs no large allocations.
         self._batch_buffers: Dict[tuple, np.ndarray] = {}
+        # Arena backing the codeword-native preprocessing path (codeword
+        # staging, Givens accumulator + scratch, feature gathers/output).
+        self._arena = ArenaPool()
 
     @property
     def stats(self) -> EngineStats:
@@ -321,7 +390,17 @@ class InferenceEngine:
         monitoring loop) never observes a half-updated batch.
         """
         with self._stats_lock:
-            snapshot = replace(self._stats, compute=self.compute)
+            stage_profile = tuple(
+                StageProfile(name=name, calls=calls, total_ns=total_ns)
+                for name, (calls, total_ns) in self._stage_totals.items()
+                if calls
+            )
+            snapshot = replace(
+                self._stats,
+                compute=self.compute,
+                precision=self.precision,
+                stage_profile=stage_profile,
+            )
         if self._profile and self.classifier.model is not None:
             snapshot.layer_profile = self.classifier.model.profile()
         return snapshot
@@ -398,6 +477,29 @@ class InferenceEngine:
         )
         return self._enqueue(entry)
 
+    def submit_quantized(
+        self,
+        quantized: QuantizedAngles,
+        source: str = ANONYMOUS_SOURCE,
+        timestamp_s: float = 0.0,
+    ) -> List[EngineResult]:
+        """Buffer one quantised feedback (integer angle codewords).
+
+        The entry point the process-backend worker uses for observations
+        that crossed the shared-memory transport as
+        :data:`~repro.core.transport.RECORD_CODEWORDS` records: the
+        codewords go straight into the codeword-native batched Givens path,
+        so reconstruction happens worker-side and nothing larger than the
+        int16 codewords ever crosses the ring.
+        """
+        entry = _PendingObservation(
+            sequence=self._next_sequence(),
+            source=source,
+            timestamp_s=timestamp_s,
+            quantized=quantized,
+        )
+        return self._enqueue(entry)
+
     def _next_sequence(self) -> int:
         sequence = self._sequence
         self._sequence += 1
@@ -463,6 +565,7 @@ class InferenceEngine:
         self._sequence = 0
         with self._stats_lock:
             self._stats = EngineStats()
+            self._stage_totals = {name: [0, 0] for name in STAGE_NAMES}
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -493,11 +596,18 @@ class InferenceEngine:
                 timestamp_s=observation.timestamp_s,
                 v_tilde=np.asarray(observation.v_tilde),
             )
+        if isinstance(observation, QuantizedAngles):
+            return _PendingObservation(
+                sequence=sequence,
+                source=source if source is not None else ANONYMOUS_SOURCE,
+                timestamp_s=0.0,
+                quantized=observation,
+            )
         array = np.asarray(observation)
         if array.ndim != 3:
             raise EngineError(
-                "expected a FeedbackFrame, CapturedFeedback, FeedbackSample or "
-                "a (K, M, N_SS) array"
+                "expected a FeedbackFrame, CapturedFeedback, FeedbackSample, "
+                "QuantizedAngles or a (K, M, N_SS) array"
             )
         return _PendingObservation(
             sequence=sequence,
@@ -527,39 +637,125 @@ class InferenceEngine:
         return staged
 
     @hot_path
+    def _stage_codewords(
+        self, entries: List[_PendingObservation]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Copy same-geometry codewords into reusable int16 arena buffers."""
+        first = entries[0].quantized
+        assert first is not None
+        batch = len(entries)
+        q_phi = self._arena.get(
+            ("stage", "q_phi"),
+            (batch,) + first.q_phi.shape,
+            dtype=np.int16,
+        )
+        q_psi = self._arena.get(
+            ("stage", "q_psi"),
+            (batch,) + first.q_psi.shape,
+            dtype=np.int16,
+        )
+        for position, entry in enumerate(entries):
+            assert entry.quantized is not None
+            q_phi[position] = entry.quantized.q_phi
+            q_psi[position] = entry.quantized.q_psi
+        return q_phi, q_psi
+
+    @staticmethod
+    def _emit_results(
+        entries: List[_PendingObservation],
+        module_ids: np.ndarray,
+        confidences: np.ndarray,
+        results: List[Optional[EngineResult]],
+        index_of: Dict[int, int],
+    ) -> None:
+        for entry, module_id, confidence in zip(entries, module_ids, confidences):
+            results[index_of[id(entry)]] = EngineResult(
+                predicted_module_id=int(module_id),
+                confidence=float(confidence),
+                source=entry.source,
+                sequence=entry.sequence,
+                timestamp_s=entry.timestamp_s,
+            )
+
+    @hot_path
     def _process_pending(self) -> List[EngineResult]:
         if not self._pending:
             return []
         pending, self._pending = self._pending, []
         started = time.perf_counter()
+        stage_ns = {name: 0 for name in STAGE_NAMES}
+        stage_calls = {name: 0 for name in STAGE_NAMES}
 
-        # Decode raw frames through the batched Givens path.
-        frame_entries = [entry for entry in pending if entry.quantized is not None]
-        if frame_entries:
-            v_tildes = reconstruct_quantized_batch(
-                [entry.quantized for entry in frame_entries]
-            )
-            for entry, v_tilde in zip(frame_entries, v_tildes):
-                entry.v_tilde = v_tilde
-
-        # Classify, grouped by V~ geometry (mixed-geometry streams are
-        # classified per group but reported in input order).
-        shape_groups: Dict[Tuple[int, int, int], List[_PendingObservation]] = {}
-        for entry in pending:
-            shape_groups.setdefault(entry.v_tilde.shape, []).append(entry)
         results: List[Optional[EngineResult]] = [None] * len(pending)
         index_of = {id(entry): idx for idx, entry in enumerate(pending)}
-        for entries in shape_groups.values():
-            v_batch = self._stage_batch(entries)
-            ids, confidences = self.classifier.predict_matrices(v_batch)
-            for entry, module_id, confidence in zip(entries, ids, confidences):
-                results[index_of[id(entry)]] = EngineResult(
-                    predicted_module_id=int(module_id),
-                    confidence=float(confidence),
-                    source=entry.source,
-                    sequence=entry.sequence,
-                    timestamp_s=entry.timestamp_s,
+        fast = self.precision == "fast"
+        extractor = self.classifier.extractor
+
+        # Quantised observations take the codeword-native path: group by
+        # (config, geometry), gather the trig LUTs straight from the staged
+        # codewords and extract features from the Givens accumulator without
+        # materialising V~.  Ready V~ observations are grouped by shape and
+        # staged as before.  Mixed batches are classified per group but
+        # reported in input order; the CNN forward is per-sample, so the
+        # split never changes a verdict.
+        quantized_groups: Dict[tuple, List[_PendingObservation]] = {}
+        vtilde_groups: Dict[tuple, List[_PendingObservation]] = {}
+        for entry in pending:
+            if entry.quantized is not None:
+                quantized = entry.quantized
+                key = (
+                    quantized.config,
+                    quantized.num_tx,
+                    quantized.num_streams,
+                    quantized.num_subcarriers,
                 )
+                quantized_groups.setdefault(key, []).append(entry)
+            else:
+                assert entry.v_tilde is not None
+                vtilde_groups.setdefault(entry.v_tilde.shape, []).append(entry)
+
+        for (config, num_tx, num_streams, _), entries in quantized_groups.items():
+            tick = time.perf_counter_ns()
+            q_phi, q_psi = self._stage_codewords(entries)
+            accumulator = reconstruct_accumulator_quantized(
+                q_phi,
+                q_psi,
+                config,
+                num_tx,
+                num_streams,
+                fast=fast,
+                arena=self._arena,
+            )
+            tock = time.perf_counter_ns()
+            stage_ns["reconstruct"] += tock - tick
+            stage_calls["reconstruct"] += 1
+            features = extractor.transform_accumulator(
+                accumulator, num_streams, arena=self._arena
+            )
+            tick = time.perf_counter_ns()
+            stage_ns["features"] += tick - tock
+            stage_calls["features"] += 1
+            ids, confidences = self.classifier.predict_features(features)
+            tock = time.perf_counter_ns()
+            stage_ns["inference"] += tock - tick
+            stage_calls["inference"] += 1
+            self._emit_results(entries, ids, confidences, results, index_of)
+
+        for entries in vtilde_groups.values():
+            tick = time.perf_counter_ns()
+            v_batch = self._stage_batch(entries)
+            tock = time.perf_counter_ns()
+            stage_ns["reconstruct"] += tock - tick
+            stage_calls["reconstruct"] += 1
+            features = extractor.transform_matrices(v_batch)
+            tick = time.perf_counter_ns()
+            stage_ns["features"] += tick - tock
+            stage_calls["features"] += 1
+            ids, confidences = self.classifier.predict_features(features)
+            tock = time.perf_counter_ns()
+            stage_ns["inference"] += tock - tick
+            stage_calls["inference"] += 1
+            self._emit_results(entries, ids, confidences, results, index_of)
 
         elapsed = time.perf_counter() - started
         # Publish the whole batch's counters atomically so concurrent stats
@@ -569,6 +765,10 @@ class InferenceEngine:
             self._stats.frames_out += len(pending)
             self._stats.batches += 1
             self._stats.inference_seconds += elapsed
+            for name in STAGE_NAMES:
+                totals = self._stage_totals[name]
+                totals[0] += stage_calls[name]
+                totals[1] += stage_ns[name]
 
         ordered = [result for result in results if result is not None]
         for result in ordered:

@@ -65,6 +65,7 @@ from repro.core.backends import BACKEND_NAMES, WorkerFailure, make_backend
 from repro.core.classifier import DeepCsiClassifier
 from repro.core.engine import (
     ANONYMOUS_SOURCE,
+    PRECISION_NAMES,
     EngineResult,
     EngineStats,
     MajorityVerdict,
@@ -174,6 +175,8 @@ class ServiceStats:
     backend: str = "threads"
     #: Compute backend the shard engines run (``"fp64"`` = default path).
     compute: str = "fp64"
+    #: Preprocessing precision of the shard engines (``"exact"``/``"fast"``).
+    precision: str = "exact"
     frames_in: int = 0
     frames_out: int = 0
     batches: int = 0
@@ -239,6 +242,13 @@ class StreamingService:
         same prepared backend -- including the int8 quantised weights, which
         the process backend ships to its workers inside the classifier
         startup payload.  The ``int8`` backend must be calibrated first.
+    precision:
+        Preprocessing precision of every shard engine: ``"exact"`` (the
+        default float64/complex128 LUT path, bitwise identical to the
+        legacy dequantise+reconstruct pipeline) or ``"fast"``
+        (float32/complex64 tables; pairs naturally with ``compute="fp32"``).
+        Only affects quantised-codeword observations; ready ``V~`` arrays
+        keep their own dtype.
 
     Notes
     -----
@@ -267,16 +277,22 @@ class StreamingService:
         backend: str = "threads",
         slot_bytes: Optional[int] = None,
         compute: Optional[Union[str, "ComputeBackend"]] = None,
+        precision: str = "exact",
     ) -> None:
         if backend not in BACKEND_NAMES:
             raise ServiceError(
                 f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        if precision not in PRECISION_NAMES:
+            raise ServiceError(
+                f"unknown precision {precision!r}; expected one of {PRECISION_NAMES}"
             )
         if compute is not None:
             # Attach before the backend copies the classifier so every shard
             # inherits the prepared (possibly quantised) backend.
             classifier.set_compute(compute)
         self.compute_name = classifier.compute_name
+        self.precision = precision
         num_workers = resolve_num_workers(num_workers, backend)
         if num_workers < 1:
             raise ServiceError("num_workers must be >= 1")
@@ -294,6 +310,7 @@ class StreamingService:
             max_latency_frames=max_latency_frames,
             vote_window=vote_window,
             max_sources=max_sources,
+            precision=precision,
         )
         try:
             self._backend = make_backend(
@@ -425,6 +442,7 @@ class StreamingService:
             num_workers=self.num_workers,
             backend=self.backend_name,
             compute=self.compute_name,
+            precision=self.precision,
             frames_in=frames_in,
             frames_out=sum(stats.frames_out for stats in worker_stats),
             batches=sum(stats.batches for stats in worker_stats),

@@ -31,12 +31,25 @@ Record kinds:
 :data:`RECORD_FLUSH`      control: flush the shard engine, ack with the
                           echoed ``sequence`` (used as a flush generation id)
 :data:`RECORD_STOP`       control: flush, ack and exit the worker loop
+:data:`RECORD_CODEWORDS`  integer angle codewords + quantisation config
 ========================  ====================================================
 
 The payload of :data:`RECORD_FRAME` is the packed angle report exactly as it
 was on the air, so the worker-side engine parses and de-quantises it through
 the *same* batched Givens path as the thread backend - the bitwise
 verdict-parity invariant holds by construction.
+
+:data:`RECORD_CODEWORDS` is the codeword-native wire form: a 7-byte config
+subheader (:data:`_CODEWORD_HEADER`: ``b_phi``, ``b_psi``, ``strict``,
+``num_tx``, ``num_streams`` as ``u8`` and ``num_subcarriers`` as ``u16``)
+followed by the little-endian ``int16`` ``q_phi`` then ``q_psi`` codeword
+planes (their per-sub-carrier counts follow from the geometry via
+:func:`repro.feedback.givens.angle_counts`).  For the paper's 80 MHz
+``(K, M, N_SS) = (234, 3, 2)`` geometry that is 2 815 payload bytes against
+the 22 464 bytes of the equivalent complex128 ``V~`` record - about 8x less
+ring traffic - and reconstruction moves behind the ring onto the worker
+side, where the engine's codeword fast path consumes the codewords without
+ever materialising the angles.
 """
 
 from __future__ import annotations
@@ -48,6 +61,9 @@ from typing import Any, Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.feedback.givens import angle_counts
+from repro.feedback.quantization import QuantizationConfig, QuantizedAngles
+
 
 class TransportError(RuntimeError):
     """Raised for invalid transport configurations or records."""
@@ -58,6 +74,7 @@ RECORD_VTILDE = 0
 RECORD_FRAME = 1
 RECORD_FLUSH = 2
 RECORD_STOP = 3
+RECORD_CODEWORDS = 4
 
 _CONTROL_KINDS = (RECORD_FLUSH, RECORD_STOP)
 
@@ -69,6 +86,13 @@ _HEADER = struct.Struct("<BB8sHIQd4I")
 
 #: Largest ndarray rank the header's fixed shape field can carry.
 MAX_NDIM = 4
+
+#: Subheader of :data:`RECORD_CODEWORDS` payloads: b_phi (u8), b_psi (u8),
+#: strict flag (u8), num_tx (u8), num_streams (u8), num_subcarriers (u16).
+_CODEWORD_HEADER = struct.Struct("<BBBBBH")
+
+#: Wire dtype of the codeword planes (matches ``quantize_phi``'s output).
+_CODEWORD_DTYPE = np.dtype("<i2")
 
 
 @dataclass(frozen=True)
@@ -83,6 +107,8 @@ class Record:
     payload: bytes = b""
     #: Decoded array for :data:`RECORD_VTILDE` records.
     array: Optional[np.ndarray] = None
+    #: Decoded codewords for :data:`RECORD_CODEWORDS` records.
+    quantized: Optional[QuantizedAngles] = None
 
 
 def pack_array_record(
@@ -116,6 +142,43 @@ def pack_frame_record(
     """Encode a raw feedback-frame payload as one :data:`RECORD_FRAME`."""
     return _pack(
         RECORD_FRAME, 0, b"", source, bytes(payload), sequence, timestamp_s, ()
+    )
+
+
+def pack_codeword_record(
+    sequence: int, source: str, timestamp_s: float, quantized: QuantizedAngles
+) -> bytes:
+    """Encode quantised angle codewords as one :data:`RECORD_CODEWORDS`.
+
+    The record carries the raw ``int16`` codeword planes plus the
+    quantisation config and matrix geometry -- everything the worker-side
+    engine needs to run the codeword-native reconstruction fast path.
+    """
+    num_sub = quantized.num_subcarriers
+    for value, limit, what in (
+        (quantized.config.b_phi, 0xFF, "b_phi"),
+        (quantized.config.b_psi, 0xFF, "b_psi"),
+        (quantized.num_tx, 0xFF, "num_tx"),
+        (quantized.num_streams, 0xFF, "num_streams"),
+        (num_sub, 0xFFFF, "num_subcarriers"),
+    ):
+        if not 0 <= value <= limit:
+            raise TransportError(
+                f"{what}={value} does not fit the codeword record subheader"
+            )
+    subheader = _CODEWORD_HEADER.pack(
+        quantized.config.b_phi,
+        quantized.config.b_psi,
+        1 if quantized.config.strict else 0,
+        quantized.num_tx,
+        quantized.num_streams,
+        num_sub,
+    )
+    q_phi = np.ascontiguousarray(quantized.q_phi, dtype=_CODEWORD_DTYPE)
+    q_psi = np.ascontiguousarray(quantized.q_psi, dtype=_CODEWORD_DTYPE)
+    payload = subheader + q_phi.tobytes() + q_psi.tobytes()
+    return _pack(
+        RECORD_CODEWORDS, 0, b"", source, payload, sequence, timestamp_s, ()
     )
 
 
@@ -175,7 +238,53 @@ def unpack_record(data: bytes) -> Record:
             shape[:ndim]
         )
         return Record(kind, sequence, source, timestamp_s, array=array)
+    if kind == RECORD_CODEWORDS:
+        return Record(
+            kind,
+            sequence,
+            source,
+            timestamp_s,
+            quantized=_unpack_codewords(payload),
+        )
     return Record(kind, sequence, source, timestamp_s, payload=payload)
+
+
+def _unpack_codewords(payload: bytes) -> QuantizedAngles:
+    if len(payload) < _CODEWORD_HEADER.size:
+        raise TransportError("truncated codeword record subheader")
+    b_phi, b_psi, strict, num_tx, num_streams, num_sub = _CODEWORD_HEADER.unpack_from(
+        payload
+    )
+    config = QuantizationConfig(b_phi=b_phi, b_psi=b_psi, strict=bool(strict))
+    n_phi, n_psi = angle_counts(num_tx, num_streams)
+    expected = _CODEWORD_HEADER.size + 2 * num_sub * (n_phi + n_psi)
+    if len(payload) != expected:
+        raise TransportError(
+            f"codeword record payload has {len(payload)} bytes, expected "
+            f"{expected} for (K, M, N_SS) = ({num_sub}, {num_tx}, {num_streams})"
+        )
+    offset = _CODEWORD_HEADER.size
+    phi_bytes = 2 * num_sub * n_phi
+    # bytearray copies keep the arrays writable and independent of the
+    # transport buffer; astype normalises the wire byte order to native.
+    q_phi = (
+        np.frombuffer(bytearray(payload[offset : offset + phi_bytes]), dtype=_CODEWORD_DTYPE)
+        .reshape(num_sub, n_phi)
+        .astype(np.int16, copy=False)
+    )
+    offset += phi_bytes
+    q_psi = (
+        np.frombuffer(bytearray(payload[offset:]), dtype=_CODEWORD_DTYPE)
+        .reshape(num_sub, n_psi)
+        .astype(np.int16, copy=False)
+    )
+    return QuantizedAngles(
+        q_phi=q_phi,
+        q_psi=q_psi,
+        config=config,
+        num_tx=num_tx,
+        num_streams=num_streams,
+    )
 
 
 class ShmRing:
@@ -365,6 +474,7 @@ def segment_exists(name: str) -> bool:
 
 __all__ = [
     "MAX_NDIM",
+    "RECORD_CODEWORDS",
     "RECORD_FLUSH",
     "RECORD_FRAME",
     "RECORD_STOP",
@@ -373,6 +483,7 @@ __all__ = [
     "ShmRing",
     "TransportError",
     "pack_array_record",
+    "pack_codeword_record",
     "pack_control_record",
     "pack_frame_record",
     "segment_exists",

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.annotations import hot_path
+from repro.arena import ArenaPool
 from repro.datasets.containers import FeedbackSample
 
 
@@ -192,6 +193,84 @@ class FeatureExtractor:
                 np.copyto(features[:, channel], block.imag)
                 channel += 1
         return features
+
+    @hot_path
+    def transform_accumulator(
+        self,
+        accumulator: np.ndarray,
+        num_streams: int,
+        *,
+        arena: Optional[ArenaPool] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Extract feature tensors straight from a Givens accumulator batch.
+
+        The codeword-native preprocessing path
+        (:func:`repro.feedback.givens.reconstruct_accumulator_quantized`)
+        leaves ``V~`` as the first ``N_SS`` columns of its ``(B, K, M, M)``
+        arena accumulator.  This method writes the real/imaginary channels
+        of the selected (antenna, stream, sub-carrier) entries directly into
+        the output tensor -- the full complex ``V~`` batch is never
+        materialised.  Values are pure element copies, so the result is
+        bit-identical to ``transform_matrices(accumulator[..., :N_SS])``.
+
+        Parameters
+        ----------
+        accumulator:
+            Complex array of shape ``(B, K, M, M)``; columns ``>= N_SS``
+            are ignored.
+        num_streams:
+            Number of valid ``V~`` columns ``N_SS``.
+        arena:
+            Scratch pool for the per-channel sub-carrier gathers; a private
+            throw-away pool is used when ``None``.  When ``out`` is omitted
+            the output tensor itself also comes from the arena -- i.e. a
+            *reused* buffer that the next call with the same arena
+            overwrites; copy it out (or consume it immediately, as the
+            engine does) if it must survive.
+        out:
+            Optional preallocated ``(B, Nch, Nrow, Ncol)`` output.  The
+            dtype follows the accumulator: float32 for complex64 input,
+            float64 otherwise.
+
+        Returns
+        -------
+        numpy.ndarray
+            Real tensor of shape ``(B, Nch, Nrow, Ncol)``.
+        """
+        accumulator = np.asarray(accumulator)
+        if accumulator.ndim != 4:
+            raise FeatureError("accumulator must have shape (B, K, M, M)")
+        batch, num_sub, num_antennas = accumulator.shape[:3]
+        resolved = self.config.resolve(num_sub, num_antennas, num_streams)
+        subcarriers = np.asarray(resolved.subcarriers)
+        num_channels, num_rows, num_cols = resolved.shape
+        rdtype = np.float32 if accumulator.dtype == np.complex64 else np.float64
+        if arena is None:
+            arena = ArenaPool()
+        if out is None:
+            out = arena.get(
+                ("features", "out"),
+                (batch, num_channels, num_rows, num_cols),
+                dtype=rdtype,
+            )
+        gathered = arena.get(
+            ("features", "gather"), (batch, num_cols), dtype=accumulator.dtype
+        )
+        channel = 0
+        for antenna in resolved.antennas:
+            for row, stream in enumerate(resolved.streams):
+                np.take(
+                    accumulator[:, :, antenna, stream],
+                    subcarriers,
+                    axis=1,
+                    out=gathered,
+                )
+                np.copyto(out[:, channel, row], gathered.real)
+                if antenna != resolved.last_antenna:
+                    np.copyto(out[:, channel + 1, row], gathered.imag)
+            channel += 1 if antenna == resolved.last_antenna else 2
+        return out
 
     def transform_samples(self, samples: Sequence[FeedbackSample]) -> Tuple[np.ndarray, np.ndarray]:
         """Extract features and labels from a list of samples.

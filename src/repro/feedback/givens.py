@@ -20,11 +20,15 @@ OFDM sub-carriers, so one call compresses or reconstructs the full
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.annotations import hot_path
+from repro.arena import ArenaPool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: quantization imports us
+    from repro.feedback.quantization import QuantizationConfig
 
 
 class GivensError(ValueError):
@@ -136,13 +140,14 @@ def compress_v_matrix(v_matrix: np.ndarray) -> FeedbackAngles:
     last_row_phase = np.angle(v_matrix[:, num_tx - 1, :])  # (K, N_SS)
     omega = v_matrix * np.exp(-1j * last_row_phase)[:, np.newaxis, :]
 
-    phi_columns: List[np.ndarray] = []
+    phi_blocks: List[np.ndarray] = []
     psi_columns: List[np.ndarray] = []
     limit = min(num_streams, num_tx - 1)
     for i in range(limit):  # 0-based; paper index is i+1
-        # Column phases of rows i .. M-2 of column i.
+        # Column phases of rows i .. M-2 of column i, wrapped to [0, 2*pi)
+        # in one vectorised np.mod per iteration block.
         phis = np.angle(omega[:, i : num_tx - 1, i])  # (K, M-1-i)
-        phi_columns.extend(np.mod(phis[:, j], 2.0 * np.pi) for j in range(phis.shape[1]))
+        phi_blocks.append(np.mod(phis, 2.0 * np.pi))
         # Apply D_i^H: de-rotate rows i .. M-2.
         omega[:, i : num_tx - 1, :] = (
             omega[:, i : num_tx - 1, :] * np.exp(-1j * phis)[:, :, np.newaxis]
@@ -161,7 +166,7 @@ def compress_v_matrix(v_matrix: np.ndarray) -> FeedbackAngles:
             omega[:, i, :] = cos_psi * row_i + sin_psi * row_l
             omega[:, l, :] = -sin_psi * row_i + cos_psi * row_l
 
-    phi = np.stack(phi_columns, axis=1) if phi_columns else np.zeros((num_sub, 0))
+    phi = np.concatenate(phi_blocks, axis=1) if phi_blocks else np.zeros((num_sub, 0))
     psi = np.stack(psi_columns, axis=1) if psi_columns else np.zeros((num_sub, 0))
     return FeedbackAngles(
         phi=phi, psi=psi, num_tx=num_tx, num_streams=num_streams
@@ -264,6 +269,183 @@ def reconstruct_v_matrices(
     if phi.shape[:2] != psi.shape[:2]:
         raise GivensError("phi and psi must cover the same batch and sub-carriers")
     return _reconstruct_from_angles(phi, psi, num_tx, num_streams)
+
+
+def _validate_codeword_batch(
+    q_phi: np.ndarray, q_psi: np.ndarray, num_tx: int, num_streams: int
+) -> None:
+    n_phi, n_psi = angle_counts(num_tx, num_streams)
+    if q_phi.ndim != 3 or q_phi.shape[2] != n_phi:
+        raise GivensError(
+            f"q_phi must have shape (B, K, {n_phi}), got {q_phi.shape}"
+        )
+    if q_psi.ndim != 3 or q_psi.shape[2] != n_psi:
+        raise GivensError(
+            f"q_psi must have shape (B, K, {n_psi}), got {q_psi.shape}"
+        )
+    if q_phi.shape[:2] != q_psi.shape[:2]:
+        raise GivensError(
+            "q_phi and q_psi must cover the same batch and sub-carriers"
+        )
+
+
+@hot_path
+def reconstruct_accumulator_quantized(
+    q_phi: np.ndarray,
+    q_psi: np.ndarray,
+    config: "QuantizationConfig",
+    num_tx: int,
+    num_streams: int,
+    *,
+    fast: bool = False,
+    arena: Optional[ArenaPool] = None,
+) -> np.ndarray:
+    """Eq. (7) straight from integer codewords into an arena accumulator.
+
+    The codeword-native fast path of the streaming engine: instead of
+    dequantizing to ``(B, K, n)`` float64 angle arrays and evaluating
+    ``exp`` / ``cos`` / ``sin`` per frame, the per-config
+    :class:`repro.feedback.quantization.TrigLUT` tables are gathered by
+    codeword (``np.take`` into arena scratch), so the whole reconstruction
+    performs integer gathers plus the Givens arithmetic and -- after warm-up
+    -- zero allocations.
+
+    Two structural properties of Eq. (7) are exploited:
+
+    * iteration ``i = 0`` multiplies the identity by ``D_1``, which just
+      writes ``exp(1j * phi_j)`` on the diagonal -- the accumulator is
+      zero-filled and the diagonal assigned directly;
+    * at Givens step ``(i, l)`` column ``i`` is filled down to row ``l - 1``
+      and column ``l`` down to row ``l`` (provable by induction from the
+      identity start), so the column rotation only touches rows
+      ``0 .. l`` instead of all ``M`` rows, and the per-step column copies
+      shrink to one ``(B, K, l+1)`` scratch view of the arena instead of the
+      legacy pair of fresh ``(B, K, M)`` ``col.copy()`` allocations.
+
+    The arithmetic inside the loop applies the exact operations of
+    :func:`_reconstruct_from_angles` in an IEEE-equivalent order
+    (``(-s)*x == -(s*x)``, ``a+b == b+a``, ``x+(-y) == x-y`` hold bitwise),
+    so with ``fast=False`` every reconstructed element is bit-identical to
+    the legacy dequantize+reconstruct path.
+
+    Parameters
+    ----------
+    q_phi / q_psi:
+        Integer codeword batches of shape ``(B, K, n_phi)`` / ``(B, K,
+        n_psi)``, e.g. from
+        :func:`repro.feedback.quantization.stack_quantized_angles`.
+    config:
+        The shared :class:`~repro.feedback.quantization.QuantizationConfig`.
+    num_tx / num_streams:
+        Dimensions ``M`` / ``N_SS`` shared by every feedback in the batch.
+    fast:
+        ``False`` gathers the float64/complex128 tables (bit-identical to
+        the legacy path); ``True`` gathers the complex64/float32 variants.
+    arena:
+        The :class:`repro.arena.ArenaPool` holding the accumulator and
+        scratch buffers; a private throw-away pool is used when ``None``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(B, K, M, M)`` Givens accumulator *view into the arena*; its
+        first ``N_SS`` columns are ``V~``.  The buffer is reused by the next
+        call with the same arena -- copy out (or consume immediately, e.g.
+        via :func:`repro.datasets.features.FeatureExtractor.transform_accumulator`)
+        before then.
+    """
+    from repro.feedback.quantization import trig_lut_for
+
+    q_phi = np.asarray(q_phi)
+    q_psi = np.asarray(q_psi)
+    _validate_codeword_batch(q_phi, q_psi, num_tx, num_streams)
+    if arena is None:
+        arena = ArenaPool()
+    exp_phi, cos_table, sin_table = trig_lut_for(config).tables(fast)
+    cdtype = exp_phi.dtype
+    rdtype = cos_table.dtype
+
+    batch, num_sub = q_phi.shape[:2]
+    m = num_tx
+    accumulator = arena.get(("givens", "acc"), (batch, num_sub, m, m), dtype=cdtype)
+    accumulator[...] = 0
+    phase_full = arena.get(("givens", "phase"), (batch, num_sub, m - 1), dtype=cdtype)
+    cos_buf = arena.get(("givens", "cos"), (batch, num_sub), dtype=rdtype)
+    sin_buf = arena.get(("givens", "sin"), (batch, num_sub), dtype=rdtype)
+    old_i_full = arena.get(("givens", "old_i"), (batch, num_sub, m), dtype=cdtype)
+    mixed_full = arena.get(("givens", "mixed"), (batch, num_sub, m), dtype=cdtype)
+
+    phi_cursor = 0
+    psi_cursor = 0
+    limit = min(num_streams, m - 1)
+    for i in range(limit):
+        num_phi = m - 1 - i
+        phases = phase_full[..., :num_phi]
+        np.take(exp_phi, q_phi[..., phi_cursor : phi_cursor + num_phi], out=phases)
+        phi_cursor += num_phi
+        if i == 0:
+            # D_1 times the identity: the phases land on the diagonal.
+            for j in range(num_phi):
+                accumulator[..., j, j] = phases[..., j]
+            accumulator[..., m - 1, m - 1] = 1.0
+        else:
+            # Column j is filled down to row j <= M-2 here, so row M-1 of
+            # the scaled block is still structurally zero and can be skipped.
+            block = accumulator[..., : m - 1, i : m - 1]
+            np.multiply(block, phases[..., np.newaxis, :], out=block)
+        for l in range(i + 1, m):
+            np.take(cos_table, q_psi[..., psi_cursor], out=cos_buf)
+            np.take(sin_table, q_psi[..., psi_cursor], out=sin_buf)
+            psi_cursor += 1
+            rows = slice(0, l + 1)
+            col_i = accumulator[..., rows, i]
+            col_l = accumulator[..., rows, l]
+            old_i = old_i_full[..., : l + 1]
+            mixed = mixed_full[..., : l + 1]
+            np.copyto(old_i, col_i)
+            cos_psi = cos_buf[..., np.newaxis]
+            sin_psi = sin_buf[..., np.newaxis]
+            np.multiply(col_i, cos_psi, out=col_i)
+            np.multiply(col_l, sin_psi, out=mixed)
+            np.add(col_i, mixed, out=col_i)  # cos*col_i + sin*col_l
+            np.multiply(col_l, cos_psi, out=col_l)
+            np.multiply(old_i, sin_psi, out=old_i)
+            np.subtract(col_l, old_i, out=col_l)  # -sin*col_i + cos*col_l
+    return accumulator
+
+
+@hot_path
+def reconstruct_v_matrices_quantized(
+    q_phi: np.ndarray,
+    q_psi: np.ndarray,
+    config: "QuantizationConfig",
+    num_tx: int,
+    num_streams: int,
+    *,
+    fast: bool = False,
+    arena: Optional[ArenaPool] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Rebuild a ``(B, K, M, N_SS)`` batch of ``V~`` straight from codewords.
+
+    Equivalent to :func:`repro.feedback.quantization.dequantize_angles_batch`
+    followed by :func:`reconstruct_v_matrices` -- bit-identical with
+    ``fast=False``, complex64 with ``fast=True`` -- but trig-free and
+    allocation-free in steady state (see
+    :func:`reconstruct_accumulator_quantized`).  The result is copied out of
+    the arena accumulator; pass ``out`` to reuse a caller-owned buffer.
+    """
+    accumulator = reconstruct_accumulator_quantized(
+        q_phi, q_psi, config, num_tx, num_streams, fast=fast, arena=arena
+    )
+    if out is None:
+        # The result escapes the arena (the accumulator is scratch), so
+        # this one allocation is unavoidable without a caller-owned out=.
+        out = np.empty(
+            accumulator.shape[:2] + (num_tx, num_streams), dtype=accumulator.dtype
+        )
+    np.copyto(out, accumulator[..., :num_streams])
+    return out
 
 
 def stack_feedback_angles(

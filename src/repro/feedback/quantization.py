@@ -15,8 +15,10 @@ studied in Figs. 13-15 of the paper.
 
 from __future__ import annotations
 
+# lint: dtype-strict
+
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -117,29 +119,38 @@ class QuantizedAngles:
 
 
 def quantize_phi(phi: np.ndarray, config: QuantizationConfig) -> np.ndarray:
-    """Quantise ``phi`` angles (radians) into integer codewords."""
+    """Quantise ``phi`` angles (radians) into ``int16`` codewords.
+
+    ``int16`` is the wire dtype of :data:`repro.core.transport.RECORD_CODEWORDS`
+    and covers both standard codebooks (at most ``2**9`` levels) with room for
+    non-strict experiments up to ``b_phi = 14``.
+    """
+    # lint: disable=dtype/float64 -- Eq. (8) angles are defined in float64;
     phi = np.mod(np.asarray(phi, dtype=float), 2.0 * np.pi)
     levels = config.phi_levels
-    q = np.round(phi / config.phi_step - 0.5).astype(int)
+    q = np.round(phi / config.phi_step - 0.5).astype(np.int16)
     return np.clip(np.mod(q, levels), 0, levels - 1)
 
 
 def quantize_psi(psi: np.ndarray, config: QuantizationConfig) -> np.ndarray:
-    """Quantise ``psi`` angles (radians) into integer codewords."""
+    """Quantise ``psi`` angles (radians) into ``int16`` codewords."""
+    # lint: disable=dtype/float64 -- Eq. (8) angles are defined in float64;
     psi = np.clip(np.asarray(psi, dtype=float), 0.0, np.pi / 2.0)
     levels = config.psi_levels
-    q = np.round(psi / config.psi_step - 0.5).astype(int)
+    q = np.round(psi / config.psi_step - 0.5).astype(np.int16)
     return np.clip(q, 0, levels - 1)
 
 
 def dequantize_phi(q_phi: np.ndarray, config: QuantizationConfig) -> np.ndarray:
     """Recover ``phi`` angles from their codewords (Eq. 8)."""
+    # lint: disable=dtype/float64 -- Eq. (8) reference values are float64;
     q = np.asarray(q_phi, dtype=float)
     return np.pi * (1.0 / config.phi_levels + q / (2 ** (config.b_phi - 1)))
 
 
 def dequantize_psi(q_psi: np.ndarray, config: QuantizationConfig) -> np.ndarray:
     """Recover ``psi`` angles from their codewords (Eq. 8)."""
+    # lint: disable=dtype/float64 -- Eq. (8) reference values are float64;
     q = np.asarray(q_psi, dtype=float)
     return np.pi * (1.0 / (2 ** (config.b_psi + 2)) + q / (2 ** (config.b_psi + 1)))
 
@@ -217,6 +228,78 @@ def dequantize_angles_batch(
     ``(B, K, M, N_SS)`` beamforming tensor in a single shot.
     """
     return dequantize_phi(q_phi, config), dequantize_psi(q_psi, config)
+
+
+@dataclass(frozen=True)
+class TrigLUT:
+    """Trig lookup tables over the (tiny) codeword alphabets of one config.
+
+    Eq. (8) maps the ``q``-th codeword to a fixed angle, so for codebook 1
+    (``b_phi=9 / b_psi=7``) there are only 512 possible ``exp(1j*phi)``
+    values and 128 possible ``(cos, sin)(psi)`` pairs.  The tables are built
+    by evaluating the *exact same* NumPy expressions the legacy path applies
+    per frame (:func:`dequantize_phi` / :func:`dequantize_psi` followed by
+    ``np.exp`` / ``np.cos`` / ``np.sin``), so a float64 LUT gather is
+    bitwise-identical to recomputing the trig per frame -- IEEE 754
+    elementwise functions are deterministic per input value.  The
+    ``complex64`` / ``float32`` variants feed the ``precision="fast"`` path
+    and pair with the fp32 NN compute backend.
+
+    Attributes
+    ----------
+    config:
+        The quantisation configuration the tables were built for.
+    exp_phi / cos_psi / sin_psi:
+        Float64-precision tables indexed by codeword
+        (``exp_phi[q] == exp(1j * dequantize_phi(q))`` and so on).
+    exp_phi_c64 / cos_psi_f32 / sin_psi_f32:
+        Downcast single-precision variants of the same tables.
+    """
+
+    config: QuantizationConfig
+    exp_phi: np.ndarray
+    cos_psi: np.ndarray
+    sin_psi: np.ndarray
+    exp_phi_c64: np.ndarray
+    cos_psi_f32: np.ndarray
+    sin_psi_f32: np.ndarray
+
+    def tables(self, fast: bool = False) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(exp_phi, cos_psi, sin_psi)`` tables for one precision."""
+        if fast:
+            return self.exp_phi_c64, self.cos_psi_f32, self.sin_psi_f32
+        return self.exp_phi, self.cos_psi, self.sin_psi
+
+
+def _build_trig_lut(config: QuantizationConfig) -> TrigLUT:
+    phi = dequantize_phi(np.arange(config.phi_levels, dtype=np.int64), config)
+    psi = dequantize_psi(np.arange(config.psi_levels, dtype=np.int64), config)
+    exp_phi = np.exp(1j * phi)
+    cos_psi = np.cos(psi)
+    sin_psi = np.sin(psi)
+    return TrigLUT(
+        config=config,
+        exp_phi=exp_phi,
+        cos_psi=cos_psi,
+        sin_psi=sin_psi,
+        exp_phi_c64=exp_phi.astype(np.complex64),
+        cos_psi_f32=cos_psi.astype(np.float32),
+        sin_psi_f32=sin_psi.astype(np.float32),
+    )
+
+
+#: Per-config table cache; configs are tiny frozen dataclasses, so the cache
+#: holds at most a handful of entries per process lifetime.
+_TRIG_LUTS: Dict[QuantizationConfig, TrigLUT] = {}
+
+
+def trig_lut_for(config: QuantizationConfig) -> TrigLUT:
+    """The (cached) :class:`TrigLUT` for ``config``, built on first use."""
+    lut = _TRIG_LUTS.get(config)
+    if lut is None:
+        lut = _build_trig_lut(config)
+        _TRIG_LUTS[config] = lut
+    return lut
 
 
 def quantization_roundtrip(

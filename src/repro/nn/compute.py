@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.annotations import hot_path
+from repro.arena import ArenaPool
 from repro.nn.attention import SpatialAttention
 from repro.nn.layers import (
     AlphaDropout,
@@ -70,46 +71,8 @@ class ComputeError(ValueError):
     """Raised for invalid compute-backend configurations or usage."""
 
 
-# --------------------------------------------------------------------------- #
-# Arena pool
-# --------------------------------------------------------------------------- #
-class ArenaPool:
-    """Grow-only, per-shape scratch buffers reused across inference batches.
-
-    Buffers are keyed by ``(key, trailing_shape)`` where ``key`` identifies
-    the consumer (layer index + role) and the *leading* dimension is the
-    batch: a request with a smaller batch returns a view of the existing
-    buffer, a larger batch regrows it.  After the first batch of the largest
-    size, steady-state inference therefore performs no large allocations.
-
-    ``allocations`` counts buffer (re)allocations so tests and benchmarks
-    can assert the steady state really is allocation-free.
-    """
-
-    def __init__(self) -> None:
-        self._buffers: Dict[tuple, np.ndarray] = {}
-        self.allocations = 0
-
-    def get(
-        self,
-        key: tuple,
-        shape: Tuple[int, ...],
-        dtype=np.float32,
-        zero: bool = False,
-    ) -> np.ndarray:
-        """A ``shape``-sized view of the arena buffer for ``key``."""
-        slot = (key, shape[1:], np.dtype(dtype))
-        buffer = self._buffers.get(slot)
-        if buffer is None or buffer.shape[0] < shape[0]:
-            buffer = (
-                np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
-            )
-            self._buffers[slot] = buffer
-            self.allocations += 1
-        return buffer[: shape[0]]
-
-    def clear(self) -> None:
-        self._buffers.clear()
+# ``ArenaPool`` started life here and was promoted to :mod:`repro.arena` so
+# the pre-NN preprocessing stages can share it; re-exported for back-compat.
 
 
 # --------------------------------------------------------------------------- #

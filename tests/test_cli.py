@@ -272,6 +272,46 @@ class TestProbeTrainEvaluate:
         assert code == 0
         assert "compute fp32" in captured
 
+    def test_authenticate_codeword_fast_path(
+        self, generated_dataset, tmp_path, capsys
+    ):
+        model_dir = tmp_path / "model"
+        code = main(
+            [
+                "train", str(generated_dataset), str(model_dir),
+                "--split", "S1", "--stride", "16",
+                "--epochs", "2", "--batch-size", "16",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        base = [
+            "authenticate", str(generated_dataset), str(model_dir),
+            "--split", "S1", "--stride", "16",
+            "--num-classes", "3", "--batch-size", "8", "--codewords",
+        ]
+        for precision in ("exact", "fast"):
+            code = main(base + ["--precision", precision])
+            captured = capsys.readouterr().out
+            assert code == 0
+            assert f"precision {precision}" in captured
+            assert "verdict module" in captured
+
+        code = main(base + ["--precision", "fast", "--profile"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "per-stage preprocessing profile:" in captured
+        assert "reconstruct" in captured
+        assert "ms/batch" in captured
+
+    def test_unknown_precision_rejected_by_parser(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["authenticate", "data.npz", "model-dir", "--precision", "fp16"]
+            )
+
     def test_unknown_compute_backend_rejected_by_parser(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
