@@ -15,7 +15,10 @@ Seven sub-commands cover the everyday workflow without writing Python:
 * ``repro-csi serve`` -- emulate the always-on observer: interleave the
   split's modules into one multi-source stream and push it through the
   sharded :class:`~repro.core.service.StreamingService` worker pool
-  (async ingestion, periodic stats dumps, per-source verdicts).
+  (async ingestion, periodic stats dumps, per-source verdicts); with
+  ``--open-set`` frames are scored against a FAR-calibrated threshold so
+  verdicts can resolve to UNKNOWN, per-source drift is monitored, and
+  ``--swap-demo`` hot-swaps the model mid-stream without dropping a frame.
 * ``repro-csi probe`` -- run the cheap linear separability probe on a split
   (useful to sanity-check a dataset before paying for CNN training).
 * ``repro-csi lint`` -- run the repro-lint static-analysis suite (lock
@@ -37,7 +40,13 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.separability import linear_probe_accuracy
 from repro.core.backends import BACKEND_NAMES
 from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
-from repro.core.engine import PRECISION_NAMES, InferenceEngine
+from repro.core.engine import PRECISION_NAMES, UNKNOWN_MODULE_ID, InferenceEngine
+from repro.core.lifecycle import DriftConfig
+from repro.core.openset import (
+    SCORING_RULES,
+    OpenSetAuthenticator,
+    calibrate_threshold_far,
+)
 from repro.core.service import ServiceError, StreamingService, resolve_num_workers
 from repro.core.model import FAST_MODEL_CONFIG, PAPER_MODEL_CONFIG
 from repro.datasets.containers import FeedbackDataset, FeedbackSample
@@ -48,6 +57,7 @@ from repro.datasets.generator import (
     generate_dataset_d2,
 )
 from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.adversarial import spoofed_feedback_samples
 from repro.feedback.givens import compress_v_matrix
 from repro.feedback.quantization import QuantizationConfig, quantize_angles
 from repro.datasets.splits import (
@@ -299,6 +309,48 @@ def _interleave_by_module(
         position += 1
 
 
+def _build_open_set(
+    args: argparse.Namespace,
+    classifier: DeepCsiClassifier,
+    train: Sequence[FeedbackSample],
+) -> Optional[OpenSetAuthenticator]:
+    """Calibrate the serve command's open-set authenticator (or ``None``)."""
+    if args.open_set is None:
+        return None
+    if not 0.0 <= args.far < 1.0:
+        raise CliError("--far must be in [0, 1)")
+    authenticator = OpenSetAuthenticator(classifier, scoring=args.open_set)
+    if args.open_set == "centroid_distance":
+        authenticator.enroll(train)
+    impostors = spoofed_feedback_samples(
+        sorted({sample.module_id for sample in train}),
+        shape=train[0].v_tilde.shape,
+    )
+    threshold = calibrate_threshold_far(
+        authenticator, impostors, target_false_accept_rate=args.far
+    )
+    print(
+        f"open-set: {args.open_set} scoring, threshold {threshold:.6f} "
+        f"calibrated for {100.0 * args.far:.1f}% FAR on "
+        f"{len(impostors)} synthetic spoofed frames"
+    )
+    # Surface the cost of that FAR target on legitimate traffic: when the
+    # scoring rule cannot separate spoofed from enrolled frames (max_softmax
+    # saturates on a confidently-trained model), hitting the FAR bound can
+    # push the implied false-reject rate towards 100% -- the operator should
+    # see that at calibration time, not discover it in the verdict stream.
+    genuine = [float(score) for score in authenticator.scores(train)]
+    implied_frr = sum(1 for score in genuine if score < threshold) / len(genuine)
+    if implied_frr > 0.5:
+        print(
+            f"open-set: WARNING threshold rejects {100.0 * implied_frr:.1f}% "
+            f"of enrolled training frames; the {args.open_set} scores do not "
+            "separate spoofed traffic at this FAR target -- consider another "
+            "scoring rule (--open-set) or a looser --far"
+        )
+    return authenticator
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         raise CliError("--repeat must be >= 1")
@@ -306,9 +358,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     train, test = _apply_split(dataset, args.split, args.beamformee)
     classifier = _load_classifier(args, test)
     _apply_compute(classifier, args.compute, train)
+    open_set = _build_open_set(args, classifier, train)
     stream = _interleave_by_module(test) * args.repeat
     labels = [sample.module_id for _, sample in stream]
     workers = resolve_num_workers(args.workers, args.backend)
+    swap_at = len(stream) // 2 if args.swap_demo else 0
     print(
         f"serving {len(stream)} frames from "
         f"{len({source for source, _ in stream})} sources through "
@@ -323,6 +377,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         max_latency_frames=args.max_latency_frames,
         vote_window=args.window,
+        open_set=open_set,
+        drift=DriftConfig() if open_set is not None else None,
         backend=args.backend,
         precision=args.precision,
     ) as service:
@@ -330,15 +386,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for submitted, (source, sample) in enumerate(stream, start=1):
             service.submit(sample, source=source)
             results.extend(service.collect())
+            if swap_at and submitted == swap_at:
+                version = service.swap_model(classifier)
+                print(
+                    f"[swap] model version {version} installed at frame "
+                    f"{submitted} with the stream still flowing; every later "
+                    f"verdict carries the new version stamp"
+                )
             if args.stats_every and submitted % args.stats_every == 0:
                 stats = service.stats
-                print(
+                line = (
                     f"[stats] in={stats.frames_in} out={stats.frames_out} "
                     f"batches={stats.batches} "
                     f"inference_fps={stats.frames_per_second:.1f} "
                     f"wall_fps={stats.wall_frames_per_second:.1f} "
                     f"queue_full_waits={stats.queue_full_waits}"
                 )
+                if stats.open_set:
+                    line += (
+                        f" rejected={stats.frames_rejected} "
+                        f"reject_rate={stats.rejection_rate:.2f}"
+                    )
+                    drifting = stats.drifting_sources
+                    if drifting:
+                        line += f" drifting={','.join(drifting)}"
+                print(line)
         service.flush()
         results.extend(service.collect())
         stats = service.stats
@@ -365,13 +437,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{worker.batches} batches ({worker.frames_per_second:.1f} frames/s)"
         )
     print(f"  frame accuracy: {100.0 * correct / len(results):.2f}%")
+    if stats.open_set:
+        print(
+            f"  open-set: {stats.frames_rejected} of {stats.frames_out} frames "
+            f"rejected ({100.0 * stats.rejection_rate:.1f}%), "
+            f"model version {stats.model_version}"
+        )
+        for status in stats.drift:
+            print(
+                f"  drift {status.source}: score {status.score:.3f} vs "
+                f"baseline {status.baseline:.3f} over {status.samples} frames"
+                f"{' ** DRIFTING **' if status.drifting else ''}"
+            )
     for source in sources:
         verdict = verdicts[source]
-        print(
+        if verdict.module_id == UNKNOWN_MODULE_ID:
+            print(
+                f"  {source}: verdict UNKNOWN "
+                f"(mean rejection {verdict.confidence:.2f}, "
+                f"{verdict.num_rejected}/{verdict.window_size} rejected in window)"
+            )
+            continue
+        line = (
             f"  {source}: verdict module {verdict.module_id} "
             f"(confidence {verdict.confidence:.2f}, "
-            f"{verdict.num_votes}/{verdict.window_size} votes in window)"
+            f"{verdict.num_votes}/{verdict.window_size} votes in window"
         )
+        if stats.open_set or verdict.model_version:
+            line += f", model v{verdict.model_version}"
+        print(line + ")")
     return 0
 
 
@@ -549,6 +643,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=16,
         help="per-source ring-buffer length for the windowed majority vote",
+    )
+    serve.add_argument(
+        "--open-set",
+        nargs="?",
+        const="max_softmax",
+        default=None,
+        choices=SCORING_RULES,
+        metavar="RULE",
+        help="reject frames whose known-ness score falls below a calibrated "
+        "threshold so windowed verdicts can resolve to UNKNOWN; the optional "
+        f"value picks the scoring rule out of {SCORING_RULES} "
+        "(default max_softmax); also enables the per-source drift monitor",
+    )
+    serve.add_argument(
+        "--far",
+        type=float,
+        default=0.05,
+        help="target false-accept rate the open-set threshold is calibrated "
+        "for, against synthetic spoofed impostor traffic (default 0.05)",
+    )
+    serve.add_argument(
+        "--swap-demo",
+        action="store_true",
+        help="hot-swap the model (same weights, bumped version) halfway "
+        "through the stream to demonstrate the zero-downtime swap",
     )
     serve.add_argument(
         "--stats-every",

@@ -18,6 +18,9 @@
   shared-memory ring buffers (:mod:`repro.core.transport`).
 * :mod:`repro.core.pipeline` -- an end-to-end authentication pipeline built
   on the monitor-mode capture path.
+* :mod:`repro.core.lifecycle` -- always-on model lifecycle: versioned
+  weight snapshots for the zero-downtime swap and the per-source drift
+  monitor.
 
 See ``docs/ARCHITECTURE.md`` for the layer diagram and the data flow from
 the PHY simulation down to the CLI.
@@ -35,6 +38,7 @@ from repro.core.evaluation import (
     format_confusion_matrix,
 )
 from repro.core.engine import (
+    UNKNOWN_MODULE_ID,
     EngineResult,
     EngineStats,
     InferenceEngine,
@@ -49,7 +53,20 @@ from repro.core.service import (
     shard_for_source,
 )
 from repro.core.pipeline import AuthenticationPipeline, AuthenticationResult
-from repro.core.openset import OpenSetAuthenticator, OpenSetMetrics, evaluate_open_set
+from repro.core.lifecycle import (
+    DriftConfig,
+    DriftMonitor,
+    DriftStatus,
+    LifecycleError,
+    ModelVersion,
+)
+from repro.core.openset import (
+    OpenSetAuthenticator,
+    OpenSetMetrics,
+    OpenSetPolicy,
+    calibrate_threshold_far,
+    evaluate_open_set,
+)
 from repro.core.continual import ContinualDeepCsi, ContinualConfig, ReplayBuffer
 
 __all__ = [
@@ -70,6 +87,7 @@ __all__ = [
     "EngineStats",
     "InferenceEngine",
     "MajorityVerdict",
+    "UNKNOWN_MODULE_ID",
     "BACKEND_NAMES",
     "ServiceError",
     "ServiceStats",
@@ -78,8 +96,15 @@ __all__ = [
     "shard_for_source",
     "AuthenticationPipeline",
     "AuthenticationResult",
+    "DriftConfig",
+    "DriftMonitor",
+    "DriftStatus",
+    "LifecycleError",
+    "ModelVersion",
     "OpenSetAuthenticator",
     "OpenSetMetrics",
+    "OpenSetPolicy",
+    "calibrate_threshold_far",
     "evaluate_open_set",
     "ContinualDeepCsi",
     "ContinualConfig",

@@ -65,16 +65,19 @@ from repro.core.engine import (
     Observation,
     SourceWindows,
 )
+from repro.core.lifecycle import DriftMonitor, DriftStatus, ModelVersion
 from repro.core.transport import (
     RECORD_CODEWORDS,
     RECORD_FLUSH,
     RECORD_FRAME,
+    RECORD_MODEL_SWAP,
     RECORD_STOP,
     ShmRing,
     pack_array_record,
     pack_codeword_record,
     pack_control_record,
     pack_frame_record,
+    pack_model_swap_record,
 )
 from repro.datasets.containers import FeedbackSample
 from repro.feedback.capture import CapturedFeedback
@@ -101,6 +104,14 @@ class _FlushRequest:
     def __init__(self, stop: bool = False) -> None:
         self.done = threading.Event()
         self.stop = stop
+
+
+class _SwapRequest:
+    """Control token: install a model version at the shard's batch boundary."""
+
+    def __init__(self, version: ModelVersion) -> None:
+        self.done = threading.Event()
+        self.version = version
 
 
 class _ThreadShard:
@@ -173,6 +184,24 @@ class ThreadBackend:
         for request in requests:
             request.done.wait()
 
+    def swap(self, version: ModelVersion) -> None:
+        """Install a model version into every shard at a batch boundary.
+
+        Each shard flushes its buffered frames under the old weights first
+        (inside :meth:`InferenceEngine.install_model`), so no frame is
+        dropped and none is split across versions.  The swap token rides the
+        same queue as the frames, which orders it against in-flight
+        submissions exactly like the process backend's ring record.
+        """
+        requests = []
+        for shard in self.shards:
+            request = _SwapRequest(version)
+            shard.queue.put(request)
+            requests.append(request)
+        for request in requests:
+            request.done.wait()
+        self.raise_if_failed()
+
     def poll(self) -> List[EngineResult]:
         results: List[EngineResult] = []
         while True:
@@ -198,6 +227,17 @@ class ThreadBackend:
         # engine.stats is already a consistent snapshot (single writer,
         # published under the engine's stats lock).
         return tuple(shard.engine.stats for shard in self.shards)
+
+    def drift_snapshot(self) -> Tuple[DriftStatus, ...]:
+        """Per-source drift state across all shards, sorted by source.
+
+        Routing pins every source to one shard, so the per-shard snapshots
+        are disjoint and merging is a plain sorted concatenation.
+        """
+        merged: List[DriftStatus] = []
+        for shard in self.shards:
+            merged.extend(shard.engine.drift_snapshot())
+        return tuple(sorted(merged, key=lambda status: status.source))
 
     @property
     def queue_full_waits(self) -> int:
@@ -251,6 +291,18 @@ class ThreadBackend:
             finally:
                 item.done.set()
             return item.stop
+        if isinstance(item, _SwapRequest):
+            try:
+                if self._failure is None:
+                    with shard.lock:
+                        results = shard.engine.install_model(item.version)
+                    self._emit(shard, results)
+            except BaseException as exc:  # noqa: BLE001 - reported upstream
+                self._failure = exc
+                shard.sequences.clear()
+            finally:
+                item.done.set()
+            return False
         if self._failure is not None:
             # A shard already failed: keep draining so submitters never
             # deadlock on a full queue, but stop doing work.
@@ -277,9 +329,19 @@ class ThreadBackend:
 # --------------------------------------------------------------------------- #
 # Process backend
 # --------------------------------------------------------------------------- #
-def _stats_tuple(engine: InferenceEngine) -> Tuple[int, int, int, float]:
+def _stats_tuple(
+    engine: InferenceEngine,
+) -> Tuple[int, int, int, float, int, int, Tuple[int, ...]]:
     stats = engine.stats  # consistent snapshot
-    return (stats.frames_in, stats.frames_out, stats.batches, stats.inference_seconds)
+    return (
+        stats.frames_in,
+        stats.frames_out,
+        stats.batches,
+        stats.inference_seconds,
+        stats.frames_rejected,
+        stats.model_version,
+        stats.score_histogram,
+    )
 
 
 def _shard_worker_main(
@@ -311,6 +373,9 @@ def _shard_worker_main(
                 result.confidence,
                 result.source,
                 result.timestamp_s,
+                result.score,
+                result.accepted,
+                result.model_version,
             )
             for result in batch
         ]
@@ -318,6 +383,29 @@ def _shard_worker_main(
 
     while True:
         record = ring.get()
+        if record.kind == RECORD_MODEL_SWAP:
+            # A swap is an epoch barrier exactly like a flush: everything
+            # buffered is classified under the old weights (and shipped),
+            # then the new version is installed.  The ack goes back even on
+            # a failed shard so the parent's swap barrier never hangs.
+            swap = record.swap
+            assert swap is not None
+            if not failed:
+                try:
+                    version = ModelVersion.from_bytes(
+                        swap.blob, expected_version=swap.version
+                    )
+                    ship(engine.install_model(version))
+                except BaseException as exc:  # noqa: BLE001 - reported upstream
+                    failed = True
+                    sequences.clear()
+                    results.put(
+                        ("error", shard_index, f"{type(exc).__name__}: {exc}")
+                    )
+            results.put(
+                ("swapped", shard_index, swap.version, _stats_tuple(engine))
+            )
+            continue
         if record.kind in (RECORD_FLUSH, RECORD_STOP):
             if not failed:
                 try:
@@ -363,10 +451,19 @@ def _shard_worker_main(
 class _ProcessShard:
     """Parent-side handle of one worker process."""
 
-    def __init__(self, index: int, ring: ShmRing, windows: SourceWindows) -> None:
+    def __init__(
+        self,
+        index: int,
+        ring: ShmRing,
+        windows: SourceWindows,
+        drift: Optional[DriftMonitor] = None,
+    ) -> None:
         self.index = index
         self.ring = ring
         self.windows = windows
+        #: Parent-side drift replica, fed from the replayed result stream in
+        #: arrival order -- identical trajectories to the worker's monitor.
+        self.drift = drift
         self.process: Optional[multiprocessing.Process] = None
         self.stats = EngineStats()
         self.lock = threading.Lock()  # serialises producers on this ring
@@ -403,6 +500,7 @@ class ProcessBackend:
         self._failure: Optional[str] = None
         self._queue_full_waits = 0  # guarded-by: _counter_lock
         self._flush_acks: Dict[int, set] = {}
+        self._swap_acks: Dict[int, set] = {}
         self._stopped_shards: set = set()
         self._flush_id = 0
         self._drain_lock = threading.Lock()
@@ -411,13 +509,22 @@ class ProcessBackend:
         self._closed = False
         vote_window = engine_kwargs.get("vote_window", 16)
         max_sources = engine_kwargs.get("max_sources", 1024)
+        reject_streak = engine_kwargs.get("reject_streak", 3)
+        drift_config = engine_kwargs.get("drift")
         slot_bytes = self.DEFAULT_SLOT_BYTES if slot_bytes is None else slot_bytes
         self.shards: List[_ProcessShard] = []
         try:
             for index in range(num_workers):
                 ring = ShmRing(self._context, queue_depth, slot_bytes)
                 shard = _ProcessShard(
-                    index, ring, SourceWindows(vote_window, max_sources)
+                    index,
+                    ring,
+                    SourceWindows(vote_window, max_sources, reject_streak),
+                    drift=(
+                        DriftMonitor(drift_config)
+                        if drift_config is not None
+                        else None
+                    ),
                 )
                 shard.process = self._context.Process(
                     target=_shard_worker_main,
@@ -523,6 +630,37 @@ class ProcessBackend:
                     self._check_all_alive()
             del self._flush_acks[flush_id]
 
+    def swap(self, version: ModelVersion) -> None:
+        """Install a model version into every worker process.
+
+        The version is serialised once and enqueued on every shard's ring as
+        a :data:`RECORD_MODEL_SWAP` record; FIFO ordering against in-flight
+        frame records gives each shard its epoch barrier for free.  Blocks
+        until every live shard acks the install (a dead worker raises
+        instead of hanging the barrier).
+        """
+        record = pack_model_swap_record(
+            0, version.version, version.to_bytes(), version.open_set_threshold
+        )
+        with self._lifecycle_lock:
+            acks = self._swap_acks.setdefault(version.version, set())
+            try:
+                for shard in self.shards:
+                    with shard.lock:
+                        shard.ring.put(
+                            record,
+                            on_wait=self._count_backpressure,
+                            liveness=lambda shard=shard: self._check_worker_alive(
+                                shard
+                            ),
+                        )
+                while len(acks) < len(self.shards):
+                    if not self._drain(block=True):
+                        self._check_all_alive()
+            finally:
+                self._swap_acks.pop(version.version, None)
+        self.raise_if_failed()
+
     def poll(self) -> List[EngineResult]:
         self._drain(block=False)
         results: List[EngineResult] = []
@@ -563,23 +701,43 @@ class ProcessBackend:
         shard = self.shards[shard_index]
         if kind == "results":
             _, _, compact, stats = message
-            for sequence, module_id, confidence, source, timestamp_s in compact:
+            for (
+                sequence,
+                module_id,
+                confidence,
+                source,
+                timestamp_s,
+                score,
+                accepted,
+                model_version,
+            ) in compact:
                 result = EngineResult(
                     predicted_module_id=module_id,
                     confidence=confidence,
                     source=source,
                     sequence=sequence,
                     timestamp_s=timestamp_s,
+                    score=score,
+                    accepted=accepted,
+                    model_version=model_version,
                 )
                 self._completed.append(result)
                 # Replay into the parent-side window replica so verdicts are
                 # answered locally with the exact shard-engine semantics.
                 shard.windows.append(result)
+                if shard.drift is not None:
+                    shard.drift.observe(source, score)
             self._apply_stats(shard, stats)
         elif kind == "flushed":
             _, _, flush_id, stats = message
             self._apply_stats(shard, stats)
             acks = self._flush_acks.get(flush_id)
+            if acks is not None:
+                acks.add(shard_index)
+        elif kind == "swapped":
+            _, _, swap_version, stats = message
+            self._apply_stats(shard, stats)
+            acks = self._swap_acks.get(swap_version)
             if acks is not None:
                 acks.add(shard_index)
         elif kind == "stopped":
@@ -593,13 +751,27 @@ class ProcessBackend:
                 self._failure = f"worker process {shard_index} failed: {text}"
 
     @staticmethod
-    def _apply_stats(shard: _ProcessShard, stats: Tuple[int, int, int, float]) -> None:
-        frames_in, frames_out, batches, inference_seconds = stats
+    def _apply_stats(
+        shard: _ProcessShard,
+        stats: Tuple[int, int, int, float, int, int, Tuple[int, ...]],
+    ) -> None:
+        (
+            frames_in,
+            frames_out,
+            batches,
+            inference_seconds,
+            frames_rejected,
+            model_version,
+            score_histogram,
+        ) = stats
         shard.stats = EngineStats(
             frames_in=frames_in,
             frames_out=frames_out,
             batches=batches,
             inference_seconds=inference_seconds,
+            frames_rejected=frames_rejected,
+            model_version=model_version,
+            score_histogram=tuple(score_histogram),
         )
 
     # -- introspection -------------------------------------------------- #
@@ -617,6 +789,15 @@ class ProcessBackend:
     def worker_stats(self) -> Tuple[EngineStats, ...]:
         self._drain(block=False)
         return tuple(replace(shard.stats) for shard in self.shards)
+
+    def drift_snapshot(self) -> Tuple[DriftStatus, ...]:
+        """Per-source drift state from the parent-side replicas."""
+        self._drain(block=False)
+        merged: List[DriftStatus] = []
+        for shard in self.shards:
+            if shard.drift is not None:
+                merged.extend(shard.drift.snapshot())
+        return tuple(sorted(merged, key=lambda status: status.source))
 
     @property
     def queue_full_waits(self) -> int:

@@ -327,18 +327,35 @@ class DeepCsiClassifier:
             Integer module identifiers, shape ``(B,)``, and the softmax
             probability of each winner, shape ``(B,)``.
         """
+        _, probabilities = self.predict_features_outputs(features)
+        if probabilities.shape[0] == 0:
+            return np.zeros(0, dtype=int), np.zeros(0, dtype=float)
+        winners = np.argmax(probabilities, axis=1)
+        confidences = probabilities[np.arange(probabilities.shape[0]), winners]
+        return winners.astype(int), confidences.astype(float)
+
+    @hot_path
+    def predict_features_outputs(
+        self, features: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw network outputs for a batch of already-extracted features.
+
+        Same in-place normalisation contract as :meth:`predict_features`, but
+        exposes the full ``(logits, probabilities)`` pair so open-set scoring
+        rules (max-softmax, entropy, centroid distance over logits) can run
+        on the streaming hot path without a second forward pass.
+        """
         model = self._require_trained()
         if features.ndim != 4:
             raise ClassifierError("features must have shape (B, Nch, Nrow, Ncol)")
         if features.shape[0] == 0:
-            return np.zeros(0, dtype=int), np.zeros(0, dtype=float)
+            empty = np.zeros((0, self.config.num_classes), dtype=np.float64)
+            return empty, empty
         mean, std = self._normalization
         np.subtract(features, mean, out=features)
         np.divide(features, std, out=features)
-        probabilities = SoftmaxCrossEntropy.softmax(model.predict(features))
-        winners = np.argmax(probabilities, axis=1)
-        confidences = probabilities[np.arange(probabilities.shape[0]), winners]
-        return winners.astype(int), confidences.astype(float)
+        logits = model.predict(features)
+        return logits, SoftmaxCrossEntropy.softmax(logits)
 
     def evaluate(
         self, samples: Sequence[FeedbackSample], label: str = ""

@@ -20,8 +20,20 @@ streaming one:
   (:func:`repro.feedback.givens.reconstruct_v_matrices`);
 * every result is appended to a per-source ring buffer so a windowed
   majority vote (:meth:`InferenceEngine.verdict`) is available at any time;
-* throughput counters (:class:`EngineStats`) expose frames/sec for the
-  benchmarks and the CLI.
+* an optional open-set policy (:class:`~repro.core.openset.OpenSetPolicy`)
+  scores every frame's *known-ness* on the same forward pass; frames below
+  the calibrated threshold are rejected and windowed verdicts can resolve
+  to :data:`UNKNOWN_MODULE_ID` instead of the nearest enrolled identity;
+* per-source score trajectories feed an optional
+  :class:`~repro.core.lifecycle.DriftMonitor` that flags sources whose
+  recent known-ness degrades below their own baseline;
+* :meth:`InferenceEngine.install_model` swaps in a versioned model snapshot
+  (:class:`~repro.core.lifecycle.ModelVersion`) at a batch boundary --
+  buffered frames are flushed under the old weights first, so every result
+  carries the version that actually classified it and the per-source
+  version stamps are monotonically non-decreasing;
+* throughput counters (:class:`EngineStats`) expose frames/sec, rejections
+  and a score histogram for the benchmarks and the CLI.
 
 Every consumer of per-frame classification (the authentication pipeline,
 the CLI, the throughput benchmark) routes through this engine.  The engine
@@ -48,6 +60,8 @@ from repro.feedback.capture import CapturedFeedback
 from repro.feedback.frames import FeedbackFrame, parse_feedback_frame
 from repro.feedback.givens import reconstruct_accumulator_quantized
 from repro.feedback.quantization import QuantizedAngles
+from repro.core.lifecycle import DriftConfig, DriftMonitor, DriftStatus, ModelVersion
+from repro.core.openset import OpenSetAuthenticator, OpenSetPolicy
 from repro.nn.model import LayerProfile
 
 if TYPE_CHECKING:
@@ -69,6 +83,12 @@ PRECISION_NAMES = ("exact", "fast")
 #: Ring-buffer key used for observations without a source address.
 ANONYMOUS_SOURCE = ""
 
+#: Module id of a rejected (not-any-enrolled-transmitter) decision.
+UNKNOWN_MODULE_ID = -1
+
+#: Number of equal-width [0, 1] bins in the open-set score histogram.
+SCORE_HISTOGRAM_BINS = 16
+
 
 @dataclass(frozen=True)
 class EngineResult:
@@ -87,6 +107,17 @@ class EngineResult:
         Position of the observation in the engine's input order.
     timestamp_s:
         Capture timestamp when the observation carried one, else 0.
+    score:
+        Open-set known-ness score of the frame (the winner's confidence on
+        a closed-set engine).
+    accepted:
+        Whether the frame's score cleared the open-set threshold (always
+        true on a closed-set engine).  Rejected frames keep the nearest
+        enrolled module in ``predicted_module_id`` for diagnostics but do
+        not vote for it.
+    model_version:
+        Version of the model snapshot that classified this frame (0 until
+        the first :meth:`InferenceEngine.install_model`).
     """
 
     predicted_module_id: int
@@ -94,6 +125,9 @@ class EngineResult:
     source: str = ANONYMOUS_SOURCE
     sequence: int = 0
     timestamp_s: float = 0.0
+    score: float = 1.0
+    accepted: bool = True
+    model_version: int = 0
 
 
 @dataclass(frozen=True)
@@ -104,19 +138,29 @@ class MajorityVerdict:
     ----------
     module_id:
         The most frequent module in the window (ties broken by mean
-        confidence).
+        confidence), or :data:`UNKNOWN_MODULE_ID` when the window's
+        rejections outweigh the best enrolled identity.
     confidence:
-        Mean confidence of the frames voting for the winner.
+        Mean confidence of the frames voting for the winner (mean rejection
+        strength, ``1 - score``, for an UNKNOWN verdict).
     num_votes:
-        Number of frames voting for the winner.
+        Number of frames voting for the winner (rejected frames for an
+        UNKNOWN verdict).
     window_size:
         Number of results currently in the window.
+    num_rejected:
+        Number of open-set-rejected frames in the window.
+    model_version:
+        Highest model version among the window's results (non-decreasing
+        per source because the engine flushes before installing a version).
     """
 
     module_id: int
     confidence: float
     num_votes: int
     window_size: int
+    num_rejected: int = 0
+    model_version: int = 0
 
 
 @dataclass(frozen=True)
@@ -168,6 +212,13 @@ class EngineStats:
     frames_out: int = 0
     batches: int = 0
     inference_seconds: float = 0.0
+    #: Frames whose open-set score fell below the threshold (0 closed-set).
+    frames_rejected: int = 0
+    #: Histogram of open-set scores over ``SCORE_HISTOGRAM_BINS`` equal
+    #: [0, 1] bins; empty when the engine runs closed-set.
+    score_histogram: Tuple[int, ...] = ()
+    #: Version of the currently-installed model snapshot (0 = as-built).
+    model_version: int = 0
     #: Registry name of the active compute backend ("fp64" = default path).
     compute: str = "fp64"
     #: Preprocessing precision ("exact" = bit-identical float64 LUT path,
@@ -193,6 +244,13 @@ class EngineStats:
             return 0.0
         return self.frames_out / self.batches
 
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of classified frames the open-set policy rejected."""
+        if self.frames_out == 0:
+            return 0.0
+        return self.frames_rejected / self.frames_out
+
 
 class SourceWindows:
     """Bounded per-source ring buffers feeding the windowed majority vote.
@@ -206,13 +264,18 @@ class SourceWindows:
     cross-process round trip per :meth:`verdict` call.
     """
 
-    def __init__(self, vote_window: int, max_sources: int) -> None:
+    def __init__(
+        self, vote_window: int, max_sources: int, reject_streak: int = 3
+    ) -> None:
         if vote_window < 1:
             raise EngineError("vote_window must be >= 1")
         if max_sources < 1:
             raise EngineError("max_sources must be >= 1")
+        if reject_streak < 1:
+            raise EngineError("reject_streak must be >= 1")
         self.vote_window = vote_window
         self.max_sources = max_sources
+        self.reject_streak = reject_streak
         self._windows: Dict[str, Deque[EngineResult]] = {}
 
     def append(self, result: EngineResult) -> None:
@@ -231,26 +294,72 @@ class SourceWindows:
     def verdict(self, source: Optional[str] = None) -> MajorityVerdict:
         """Majority vote over the ring buffer of one source.
 
-        The predicted module is the most frequent one in the window; its
-        confidence is the mean confidence of the frames voting for it.
+        Only *accepted* results vote: an enrolled identity wins when it is
+        the most frequent accepted module (ties broken by mean confidence).
+        The verdict is :data:`UNKNOWN_MODULE_ID` when
+
+        * no accepted result is in the window, or
+        * rejections match/outnumber the winner's votes, or
+        * the ``reject_streak`` most recent results were all rejected.
+
+        The streak rule is what keeps an always-on verdict current: a source
+        that was enrolled-looking for most of the window but whose *latest*
+        frames are all rejected (an address takeover, a departed device)
+        must not be outvoted back into the stale identity by old entries.
         """
         key = ANONYMOUS_SOURCE if source is None else source
         window = self._windows.get(key)
         if not window:
             raise EngineError(f"no results recorded for source {key!r} yet")
         votes: Dict[int, List[float]] = {}
-        for result in window:
-            votes.setdefault(result.predicted_module_id, []).append(
-                result.confidence
+        rejected_scores: List[float] = []
+        trailing_rejected = 0
+        trailing_live = True
+        model_version = 0
+        for result in reversed(window):
+            if result.model_version > model_version:
+                model_version = result.model_version
+            if result.accepted:
+                trailing_live = False
+                votes.setdefault(result.predicted_module_id, []).append(
+                    result.confidence
+                )
+            else:
+                rejected_scores.append(result.score)
+                if trailing_live:
+                    trailing_rejected += 1
+        num_rejected = len(rejected_scores)
+        winner: Optional[int] = None
+        if votes:
+            winner = max(
+                votes, key=lambda module: (len(votes[module]), np.mean(votes[module]))
             )
-        winner = max(
-            votes, key=lambda module: (len(votes[module]), np.mean(votes[module]))
-        )
+        streak = min(self.reject_streak, self.vote_window)
+        if (
+            winner is None
+            or num_rejected >= len(votes[winner])
+            or trailing_rejected >= streak
+        ):
+            rejection_strength = float(
+                np.mean([1.0 - score for score in rejected_scores])
+                if rejected_scores
+                else 0.0
+            )
+            return MajorityVerdict(
+                module_id=UNKNOWN_MODULE_ID,
+                confidence=rejection_strength,
+                num_votes=num_rejected,
+                window_size=len(window),
+                num_rejected=num_rejected,
+                model_version=model_version,
+            )
         return MajorityVerdict(
             module_id=winner,
             confidence=float(np.mean(votes[winner])),
             num_votes=len(votes[winner]),
             window_size=len(window),
+            num_rejected=num_rejected,
+            model_version=model_version,
         )
 
     @property
@@ -297,6 +406,21 @@ class InferenceEngine:
         observer sees an unbounded set of source addresses (spoofed MACs
         included); beyond this many the least-recently-seen source's window
         is evicted so memory stays bounded.
+    open_set:
+        Optional open-set policy (an :class:`~repro.core.openset.OpenSetPolicy`
+        or a calibrated :class:`~repro.core.openset.OpenSetAuthenticator`,
+        converted via its :meth:`~repro.core.openset.OpenSetAuthenticator.policy`).
+        When set, every frame's known-ness is scored on the classification
+        forward pass; frames below the threshold are rejected and verdicts
+        can resolve to :data:`UNKNOWN_MODULE_ID`.
+    drift:
+        Optional :class:`~repro.core.lifecycle.DriftConfig`; when set the
+        engine feeds every frame's score into a per-source
+        :class:`~repro.core.lifecycle.DriftMonitor`
+        (see :meth:`drift_snapshot`).
+    reject_streak:
+        Number of *consecutive* most-recent rejections that force a
+        source's verdict to UNKNOWN regardless of older accepted votes.
     compute:
         Optional compute backend (registry name or instance) routed to
         :meth:`DeepCsiClassifier.set_compute`.  ``None`` keeps whatever the
@@ -341,6 +465,9 @@ class InferenceEngine:
         max_latency_frames: Optional[int] = None,
         vote_window: int = 16,
         max_sources: int = 1024,
+        open_set: Optional[Union[OpenSetPolicy, OpenSetAuthenticator]] = None,
+        drift: Optional[DriftConfig] = None,
+        reject_streak: int = 3,
         compute: Optional[Union[str, "ComputeBackend"]] = None,
         precision: str = "exact",
         profile: bool = False,
@@ -360,19 +487,26 @@ class InferenceEngine:
         self.vote_window = vote_window
         self.max_sources = max_sources
         self.precision = precision
+        if isinstance(open_set, OpenSetAuthenticator):
+            open_set = open_set.policy()
+        self._open_set = open_set
+        self._drift = DriftMonitor(drift) if drift is not None else None
         if compute is not None:
             classifier.set_compute(compute)
         self._profile = bool(profile)
         if self._profile and classifier.model is not None:
             classifier.model.enable_profiling()
+        self._model_version = 0
         self._stats = EngineStats()  # guarded-by: _stats_lock
         # Per-stage [calls, total_ns] accumulators.  guarded-by: _stats_lock
         self._stage_totals: Dict[str, List[int]] = {
             name: [0, 0] for name in STAGE_NAMES
         }
+        # Open-set score histogram bin counts.  guarded-by: _stats_lock
+        self._score_hist: List[int] = [0] * SCORE_HISTOGRAM_BINS
         self._stats_lock = threading.Lock()
         self._pending: List[_PendingObservation] = []
-        self._windows = SourceWindows(vote_window, max_sources)
+        self._windows = SourceWindows(vote_window, max_sources, reject_streak)
         self._sequence = 0
         # Grow-only staging buffers, one per (V~ shape, dtype), reused across
         # batches so steady-state batching performs no large allocations.
@@ -400,6 +534,9 @@ class InferenceEngine:
                 compute=self.compute,
                 precision=self.precision,
                 stage_profile=stage_profile,
+                score_histogram=(
+                    tuple(self._score_hist) if self._open_set is not None else ()
+                ),
             )
         if self._profile and self.classifier.model is not None:
             snapshot.layer_profile = self.classifier.model.profile()
@@ -409,6 +546,55 @@ class InferenceEngine:
     def compute(self) -> str:
         """Registry name of the classifier's active compute backend."""
         return self.classifier.compute_name
+
+    @property
+    def open_set(self) -> Optional[OpenSetPolicy]:
+        """The active open-set policy (``None`` = closed-set)."""
+        return self._open_set
+
+    @property
+    def model_version(self) -> int:
+        """Version of the currently-installed model snapshot."""
+        return self._model_version
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def install_model(self, version: ModelVersion) -> List[EngineResult]:
+        """Swap in a versioned model snapshot at a batch boundary.
+
+        The epoch barrier of the zero-downtime swap: everything buffered is
+        flushed through the *old* weights first, then the snapshot's weights
+        + compute state (and open-set threshold, when it carries one) are
+        installed and the engine's version stamp is bumped.  A frame is
+        therefore always classified entirely by one version, and the
+        ``model_version`` stamped on results never decreases.
+
+        Returns the results of the barrier flush (classified by the old
+        version) so callers can hand them to their consumers -- nothing is
+        dropped by a swap.
+        """
+        if version.version <= self._model_version:
+            raise EngineError(
+                f"model version must increase: engine is at "
+                f"{self._model_version}, got {version.version}"
+            )
+        flushed = self._process_pending()
+        version.apply(self.classifier)
+        if version.open_set_threshold is not None and self._open_set is not None:
+            self._open_set = replace(
+                self._open_set, threshold=float(version.open_set_threshold)
+            )
+        self._model_version = version.version
+        with self._stats_lock:
+            self._stats.model_version = version.version
+        return flushed
+
+    def drift_snapshot(self) -> Tuple[DriftStatus, ...]:
+        """Per-source drift state (empty when no drift monitor is active)."""
+        if self._drift is None:
+            return ()
+        return self._drift.snapshot()
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -559,13 +745,21 @@ class InferenceEngine:
         return self._windows.sources
 
     def reset(self) -> None:
-        """Drop buffered observations, ring buffers and counters."""
+        """Drop buffered observations, ring buffers and counters.
+
+        The installed model version survives a reset: the weights stay
+        swapped in, so results classified after the reset are still stamped
+        with the version that produces them.
+        """
         self._pending.clear()
         self._windows.clear()
+        if self._drift is not None:
+            self._drift.clear()
         self._sequence = 0
         with self._stats_lock:
-            self._stats = EngineStats()
+            self._stats = EngineStats(model_version=self._model_version)
             self._stage_totals = {name: [0, 0] for name in STAGE_NAMES}
+            self._score_hist = [0] * SCORE_HISTOGRAM_BINS
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -660,21 +854,55 @@ class InferenceEngine:
             q_psi[position] = entry.quantized.q_psi
         return q_phi, q_psi
 
-    @staticmethod
+    @hot_path
+    def _classify_features(
+        self, features: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Classify one feature batch, scoring known-ness when open-set.
+
+        Returns ``(module_ids, confidences, scores, accepted)``.  Closed-set
+        engines take the historical :meth:`DeepCsiClassifier.predict_features`
+        path (bitwise-identical results); open-set engines reuse the same
+        forward pass's logits/probabilities for the policy's scoring rule,
+        so rejection costs no second inference.
+        """
+        policy = self._open_set
+        if policy is None:
+            ids, confidences = self.classifier.predict_features(features)
+            return ids, confidences, confidences, np.ones(len(ids), dtype=bool)
+        logits, probabilities = self.classifier.predict_features_outputs(features)
+        winners = np.argmax(probabilities, axis=1)
+        confidences = probabilities[np.arange(probabilities.shape[0]), winners]
+        scores = policy.score_outputs(probabilities, logits)
+        accepted = scores >= policy.threshold
+        return (
+            winners.astype(int),
+            confidences.astype(float),
+            scores,
+            accepted,
+        )
+
     def _emit_results(
+        self,
         entries: List[_PendingObservation],
         module_ids: np.ndarray,
         confidences: np.ndarray,
+        scores: np.ndarray,
+        accepted: np.ndarray,
         results: List[Optional[EngineResult]],
         index_of: Dict[int, int],
     ) -> None:
-        for entry, module_id, confidence in zip(entries, module_ids, confidences):
+        model_version = self._model_version
+        for position, entry in enumerate(entries):
             results[index_of[id(entry)]] = EngineResult(
-                predicted_module_id=int(module_id),
-                confidence=float(confidence),
+                predicted_module_id=int(module_ids[position]),
+                confidence=float(confidences[position]),
                 source=entry.source,
                 sequence=entry.sequence,
                 timestamp_s=entry.timestamp_s,
+                score=float(scores[position]),
+                accepted=bool(accepted[position]),
+                model_version=model_version,
             )
 
     @hot_path
@@ -714,6 +942,10 @@ class InferenceEngine:
                 assert entry.v_tilde is not None
                 vtilde_groups.setdefault(entry.v_tilde.shape, []).append(entry)
 
+        open_set = self._open_set is not None
+        rejected = 0
+        hist = np.zeros(SCORE_HISTOGRAM_BINS, dtype=np.int64)
+
         for (config, num_tx, num_streams, _), entries in quantized_groups.items():
             tick = time.perf_counter_ns()
             q_phi, q_psi = self._stage_codewords(entries)
@@ -735,11 +967,16 @@ class InferenceEngine:
             tick = time.perf_counter_ns()
             stage_ns["features"] += tick - tock
             stage_calls["features"] += 1
-            ids, confidences = self.classifier.predict_features(features)
+            ids, confidences, scores, accepted = self._classify_features(features)
             tock = time.perf_counter_ns()
             stage_ns["inference"] += tock - tick
             stage_calls["inference"] += 1
-            self._emit_results(entries, ids, confidences, results, index_of)
+            if open_set:
+                rejected += int(len(accepted) - np.count_nonzero(accepted))
+                hist += self._histogram(scores)
+            self._emit_results(
+                entries, ids, confidences, scores, accepted, results, index_of
+            )
 
         for entries in vtilde_groups.values():
             tick = time.perf_counter_ns()
@@ -751,11 +988,16 @@ class InferenceEngine:
             tick = time.perf_counter_ns()
             stage_ns["features"] += tick - tock
             stage_calls["features"] += 1
-            ids, confidences = self.classifier.predict_features(features)
+            ids, confidences, scores, accepted = self._classify_features(features)
             tock = time.perf_counter_ns()
             stage_ns["inference"] += tock - tick
             stage_calls["inference"] += 1
-            self._emit_results(entries, ids, confidences, results, index_of)
+            if open_set:
+                rejected += int(len(accepted) - np.count_nonzero(accepted))
+                hist += self._histogram(scores)
+            self._emit_results(
+                entries, ids, confidences, scores, accepted, results, index_of
+            )
 
         elapsed = time.perf_counter() - started
         # Publish the whole batch's counters atomically so concurrent stats
@@ -765,12 +1007,27 @@ class InferenceEngine:
             self._stats.frames_out += len(pending)
             self._stats.batches += 1
             self._stats.inference_seconds += elapsed
+            self._stats.frames_rejected += rejected
+            if open_set:
+                for bin_index in range(SCORE_HISTOGRAM_BINS):
+                    self._score_hist[bin_index] += int(hist[bin_index])
             for name in STAGE_NAMES:
                 totals = self._stage_totals[name]
                 totals[0] += stage_calls[name]
                 totals[1] += stage_ns[name]
 
         ordered = [result for result in results if result is not None]
+        drift = self._drift
         for result in ordered:
             self._windows.append(result)
+            if drift is not None:
+                drift.observe(result.source, result.score)
         return ordered
+
+    @staticmethod
+    @hot_path
+    def _histogram(scores: np.ndarray) -> np.ndarray:
+        """Bin a batch of [0, 1] scores into the score histogram."""
+        bins = np.clip(scores, 0.0, 1.0) * SCORE_HISTOGRAM_BINS
+        bins = np.minimum(bins.astype(np.int64), SCORE_HISTOGRAM_BINS - 1)
+        return np.bincount(bins, minlength=SCORE_HISTOGRAM_BINS)

@@ -10,9 +10,16 @@ it has *never* seen.  This module adds that capability on top of the trained
   centroid in penultimate feature space (here: the softmax input logits), and
   rejects samples whose score falls below a threshold.
 * :func:`calibrate_threshold` picks the threshold from enrolled-device data
-  for a target false-rejection rate.
+  for a target false-rejection rate (:func:`calibrate_threshold_far` is the
+  impostor-side dual for a target false-accept rate).
 * :func:`evaluate_open_set` sweeps the threshold and reports the detection
   metrics (false-accept and false-reject rates, AUROC).
+* :class:`OpenSetPolicy` is the engine-facing form of an authenticator: a
+  picklable bundle of (scoring rule, threshold, centroid statistics) whose
+  :meth:`~OpenSetPolicy.score_outputs` scores a whole micro-batch from the
+  classifier outputs the streaming hot path already computes, so the
+  :class:`~repro.core.engine.InferenceEngine` can reject without a second
+  forward pass.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path
 from repro.core.classifier import DeepCsiClassifier
 from repro.datasets.containers import FeedbackSample
 
@@ -79,6 +87,87 @@ class OpenSetMetrics:
     threshold: float
 
 
+@dataclass(frozen=True)
+class OpenSetPolicy:
+    """Engine-facing open-set decision rule (scoring + threshold).
+
+    A plain-data snapshot of an :class:`OpenSetAuthenticator`: no classifier
+    reference, so it is cheap to copy into every service shard and picklable
+    for the process backend's worker startup payload.  The streaming engine
+    evaluates it per micro-batch via :meth:`score_outputs`, which works on
+    the logits/probabilities the closed-set prediction already produced.
+
+    Attributes
+    ----------
+    scoring:
+        One of :data:`SCORING_RULES`.
+    threshold:
+        Known-ness score below which a sample is rejected as ``UNKNOWN``.
+    centroids:
+        Enrolled-class logit centroids (``centroid_distance`` only).
+    centroid_scale:
+        Median enrolled distance used to normalise the centroid score.
+    """
+
+    scoring: str = "max_softmax"
+    threshold: float = 0.5
+    centroids: Optional[np.ndarray] = None
+    centroid_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scoring not in SCORING_RULES:
+            raise OpenSetError(
+                f"scoring must be one of {SCORING_RULES}, got {self.scoring!r}"
+            )
+        if self.scoring == "centroid_distance" and self.centroids is None:
+            raise OpenSetError(
+                "centroid_distance scoring requires enrolled centroids "
+                "(build the policy from an enrolled authenticator)"
+            )
+
+    @classmethod
+    def from_authenticator(cls, authenticator: "OpenSetAuthenticator") -> "OpenSetPolicy":
+        """Snapshot an authenticator's decision rule (see also its ``policy()``)."""
+        return cls(
+            scoring=authenticator.scoring,
+            threshold=authenticator.threshold,
+            centroids=authenticator._centroids,
+            centroid_scale=authenticator._centroid_scale,
+        )
+
+    @hot_path
+    def score_outputs(
+        self,
+        probabilities: Optional[np.ndarray],
+        logits: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Known-ness scores of one batch from the classifier outputs.
+
+        ``probabilities`` is the ``(B, C)`` softmax batch (softmax-based
+        rules); ``logits`` the matching raw outputs (only consulted by
+        ``centroid_distance``).  Applies exactly the formulas of
+        :meth:`OpenSetAuthenticator.scores`, so engine-side decisions match
+        the sample-based API bit for bit.
+        """
+        if self.scoring != "centroid_distance" and probabilities is None:
+            raise OpenSetError(f"{self.scoring} scoring needs the softmax batch")
+        if self.scoring == "max_softmax":
+            return probabilities.max(axis=1)
+        if self.scoring == "negative_entropy":
+            entropy = -np.sum(
+                probabilities * np.log(np.clip(probabilities, 1e-12, None)), axis=1
+            )
+            max_entropy = np.log(probabilities.shape[1])
+            return 1.0 - entropy / max_entropy
+        if logits is None:
+            raise OpenSetError("centroid_distance scoring needs the logits batch")
+        distances = np.linalg.norm(
+            logits[:, np.newaxis, :] - self.centroids[np.newaxis, :, :], axis=2
+        )
+        nearest = distances.min(axis=1)
+        return 1.0 / (1.0 + nearest / self.centroid_scale)
+
+
 class OpenSetAuthenticator:
     """Open-set wrapper around a trained closed-set classifier."""
 
@@ -125,29 +214,25 @@ class OpenSetAuthenticator:
     # ------------------------------------------------------------------ #
     # Scoring
     # ------------------------------------------------------------------ #
+    def policy(self) -> OpenSetPolicy:
+        """The engine-facing :class:`OpenSetPolicy` of this authenticator.
+
+        ``centroid_distance`` authenticators must be enrolled first.
+        """
+        if self.scoring == "centroid_distance" and self._centroids is None:
+            raise OpenSetError(
+                "centroid_distance scoring requires calling enroll() first"
+            )
+        return OpenSetPolicy.from_authenticator(self)
+
     def scores(self, samples: Sequence[FeedbackSample]) -> np.ndarray:
         """Known-ness score of every sample (higher = more likely enrolled)."""
         if not samples:
             raise OpenSetError("the sample list is empty")
-        if self.scoring == "max_softmax":
-            return self.classifier.predict_proba(samples).max(axis=1)
-        if self.scoring == "negative_entropy":
-            probabilities = self.classifier.predict_proba(samples)
-            entropy = -np.sum(
-                probabilities * np.log(np.clip(probabilities, 1e-12, None)), axis=1
-            )
-            max_entropy = np.log(probabilities.shape[1])
-            return 1.0 - entropy / max_entropy
-        if self._centroids is None:
-            raise OpenSetError(
-                "centroid_distance scoring requires calling enroll() first"
-            )
-        logits = self.classifier.predict_logits(samples)
-        distances = np.linalg.norm(
-            logits[:, np.newaxis, :] - self._centroids[np.newaxis, :, :], axis=2
-        )
-        nearest = distances.min(axis=1)
-        return 1.0 / (1.0 + nearest / self._centroid_scale)
+        policy = self.policy()
+        if self.scoring == "centroid_distance":
+            return policy.score_outputs(None, self.classifier.predict_logits(samples))
+        return policy.score_outputs(self.classifier.predict_proba(samples))
 
     def decide(self, samples: Sequence[FeedbackSample]) -> List[OpenSetDecision]:
         """Accept/reject decision (plus closed-set prediction) per sample."""
@@ -177,6 +262,32 @@ def calibrate_threshold(
         raise OpenSetError("target_false_reject_rate must be in [0, 1)")
     scores = authenticator.scores(enrolled_samples)
     threshold = float(np.quantile(scores, target_false_reject_rate))
+    authenticator.threshold = threshold
+    return threshold
+
+
+def calibrate_threshold_far(
+    authenticator: OpenSetAuthenticator,
+    impostor_samples: Sequence[FeedbackSample],
+    target_false_accept_rate: float = 0.05,
+) -> float:
+    """Pick the threshold that accepts at most the target fraction of impostors.
+
+    The impostor-side dual of :func:`calibrate_threshold`: the threshold is
+    set to the ``1 - target_false_accept_rate`` quantile of the impostor
+    scores (nudged just above the maximum for a target of exactly 0, since
+    acceptance is ``score >= threshold``) and stored on the authenticator.
+    The CLI's ``serve --open-set --far`` path calibrates this way against a
+    synthetic spoofed-feedback population when no real impostor captures are
+    available.
+    """
+    if not 0.0 <= target_false_accept_rate < 1.0:
+        raise OpenSetError("target_false_accept_rate must be in [0, 1)")
+    scores = authenticator.scores(impostor_samples)
+    if target_false_accept_rate == 0.0:
+        threshold = float(np.nextafter(scores.max(), np.inf))
+    else:
+        threshold = float(np.quantile(scores, 1.0 - target_false_accept_rate))
     authenticator.threshold = threshold
     return threshold
 

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.classifier import DeepCsiClassifier
-from repro.core.engine import InferenceEngine
+from repro.core.engine import UNKNOWN_MODULE_ID, InferenceEngine
 from repro.core.service import StreamingService
 from repro.datasets.containers import FeedbackSample
 from repro.feedback.capture import CapturedFeedback, MonitorCapture
@@ -204,7 +204,11 @@ class AuthenticationPipeline:
         """Fuse several per-frame decisions into a single verdict.
 
         The predicted module is the most frequent one; the confidence is the
-        mean confidence of the frames voting for it.
+        mean confidence of the frames voting for it.  A fused
+        :data:`~repro.core.engine.UNKNOWN_MODULE_ID` winner is never
+        *accepted*: a majority of open-set rejections means the traffic
+        matches no enrolled transmitter, so it must not authenticate as one
+        -- however confident the rejections are.
         """
         if not results:
             raise PipelineError("cannot vote over an empty result list")
@@ -221,7 +225,11 @@ class AuthenticationPipeline:
         confidence = float(np.mean(votes[winner]))
         claimed = claims.pop()
         confident = confidence >= self.confidence_threshold
-        accepted = confident and (claimed is None or winner == claimed)
+        accepted = (
+            confident
+            and winner != UNKNOWN_MODULE_ID
+            and (claimed is None or winner == claimed)
+        )
         return AuthenticationResult(
             predicted_module_id=winner,
             confidence=confidence,

@@ -71,6 +71,9 @@ from repro.core.engine import (
     MajorityVerdict,
     Observation,
 )
+from repro.core.lifecycle import DriftConfig, DriftStatus, LifecycleError, ModelVersion
+from repro.core.openset import OpenSetAuthenticator, OpenSetPolicy
+from repro.core.transport import TransportError
 from repro.feedback.capture import CapturedFeedback
 from repro.feedback.frames import FeedbackFrame
 
@@ -169,6 +172,19 @@ class ServiceStats:
         Wall-clock seconds since the service started.
     worker_stats:
         Per-shard :class:`~repro.core.engine.EngineStats` snapshots.
+    open_set:
+        Whether the shard engines run with an open-set policy.
+    frames_rejected:
+        Frames whose open-set score fell below the threshold, across shards.
+    score_histogram:
+        Element-wise sum of the shards' open-set score histograms (empty
+        when the service runs closed-set).
+    model_version:
+        Version of the last successfully installed model snapshot (0 until
+        the first :meth:`StreamingService.swap_model`).
+    drift:
+        Per-source :class:`~repro.core.lifecycle.DriftStatus` snapshots,
+        sorted by source (empty when drift monitoring is off).
     """
 
     num_workers: int
@@ -184,6 +200,11 @@ class ServiceStats:
     queue_full_waits: int = 0
     wall_seconds: float = 0.0
     worker_stats: Tuple[EngineStats, ...] = ()
+    open_set: bool = False
+    frames_rejected: int = 0
+    score_histogram: Tuple[int, ...] = ()
+    model_version: int = 0
+    drift: Tuple[DriftStatus, ...] = ()
 
     @property
     def frames_per_second(self) -> float:
@@ -205,6 +226,18 @@ class ServiceStats:
         if self.batches == 0:
             return 0.0
         return self.frames_out / self.batches
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of classified frames the open-set policy rejected."""
+        if self.frames_out == 0:
+            return 0.0
+        return self.frames_rejected / self.frames_out
+
+    @property
+    def drifting_sources(self) -> Tuple[str, ...]:
+        """Source addresses currently flagged by the drift monitor."""
+        return tuple(status.source for status in self.drift if status.drifting)
 
 
 class StreamingService:
@@ -233,6 +266,20 @@ class StreamingService:
         Forwarded to every shard's :class:`~repro.core.engine.InferenceEngine`.
         ``max_sources`` bounds the ring buffers *per shard*, so the service
         keeps at most ``num_workers * max_sources`` source windows alive.
+    open_set:
+        Optional open-set policy (an
+        :class:`~repro.core.openset.OpenSetPolicy` or a calibrated
+        :class:`~repro.core.openset.OpenSetAuthenticator`) forwarded to
+        every shard engine: frames below the threshold are rejected and
+        verdicts can resolve to
+        :data:`~repro.core.engine.UNKNOWN_MODULE_ID`.
+    drift:
+        Optional :class:`~repro.core.lifecycle.DriftConfig` enabling
+        per-source drift monitoring on every shard (surfaced in
+        :attr:`ServiceStats.drift`).
+    reject_streak:
+        Consecutive most-recent rejections that force a source's verdict to
+        UNKNOWN (see :class:`~repro.core.engine.SourceWindows`).
     slot_bytes:
         Process backend only: size of one shared-memory ring slot.  Records
         larger than a slot transparently span consecutive slots.
@@ -274,6 +321,9 @@ class StreamingService:
         max_latency_frames: Optional[int] = None,
         vote_window: int = 16,
         max_sources: int = 1024,
+        open_set: Optional[Union[OpenSetPolicy, OpenSetAuthenticator]] = None,
+        drift: Optional[DriftConfig] = None,
+        reject_streak: int = 3,
         backend: str = "threads",
         slot_bytes: Optional[int] = None,
         compute: Optional[Union[str, "ComputeBackend"]] = None,
@@ -298,18 +348,28 @@ class StreamingService:
             raise ServiceError("num_workers must be >= 1")
         if queue_depth < 1:
             raise ServiceError("queue_depth must be >= 1")
+        if isinstance(open_set, OpenSetAuthenticator):
+            # Reduce to the picklable plain-data policy before the shards
+            # copy it (the authenticator drags the whole classifier along).
+            open_set = open_set.policy()
         self.num_workers = num_workers
         self.queue_depth = queue_depth
         self.backend_name = backend
+        self.open_set_enabled = open_set is not None
         self._closed = False
         self._frames_in = 0  # guarded-by: _submit_lock
+        self._model_version = 0  # guarded-by: _swap_lock
         self._submit_lock = threading.Lock()
+        self._swap_lock = threading.Lock()
         self._started_monotonic = time.monotonic()
         engine_kwargs = dict(
             batch_size=batch_size,
             max_latency_frames=max_latency_frames,
             vote_window=vote_window,
             max_sources=max_sources,
+            open_set=open_set,
+            drift=drift,
+            reject_streak=reject_streak,
             precision=precision,
         )
         try:
@@ -384,6 +444,66 @@ class StreamingService:
         self._check_failure()
         return self._backend.poll()
 
+    # ------------------------------------------------------------------ #
+    # Model lifecycle
+    # ------------------------------------------------------------------ #
+    def swap_model(
+        self,
+        replacement: Union[DeepCsiClassifier, ModelVersion],
+        open_set_threshold: Optional[float] = None,
+    ) -> int:
+        """Install new model weights into every running shard, zero-downtime.
+
+        Accepts either a trained classifier (snapshotted here as the next
+        :class:`~repro.core.lifecycle.ModelVersion`) or a pre-built version
+        whose number must be exactly the service's current version + 1.
+
+        The swap is an epoch barrier per shard, not service-wide: each shard
+        flushes its buffered frames under the old weights at its own batch
+        boundary (thread shards via a queued control token, process shards
+        via a :data:`~repro.core.transport.RECORD_MODEL_SWAP` ring record
+        that is FIFO-ordered against in-flight frames).  No frame is dropped,
+        every frame is classified entirely by one version, and the
+        ``model_version`` stamped on results/verdicts never decreases.
+
+        ``open_set_threshold`` optionally re-calibrates the open-set policy
+        together with the weights (ignored by closed-set shards).  Returns
+        the installed version number.  Concurrent :meth:`submit` calls are
+        safe; concurrent :meth:`swap_model` calls serialise.
+        """
+        self._check_usable()
+        with self._swap_lock:
+            next_version = self._model_version + 1
+            if isinstance(replacement, ModelVersion):
+                version = replacement
+                if version.version != next_version:
+                    raise ServiceError(
+                        f"model version must be {next_version} (current + 1), "
+                        f"got {version.version}"
+                    )
+                if open_set_threshold is not None:
+                    version = ModelVersion(
+                        version=version.version,
+                        weights=version.weights,
+                        compute=version.compute,
+                        compute_state=version.compute_state,
+                        open_set_threshold=float(open_set_threshold),
+                    )
+            else:
+                try:
+                    version = ModelVersion.from_classifier(
+                        replacement, next_version, open_set_threshold
+                    )
+                except LifecycleError as error:
+                    raise ServiceError(f"model swap failed: {error}") from error
+            try:
+                self._backend.swap(version)
+            except (WorkerFailure, TransportError, LifecycleError) as error:
+                raise ServiceError(f"model swap failed: {error}") from error
+            self._check_failure()
+            self._model_version = version.version
+            return version.version
+
     def stream(
         self,
         observations: Iterable[Observation],
@@ -433,11 +553,27 @@ class StreamingService:
         return self._backend.sources()
 
     @property
+    def model_version(self) -> int:
+        """Version of the last successfully installed model snapshot."""
+        with self._swap_lock:
+            return int(self._model_version)
+
+    def drift_snapshot(self) -> Tuple[DriftStatus, ...]:
+        """Per-source drift state across shards, sorted by source address."""
+        return self._backend.drift_snapshot()
+
+    @property
     def stats(self) -> ServiceStats:
         """Aggregated service-level counters (a point-in-time snapshot)."""
         worker_stats = self._backend.worker_stats()
         with self._submit_lock:
             frames_in = self._frames_in
+        with self._swap_lock:
+            model_version = self._model_version
+        histograms = [stats.score_histogram for stats in worker_stats if stats.score_histogram]
+        score_histogram: Tuple[int, ...] = ()
+        if histograms:
+            score_histogram = tuple(sum(column) for column in zip(*histograms))
         return ServiceStats(
             num_workers=self.num_workers,
             backend=self.backend_name,
@@ -450,6 +586,11 @@ class StreamingService:
             queue_full_waits=self._backend.queue_full_waits,
             wall_seconds=time.monotonic() - self._started_monotonic,
             worker_stats=tuple(worker_stats),
+            open_set=self.open_set_enabled,
+            frames_rejected=sum(stats.frames_rejected for stats in worker_stats),
+            score_histogram=score_histogram,
+            model_version=model_version,
+            drift=self._backend.drift_snapshot(),
         )
 
     # ------------------------------------------------------------------ #

@@ -32,6 +32,9 @@ Record kinds:
                           echoed ``sequence`` (used as a flush generation id)
 :data:`RECORD_STOP`       control: flush, ack and exit the worker loop
 :data:`RECORD_CODEWORDS`  integer angle codewords + quantisation config
+:data:`RECORD_MODEL_SWAP` control: install a serialised
+                          :class:`~repro.core.lifecycle.ModelVersion`, ack
+                          with the version number
 ========================  ====================================================
 
 The payload of :data:`RECORD_FRAME` is the packed angle report exactly as it
@@ -50,6 +53,16 @@ the 22 464 bytes of the equivalent complex128 ``V~`` record - about 8x less
 ring traffic - and reconstruction moves behind the ring onto the worker
 side, where the engine's codeword fast path consumes the codewords without
 ever materialising the angles.
+
+:data:`RECORD_MODEL_SWAP` rides the same ring as the frames it must be
+ordered against: because the ring is strictly FIFO, every frame enqueued
+*before* the swap record is classified by the old model version and every
+frame after it by the new one -- the per-shard epoch barrier of the
+zero-downtime swap needs no extra synchronisation.  Its payload is a small
+subheader (:data:`_SWAP_HEADER`: version ``u32``, has-threshold flag ``u8``,
+threshold ``f64``, blob length ``u32``) followed by the ``.npz`` blob of
+:meth:`~repro.core.lifecycle.ModelVersion.to_bytes`; the blob (hundreds of
+KB for the paper model) simply spans as many consecutive slots as it needs.
 """
 
 from __future__ import annotations
@@ -75,6 +88,7 @@ RECORD_FRAME = 1
 RECORD_FLUSH = 2
 RECORD_STOP = 3
 RECORD_CODEWORDS = 4
+RECORD_MODEL_SWAP = 5
 
 _CONTROL_KINDS = (RECORD_FLUSH, RECORD_STOP)
 
@@ -94,6 +108,26 @@ _CODEWORD_HEADER = struct.Struct("<BBBBBH")
 #: Wire dtype of the codeword planes (matches ``quantize_phi``'s output).
 _CODEWORD_DTYPE = np.dtype("<i2")
 
+#: Subheader of :data:`RECORD_MODEL_SWAP` payloads: version (u32),
+#: has-threshold flag (u8), open-set threshold (f64), blob length (u32).
+_SWAP_HEADER = struct.Struct("<IBdI")
+
+
+@dataclass(frozen=True)
+class ModelSwap:
+    """Decoded payload of one :data:`RECORD_MODEL_SWAP` record.
+
+    The transport layer stays ignorant of the blob's structure: ``blob`` is
+    the opaque :meth:`~repro.core.lifecycle.ModelVersion.to_bytes` archive,
+    while ``version`` and ``open_set_threshold`` are lifted into the
+    subheader so the consumer can ack (and the lifecycle layer cross-check)
+    without decoding the weights first.
+    """
+
+    version: int
+    blob: bytes
+    open_set_threshold: Optional[float] = None
+
 
 @dataclass(frozen=True)
 class Record:
@@ -109,6 +143,8 @@ class Record:
     array: Optional[np.ndarray] = None
     #: Decoded codewords for :data:`RECORD_CODEWORDS` records.
     quantized: Optional[QuantizedAngles] = None
+    #: Decoded swap payload for :data:`RECORD_MODEL_SWAP` records.
+    swap: Optional[ModelSwap] = None
 
 
 def pack_array_record(
@@ -182,6 +218,32 @@ def pack_codeword_record(
     )
 
 
+def pack_model_swap_record(
+    sequence: int,
+    version: int,
+    blob: bytes,
+    open_set_threshold: Optional[float] = None,
+) -> bytes:
+    """Encode a model-version install as one :data:`RECORD_MODEL_SWAP`.
+
+    ``version`` must fit the subheader's ``u32``; the blob is carried
+    verbatim and may span as many ring slots as it needs.
+    """
+    if not 0 < version <= 0xFFFFFFFF:
+        raise TransportError(
+            f"model version {version} does not fit the swap record subheader"
+        )
+    subheader = _SWAP_HEADER.pack(
+        version,
+        0 if open_set_threshold is None else 1,
+        0.0 if open_set_threshold is None else float(open_set_threshold),
+        len(blob),
+    )
+    return _pack(
+        RECORD_MODEL_SWAP, 0, b"", "", subheader + bytes(blob), sequence, 0.0, ()
+    )
+
+
 def pack_control_record(kind: int, sequence: int = 0) -> bytes:
     """Encode a flush/stop control token (``sequence`` echoes back in acks)."""
     if kind not in _CONTROL_KINDS:
@@ -246,7 +308,31 @@ def unpack_record(data: bytes) -> Record:
             timestamp_s,
             quantized=_unpack_codewords(payload),
         )
+    if kind == RECORD_MODEL_SWAP:
+        return Record(
+            kind,
+            sequence,
+            source,
+            timestamp_s,
+            swap=_unpack_model_swap(payload),
+        )
     return Record(kind, sequence, source, timestamp_s, payload=payload)
+
+
+def _unpack_model_swap(payload: bytes) -> ModelSwap:
+    if len(payload) < _SWAP_HEADER.size:
+        raise TransportError("truncated model-swap record subheader")
+    version, has_threshold, threshold, blob_len = _SWAP_HEADER.unpack_from(payload)
+    blob = payload[_SWAP_HEADER.size :]
+    if len(blob) != blob_len:
+        raise TransportError(
+            f"model-swap record blob has {len(blob)} bytes, expected {blob_len}"
+        )
+    return ModelSwap(
+        version=version,
+        blob=bytes(blob),
+        open_set_threshold=float(threshold) if has_threshold else None,
+    )
 
 
 def _unpack_codewords(payload: bytes) -> QuantizedAngles:
@@ -474,9 +560,11 @@ def segment_exists(name: str) -> bool:
 
 __all__ = [
     "MAX_NDIM",
+    "ModelSwap",
     "RECORD_CODEWORDS",
     "RECORD_FLUSH",
     "RECORD_FRAME",
+    "RECORD_MODEL_SWAP",
     "RECORD_STOP",
     "RECORD_VTILDE",
     "Record",
@@ -486,6 +574,7 @@ __all__ = [
     "pack_codeword_record",
     "pack_control_record",
     "pack_frame_record",
+    "pack_model_swap_record",
     "segment_exists",
     "unpack_record",
 ]

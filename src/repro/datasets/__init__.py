@@ -10,8 +10,17 @@
   static groups and mob1/mob2 mobility groups).
 * :mod:`repro.datasets.splits` -- the S1..S6 train/test splits of Tables I
   and II.
+* :mod:`repro.datasets.adversarial` -- impostor / spoofed-feedback traffic
+  generators for open-set evaluation and the service lifecycle tests.
 """
 
+from repro.datasets.adversarial import (
+    ImpostorScenario,
+    impostor_scenario,
+    interleaved_traffic,
+    spoofed_feedback_samples,
+    synthetic_feedback_samples,
+)
 from repro.datasets.containers import FeedbackSample, Trace, FeedbackDataset
 from repro.datasets.features import FeatureConfig, FeatureExtractor
 from repro.datasets.generator import (
@@ -32,6 +41,11 @@ from repro.datasets.splits import (
 )
 
 __all__ = [
+    "ImpostorScenario",
+    "impostor_scenario",
+    "interleaved_traffic",
+    "spoofed_feedback_samples",
+    "synthetic_feedback_samples",
     "FeedbackSample",
     "Trace",
     "FeedbackDataset",

@@ -1,0 +1,267 @@
+"""Adversarial traffic generators for open-set / lifecycle testing.
+
+The paper's enforcement scenario has to hold up against traffic the
+classifier was *not* trained on: transmitters that were never enrolled, and
+devices replaying or imitating an enrolled transmitter's beamforming
+feedback ("spoofing" the source address is trivial; spoofing the RF-chain
+fingerprint carried by ``V~`` is what DeepCSI makes hard).  This module
+generates both populations synthetically:
+
+* every module gets a complex *fingerprint centre* drawn from a seeded RNG
+  keyed by the module id -- the stand-in for the hardware-impairment
+  signature the CNN learns;
+* **enrolled** traffic is centre + small circular noise (the training-time
+  condition);
+* **unseen-transmitter** traffic uses fresh module ids, i.e. fingerprint
+  centres the classifier has never seen;
+* **spoofed** traffic starts from an *enrolled* centre but passes through
+  the impostor's own RF chain: a random per-subcarrier phase rotation plus
+  extra noise.  It claims an enrolled identity (``module_id`` is the spoofed
+  one) while its fingerprint is measurably off -- the hard case for a pure
+  closed-set classifier, which by construction must answer *some* enrolled
+  identity.
+
+Everything is deterministic in its seeds, fast (no PHY simulation), and
+geometry-compatible with the tiny test classifiers as well as the paper's
+80 MHz shapes.  The scenario bundle feeds ``benchmarks/bench_open_set.py``
+and the service lifecycle/chaos tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.containers import FeedbackSample
+
+
+class AdversarialError(ValueError):
+    """Raised for invalid adversarial-scenario configurations."""
+
+
+#: Default ``(K, M, N_SS)`` geometry of the generated ``V~`` matrices --
+#: small enough to train a tiny classifier on in seconds.
+DEFAULT_SHAPE = (12, 2, 1)
+
+
+def _fingerprint_centre(
+    module_id: int, shape: Tuple[int, int, int], centres_seed: int
+) -> np.ndarray:
+    """The module's complex fingerprint centre (a pure function of the id)."""
+    rng = np.random.default_rng(centres_seed + module_id)
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+def synthetic_feedback_samples(
+    module_ids: Sequence[int],
+    num_per_module: int = 25,
+    shape: Tuple[int, int, int] = DEFAULT_SHAPE,
+    noise_scale: float = 0.15,
+    seed: int = 0,
+    centres_seed: int = 42,
+) -> List[FeedbackSample]:
+    """Feedback samples clustered around per-module fingerprint centres.
+
+    The centres depend only on ``centres_seed`` and the module id, so sample
+    sets drawn with different ``seed`` values (train / test / later capture)
+    share the same class structure -- exactly like repeated captures of the
+    same hardware.
+    """
+    if not module_ids:
+        raise AdversarialError("module_ids must not be empty")
+    if num_per_module < 1:
+        raise AdversarialError("num_per_module must be >= 1")
+    rng = np.random.default_rng(seed)
+    samples: List[FeedbackSample] = []
+    for module_id in module_ids:
+        centre = _fingerprint_centre(module_id, shape, centres_seed)
+        for _ in range(num_per_module):
+            noise = noise_scale * (
+                rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            )
+            samples.append(
+                FeedbackSample(
+                    v_tilde=centre + noise,
+                    module_id=module_id,
+                    beamformee_id=1,
+                )
+            )
+    rng.shuffle(samples)
+    return samples
+
+
+def spoofed_feedback_samples(
+    claimed_module_ids: Sequence[int],
+    num_per_module: int = 25,
+    shape: Tuple[int, int, int] = DEFAULT_SHAPE,
+    noise_scale: float = 0.3,
+    phase_jitter: float = 0.8,
+    seed: int = 1,
+    centres_seed: int = 42,
+) -> List[FeedbackSample]:
+    """Impostor feedback imitating enrolled transmitters.
+
+    Each sample starts from the *claimed* module's fingerprint centre (the
+    impostor replays plausible feedback content) but is distorted by the
+    impostor's own RF chain: an independent per-subcarrier phase rotation of
+    standard deviation ``phase_jitter`` radians plus circular noise twice as
+    strong as the enrolled condition.  ``module_id`` carries the claimed
+    (spoofed) identity -- the ground truth is that none of these frames came
+    from it, so an open-set authenticator must reject them while a
+    closed-set classifier will happily confirm the claim.
+    """
+    if not claimed_module_ids:
+        raise AdversarialError("claimed_module_ids must not be empty")
+    if num_per_module < 1:
+        raise AdversarialError("num_per_module must be >= 1")
+    if phase_jitter < 0.0:
+        raise AdversarialError("phase_jitter must be >= 0")
+    rng = np.random.default_rng(seed)
+    samples: List[FeedbackSample] = []
+    for module_id in claimed_module_ids:
+        centre = _fingerprint_centre(module_id, shape, centres_seed)
+        for _ in range(num_per_module):
+            rotation = np.exp(
+                1j * phase_jitter * rng.standard_normal((shape[0], 1, 1))
+            )
+            noise = noise_scale * (
+                rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            )
+            samples.append(
+                FeedbackSample(
+                    v_tilde=centre * rotation + noise,
+                    module_id=module_id,
+                    beamformee_id=2,
+                )
+            )
+    rng.shuffle(samples)
+    return samples
+
+
+@dataclass(frozen=True)
+class ImpostorScenario:
+    """One reproducible open-set evaluation scenario.
+
+    Attributes
+    ----------
+    enrolled_train / enrolled_test:
+        Disjoint draws of the enrolled transmitters (train the classifier
+        on the first, measure FRR/known-accuracy on the second).
+    unseen:
+        Traffic of transmitters that were never enrolled (fresh fingerprint
+        centres); labelled with their own -- out-of-range -- module ids.
+    spoofed:
+        Impostor traffic claiming enrolled identities (see
+        :func:`spoofed_feedback_samples`).
+    enrolled_ids / unseen_ids:
+        The module id populations behind the two sample sets.
+    """
+
+    enrolled_train: List[FeedbackSample]
+    enrolled_test: List[FeedbackSample]
+    unseen: List[FeedbackSample]
+    spoofed: List[FeedbackSample]
+    enrolled_ids: Tuple[int, ...]
+    unseen_ids: Tuple[int, ...]
+
+    @property
+    def impostors(self) -> List[FeedbackSample]:
+        """All not-enrolled traffic (unseen transmitters + spoofers)."""
+        return list(self.unseen) + list(self.spoofed)
+
+
+def impostor_scenario(
+    num_enrolled: int = 3,
+    num_unseen: int = 2,
+    num_per_module: int = 25,
+    shape: Tuple[int, int, int] = DEFAULT_SHAPE,
+    noise_scale: float = 0.15,
+    seed: int = 0,
+    centres_seed: int = 42,
+) -> ImpostorScenario:
+    """Build the standard impostor scenario used by the bench and the tests.
+
+    Enrolled transmitters get module ids ``0..num_enrolled-1``; unseen
+    transmitters continue at ``100 + i`` so their fingerprint centres never
+    collide with an enrolled one.  All four sample sets are deterministic in
+    ``seed``/``centres_seed``.
+    """
+    if num_enrolled < 1:
+        raise AdversarialError("num_enrolled must be >= 1")
+    if num_unseen < 1:
+        raise AdversarialError("num_unseen must be >= 1")
+    enrolled_ids = tuple(range(num_enrolled))
+    unseen_ids = tuple(100 + index for index in range(num_unseen))
+    common = dict(
+        num_per_module=num_per_module,
+        shape=shape,
+        noise_scale=noise_scale,
+        centres_seed=centres_seed,
+    )
+    return ImpostorScenario(
+        enrolled_train=synthetic_feedback_samples(
+            enrolled_ids, seed=seed, **common
+        ),
+        enrolled_test=synthetic_feedback_samples(
+            enrolled_ids, seed=seed + 1, **common
+        ),
+        unseen=synthetic_feedback_samples(unseen_ids, seed=seed + 2, **common),
+        spoofed=spoofed_feedback_samples(
+            enrolled_ids,
+            num_per_module=num_per_module,
+            shape=shape,
+            noise_scale=2.0 * noise_scale,
+            seed=seed + 3,
+            centres_seed=centres_seed,
+        ),
+        enrolled_ids=enrolled_ids,
+        unseen_ids=unseen_ids,
+    )
+
+
+def interleaved_traffic(
+    scenario: ImpostorScenario,
+    sources_per_population: int = 2,
+    seed: int = 0,
+) -> List[Tuple[str, FeedbackSample]]:
+    """Shuffle the scenario into a ``(source, sample)`` service feed.
+
+    Enrolled test traffic is spread over ``enrolled:<n>`` source addresses,
+    impostor traffic (unseen + spoofed) over ``impostor:<n>`` ones, and the
+    whole stream is deterministically shuffled -- the always-on condition
+    where enrolled and adversarial traffic arrive interleaved and the
+    service must keep their per-source verdicts apart.
+    """
+    if sources_per_population < 1:
+        raise AdversarialError("sources_per_population must be >= 1")
+    feed: List[Tuple[str, FeedbackSample]] = []
+    for index, sample in enumerate(scenario.enrolled_test):
+        feed.append((f"enrolled:{index % sources_per_population}", sample))
+    for index, sample in enumerate(scenario.impostors):
+        feed.append((f"impostor:{index % sources_per_population}", sample))
+    np.random.default_rng(seed).shuffle(feed)
+    return feed
+
+
+def traffic_labels(
+    feed: Iterable[Tuple[str, FeedbackSample]],
+) -> Dict[str, bool]:
+    """Per-source ground truth of a feed: ``True`` = genuinely enrolled."""
+    labels: Dict[str, bool] = {}
+    for source, _ in feed:
+        labels[source] = source.startswith("enrolled:")
+    return labels
+
+
+__all__ = [
+    "AdversarialError",
+    "DEFAULT_SHAPE",
+    "ImpostorScenario",
+    "impostor_scenario",
+    "interleaved_traffic",
+    "spoofed_feedback_samples",
+    "synthetic_feedback_samples",
+    "traffic_labels",
+]

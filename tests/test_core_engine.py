@@ -6,9 +6,12 @@ import pytest
 from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
 from repro.core.engine import (
     ANONYMOUS_SOURCE,
+    UNKNOWN_MODULE_ID,
     EngineError,
+    EngineResult,
     EngineStats,
     InferenceEngine,
+    SourceWindows,
 )
 from repro.core.model import DeepCsiModelConfig
 from repro.datasets.features import FeatureConfig, strided_subcarriers
@@ -312,3 +315,85 @@ class TestEngineOnSniffedFrames:
             assert result.confidence == pytest.approx(confidence, abs=1e-12)
         verdict = engine.verdict(station_mac(1))
         assert verdict.window_size == 5
+
+
+class TestSourceWindowsRejection:
+    """Regression tests of the rejection-aware windowed majority vote.
+
+    The original vote counted every window entry, so a burst of open-set
+    rejections could be outvoted by *older* accepted entries and a departed
+    (or taken-over) source would keep authenticating as its stale enrolled
+    identity.  These tests pin the corrected rules.
+    """
+
+    @staticmethod
+    def _result(module_id, accepted=True, score=0.9, confidence=0.9, version=0):
+        return EngineResult(
+            predicted_module_id=module_id,
+            confidence=confidence,
+            source="src",
+            score=score,
+            accepted=accepted,
+            model_version=version,
+        )
+
+    def test_trailing_rejections_beat_older_accepted_majority(self):
+        """An old accepted majority must NOT outvote a fresh reject streak."""
+        windows = SourceWindows(vote_window=8, max_sources=4, reject_streak=3)
+        for _ in range(5):
+            windows.append(self._result(1))
+        for _ in range(3):
+            windows.append(self._result(1, accepted=False, score=0.2))
+        verdict = windows.verdict("src")
+        assert verdict.module_id == UNKNOWN_MODULE_ID
+        assert verdict.num_rejected == 3
+        assert verdict.window_size == 8
+
+    def test_stray_rejection_does_not_flip_the_verdict(self):
+        windows = SourceWindows(vote_window=8, max_sources=4, reject_streak=3)
+        for _ in range(6):
+            windows.append(self._result(2))
+        windows.append(self._result(2, accepted=False, score=0.3))
+        windows.append(self._result(2))
+        verdict = windows.verdict("src")
+        assert verdict.module_id == 2
+        assert verdict.num_votes == 7
+        assert verdict.num_rejected == 1
+
+    def test_rejections_matching_winner_votes_give_unknown(self):
+        windows = SourceWindows(vote_window=8, max_sources=4, reject_streak=5)
+        windows.append(self._result(0))
+        windows.append(self._result(0, accepted=False, score=0.1))
+        windows.append(self._result(0, accepted=False, score=0.1))
+        windows.append(self._result(0))
+        verdict = windows.verdict("src")
+        assert verdict.module_id == UNKNOWN_MODULE_ID
+        assert verdict.num_rejected == 2
+
+    def test_all_rejected_window_reports_rejection_strength(self):
+        windows = SourceWindows(vote_window=4, max_sources=4)
+        for score in (0.2, 0.4):
+            windows.append(self._result(0, accepted=False, score=score))
+        verdict = windows.verdict("src")
+        assert verdict.module_id == UNKNOWN_MODULE_ID
+        assert verdict.confidence == pytest.approx(0.7)  # mean(1 - score)
+        assert verdict.num_votes == verdict.num_rejected == 2
+
+    def test_streak_is_capped_by_the_window(self):
+        """reject_streak larger than the window still triggers when the
+        whole window is rejected."""
+        windows = SourceWindows(vote_window=2, max_sources=4, reject_streak=10)
+        windows.append(self._result(1, accepted=False, score=0.1))
+        windows.append(self._result(1, accepted=False, score=0.1))
+        assert windows.verdict("src").module_id == UNKNOWN_MODULE_ID
+
+    def test_verdict_version_is_max_over_the_window(self):
+        windows = SourceWindows(vote_window=4, max_sources=4)
+        windows.append(self._result(1, version=0))
+        windows.append(self._result(1, version=2))
+        windows.append(self._result(1, version=1))
+        assert windows.verdict("src").model_version == 2
+
+    def test_invalid_reject_streak_rejected(self):
+        with pytest.raises(EngineError, match="reject_streak"):
+            SourceWindows(vote_window=4, max_sources=4, reject_streak=0)

@@ -1,5 +1,7 @@
 """Tests for open-set authentication and continual learning."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -16,6 +18,7 @@ from repro.core.openset import (
     OpenSetAuthenticator,
     OpenSetError,
     calibrate_threshold,
+    calibrate_threshold_far,
     evaluate_open_set,
     threshold_sweep,
 )
@@ -228,3 +231,163 @@ class TestContinualLearning:
             learner.bootstrap([])
         with pytest.raises(ContinualLearningError):
             ContinualDeepCsi(_tiny_classifier(3)).observe([])
+
+
+class _StubAuthenticator:
+    """Duck-typed authenticator with fully controlled scores.
+
+    ``calibrate_threshold`` / ``evaluate_open_set`` only touch ``scores()``,
+    ``threshold`` and (for evaluation) ``classifier.predict``, so a stub lets
+    the edge-case tests pin exact score distributions no trained network
+    would produce on demand.
+    """
+
+    class _StubClassifier:
+        def predict(self, samples):
+            return np.zeros(len(samples), dtype=np.int64)
+
+    def __init__(self, known_scores, unknown_scores=()):
+        self._known = np.asarray(known_scores, dtype=np.float64)
+        self._unknown = np.asarray(unknown_scores, dtype=np.float64)
+        self.threshold = 0.5
+        self.classifier = self._StubClassifier()
+
+    @staticmethod
+    def samples(population, count):
+        """Marker samples carrying only the module_id the evaluation reads."""
+        return [
+            SimpleNamespace(module_id=0, population=population)
+            for _ in range(count)
+        ]
+
+    def scores(self, samples):
+        if samples and samples[0].population == "unknown":
+            return self._unknown
+        return self._known
+
+
+class TestCalibrationEdgeCases:
+    def test_all_equal_scores_keep_everything_accepted(self):
+        """A degenerate single-value score distribution must calibrate to
+        that value (acceptance is >=, so nothing enrolled is rejected)."""
+        stub = _StubAuthenticator([0.7] * 10)
+        for target in (0.0, 0.05, 0.5, 0.99):
+            threshold = calibrate_threshold(
+                stub,
+                stub.samples("known", 10),
+                target_false_reject_rate=target,
+            )
+            assert threshold == pytest.approx(0.7)
+            assert np.all(stub.scores(stub.samples("known", 10)) >= threshold)
+
+    def test_target_frr_zero_rejects_nothing(self):
+        stub = _StubAuthenticator([0.2, 0.5, 0.9, 0.95])
+        threshold = calibrate_threshold(
+            stub, stub.samples("known", 4), target_false_reject_rate=0.0
+        )
+        assert threshold == pytest.approx(0.2)
+        assert np.all(stub.scores(stub.samples("known", 4)) >= threshold)
+
+    def test_target_frr_one_rejected(self):
+        stub = _StubAuthenticator([0.2, 0.9])
+        for bad_target in (1.0, -0.1, 1.5):
+            with pytest.raises(OpenSetError, match="target_false_reject_rate"):
+                calibrate_threshold(
+                    stub,
+                    stub.samples("known", 2),
+                    target_false_reject_rate=bad_target,
+                )
+
+    def test_far_zero_rejects_every_impostor(self):
+        stub = _StubAuthenticator([0.3, 0.8, 0.9999])
+        threshold = calibrate_threshold_far(
+            stub, stub.samples("known", 3), target_false_accept_rate=0.0
+        )
+        assert threshold > 0.9999
+        assert not np.any(stub.scores(stub.samples("known", 3)) >= threshold)
+
+    def test_single_enrolled_class_calibration_bounds_rejections(self):
+        """Calibrating against one enrolled class (every label identical --
+        the degenerate single-population case) must still produce a valid
+        threshold that bounds the false rejections."""
+        train = _make_samples([0], num_per_module=20, seed=4)
+        classifier = _tiny_classifier(num_classes=2)
+        classifier.fit(train)
+        authenticator = OpenSetAuthenticator(classifier, scoring="max_softmax")
+        threshold = calibrate_threshold(
+            authenticator, train, target_false_reject_rate=0.1
+        )
+        assert 0.0 <= threshold <= 1.0
+        rejected = sum(
+            1 for decision in authenticator.decide(train) if not decision.accepted
+        )
+        assert rejected <= int(0.1 * len(train))
+
+
+class TestAurocProperties:
+    def test_perfect_separation_scores_one(self):
+        stub = _StubAuthenticator([0.8, 0.9, 0.95], [0.1, 0.2, 0.3])
+        metrics = evaluate_open_set(
+            stub, stub.samples("known", 3), stub.samples("unknown", 3)
+        )
+        assert metrics.auroc == pytest.approx(1.0)
+
+    def test_inverted_separation_scores_zero(self):
+        stub = _StubAuthenticator([0.1, 0.2], [0.8, 0.9])
+        metrics = evaluate_open_set(
+            stub, stub.samples("known", 2), stub.samples("unknown", 2)
+        )
+        assert metrics.auroc == pytest.approx(0.0)
+
+    def test_indistinguishable_populations_score_half(self):
+        """All-tied scores must give chance-level AUROC, not 0 or 1."""
+        stub = _StubAuthenticator([0.6, 0.6, 0.6], [0.6, 0.6, 0.6])
+        metrics = evaluate_open_set(
+            stub, stub.samples("known", 3), stub.samples("unknown", 3)
+        )
+        assert metrics.auroc == pytest.approx(0.5)
+
+    def test_auroc_stays_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            stub = _StubAuthenticator(rng.random(7), rng.random(5))
+            metrics = evaluate_open_set(
+                stub, stub.samples("known", 7), stub.samples("unknown", 5)
+            )
+            assert 0.0 <= metrics.auroc <= 1.0
+
+    def test_auroc_of_trained_authenticator_in_bounds(self, trained_setup):
+        classifier, _, known_test, unknown = trained_setup
+        authenticator = OpenSetAuthenticator(classifier, scoring="max_softmax")
+        metrics = evaluate_open_set(authenticator, known_test, unknown)
+        assert 0.0 <= metrics.auroc <= 1.0
+
+
+class TestReplayBufferSkew:
+    def test_reservoir_balance_under_heavy_class_skew(self):
+        """1000-vs-10 traffic skew must not evict the rare class."""
+        buffer = ReplayBuffer(capacity=30, seed=0)
+        buffer.add(_make_samples([0], num_per_module=1000, seed=5))
+        buffer.add(_make_samples([1], num_per_module=10, seed=6))
+        assert len(buffer) <= 30
+        per_class = {
+            module_id: sum(
+                1 for sample in buffer.sample(len(buffer))
+                if sample.module_id == module_id
+            )
+            for module_id in buffer.classes
+        }
+        # The rare class keeps everything it ever offered; the frequent one
+        # is clamped to its per-class share.
+        assert per_class[1] == 10
+        assert per_class[0] <= 15
+
+    def test_skewed_sample_draw_is_balanced(self):
+        buffer = ReplayBuffer(capacity=40, seed=0)
+        buffer.add(_make_samples([0], num_per_module=500, seed=7))
+        buffer.add(_make_samples([1], num_per_module=500, seed=8))
+        drawn = buffer.sample(20)
+        counts = {0: 0, 1: 0}
+        for sample in drawn:
+            counts[sample.module_id] += 1
+        assert counts[0] == counts[1] == 10

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.classifier import ClassifierConfig, DeepCsiClassifier
 from repro.core.model import DeepCsiModelConfig
+from repro.core.engine import UNKNOWN_MODULE_ID
 from repro.core.pipeline import AuthenticationPipeline, AuthenticationResult, PipelineError
 from repro.datasets.features import FeatureConfig, strided_subcarriers
 from repro.datasets.splits import D1_SPLITS, d1_split
@@ -240,3 +241,67 @@ class TestCaptureAuthentication:
             assert got.predicted_module_id == want.predicted_module_id
             assert got.confidence == want.confidence  # bitwise
             assert got.accepted == want.accepted
+
+
+class TestMajorityVoteRejection:
+    """Regression: a fused UNKNOWN winner must never authenticate.
+
+    Open-set engines report rejected frames with
+    ``predicted_module_id == UNKNOWN_MODULE_ID`` and high *rejection*
+    confidence.  The original fusion only checked the confidence threshold,
+    so a window full of confident rejections authenticated as "module -1" --
+    exactly the traffic the open-set layer exists to refuse.
+    """
+
+    def test_unknown_majority_is_never_accepted(self, trained_pipeline):
+        results = [
+            AuthenticationResult(
+                predicted_module_id=UNKNOWN_MODULE_ID,
+                confidence=0.95,
+                accepted=False,
+            )
+            for _ in range(3)
+        ]
+        verdict = trained_pipeline.majority_vote(results)
+        assert verdict.predicted_module_id == UNKNOWN_MODULE_ID
+        assert verdict.confidence == pytest.approx(0.95)
+        assert not verdict.accepted
+
+    def test_unknown_majority_with_claim_is_never_accepted(self, trained_pipeline):
+        results = [
+            AuthenticationResult(
+                predicted_module_id=UNKNOWN_MODULE_ID,
+                confidence=0.9,
+                accepted=False,
+                claimed_module_id=1,
+            ),
+            AuthenticationResult(
+                predicted_module_id=UNKNOWN_MODULE_ID,
+                confidence=0.9,
+                accepted=False,
+                claimed_module_id=1,
+            ),
+            AuthenticationResult(
+                predicted_module_id=1,
+                confidence=0.8,
+                accepted=True,
+                claimed_module_id=1,
+            ),
+        ]
+        verdict = trained_pipeline.majority_vote(results)
+        assert verdict.predicted_module_id == UNKNOWN_MODULE_ID
+        assert not verdict.accepted
+
+    def test_enrolled_majority_still_accepted(self, trained_pipeline):
+        """The fix must not regress the accepted path: an enrolled winner
+        with a minority of rejections keeps authenticating."""
+        results = [
+            AuthenticationResult(predicted_module_id=2, confidence=0.9, accepted=True),
+            AuthenticationResult(predicted_module_id=2, confidence=0.8, accepted=True),
+            AuthenticationResult(
+                predicted_module_id=UNKNOWN_MODULE_ID, confidence=0.9, accepted=False
+            ),
+        ]
+        verdict = trained_pipeline.majority_vote(results)
+        assert verdict.predicted_module_id == 2
+        assert verdict.accepted

@@ -5,9 +5,11 @@ import multiprocessing
 import numpy as np
 import pytest
 
+from repro.core.lifecycle import LifecycleError, ModelVersion
 from repro.core.transport import (
     RECORD_FLUSH,
     RECORD_FRAME,
+    RECORD_MODEL_SWAP,
     RECORD_STOP,
     RECORD_VTILDE,
     ShmRing,
@@ -15,6 +17,7 @@ from repro.core.transport import (
     pack_array_record,
     pack_control_record,
     pack_frame_record,
+    pack_model_swap_record,
     segment_exists,
     unpack_record,
 )
@@ -155,3 +158,95 @@ class TestShmRing:
             ShmRing.__init__ = original
         assert len(created_names) == 1
         assert not segment_exists(created_names[0])
+
+
+class TestModelSwapCodec:
+    """RECORD_MODEL_SWAP mirrors the codeword-record codec guarantees."""
+
+    @staticmethod
+    def _version(version=3, threshold=0.75, size=4):
+        rng = np.random.default_rng(11)
+        return ModelVersion(
+            version=version,
+            weights={
+                "00_conv/weight": rng.standard_normal((size, size)),
+                "00_conv/bias": rng.standard_normal(size),
+            },
+            open_set_threshold=threshold,
+        )
+
+    def test_swap_record_roundtrip_preserves_bits(self):
+        original = self._version()
+        encoded = pack_model_swap_record(
+            9, original.version, original.to_bytes(), original.open_set_threshold
+        )
+        record = unpack_record(encoded)
+        assert record.kind == RECORD_MODEL_SWAP
+        assert record.sequence == 9
+        assert record.swap.version == 3
+        assert record.swap.open_set_threshold == pytest.approx(0.75)
+        decoded = ModelVersion.from_bytes(
+            record.swap.blob, expected_version=record.swap.version
+        )
+        assert decoded.version == original.version
+        assert set(decoded.weights) == set(original.weights)
+        for name, value in original.weights.items():
+            np.testing.assert_array_equal(decoded.weights[name], value)
+
+    def test_swap_record_without_threshold(self):
+        original = self._version(threshold=None)
+        record = unpack_record(
+            pack_model_swap_record(0, original.version, original.to_bytes())
+        )
+        assert record.swap.open_set_threshold is None
+
+    def test_version_field_bounds(self):
+        blob = self._version().to_bytes()
+        for bad_version in (0, -1, 2**32):
+            with pytest.raises(TransportError, match="swap record subheader"):
+                pack_model_swap_record(0, bad_version, blob)
+
+    def test_truncated_subheader_rejected(self):
+        encoded = pack_model_swap_record(1, 2, self._version(version=2).to_bytes())
+        with pytest.raises(TransportError, match="truncated model-swap"):
+            unpack_record(encoded[: len(encoded) - len(self._version().to_bytes()) - 4])
+
+    def test_truncated_blob_rejected(self):
+        encoded = pack_model_swap_record(1, 3, self._version().to_bytes())
+        with pytest.raises(TransportError, match="blob has"):
+            unpack_record(encoded[:-7])
+
+    def test_announced_version_mismatch_detected(self):
+        """The transport ships the blob verbatim; the lifecycle decoder must
+        catch a payload whose embedded version disagrees with the record."""
+        swap = unpack_record(
+            pack_model_swap_record(0, 5, self._version(version=4).to_bytes())
+        ).swap
+        with pytest.raises(LifecycleError, match="mismatch"):
+            ModelVersion.from_bytes(swap.blob, expected_version=swap.version)
+
+    def test_corrupt_blob_rejected(self):
+        blob = self._version().to_bytes()
+        with pytest.raises(LifecycleError, match="truncated or corrupt"):
+            ModelVersion.from_bytes(blob[: len(blob) // 2])
+
+    def test_oversized_swap_spans_multiple_ring_slots(self, context):
+        """A multi-KB weight snapshot must survive a tiny-slot ring bit for
+        bit, exactly like the oversized V~ records."""
+        ring = ShmRing(context, num_slots=256, slot_bytes=128)
+        original = self._version(version=6, size=32)
+        encoded = pack_model_swap_record(
+            6, original.version, original.to_bytes(), original.open_set_threshold
+        )
+        try:
+            assert ring.slots_needed(len(encoded)) > 1
+            ring.put(encoded)
+            record = ring.get()
+            assert record.kind == RECORD_MODEL_SWAP
+            decoded = ModelVersion.from_bytes(
+                record.swap.blob, expected_version=record.swap.version
+            )
+            for name, value in original.weights.items():
+                np.testing.assert_array_equal(decoded.weights[name], value)
+        finally:
+            ring.unlink()
